@@ -1,0 +1,46 @@
+"""Extension ablations: search methods, runtime backend, mixed precision."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import ablation_mixed_precision, ablation_runtime, ablation_search_methods
+
+
+def bench_ablation_runtime(benchmark, scale):
+    result = run_experiment(benchmark, ablation_runtime.run, scale=scale)
+    pairs = {}
+    for row in result.rows:
+        pairs.setdefault(row["model"], {})[row["backend"]] = row
+    for model, backends in pairs.items():
+        interp, gen = backends["interpreter"], backends["codegen"]
+        # Codegen always saves memory and a little latency...
+        assert gen["sram_kb"] < interp["sram_kb"]
+        assert gen["flash_kb"] < interp["flash_kb"]
+        assert gen["latency_m_s"] <= interp["latency_m_s"]
+        # ...but the interpreter's latency overhead is small (<5%), which is
+        # the paper's justification for deploying with TFLM.
+        assert (interp["latency_m_s"] - gen["latency_m_s"]) / interp["latency_m_s"] < 0.05
+
+
+def bench_ablation_mixed_precision(benchmark, scale):
+    result = run_experiment(benchmark, ablation_mixed_precision.run, scale=scale)
+    rows = {r["policy"]: r for r in result.rows}
+    int8, int4, mixed = rows["uniform-8"], rows["uniform-4"], rows["mixed-dw8-pw4"]
+    # Flash ordering: int4 <= mixed < int8.
+    assert int4["model_kb"] <= mixed["model_kb"] < int8["model_kb"]
+    # The mixed policy protects accuracy relative to uniform int4.
+    assert mixed["accuracy_pct"] >= int4["accuracy_pct"] - 3.0
+
+
+def bench_ablation_search_methods(benchmark, scale):
+    result = run_experiment(benchmark, ablation_search_methods.run, scale=scale)
+    rows = {r["method"]: r for r in result.rows}
+    dnas = rows["DNAS (ours)"]
+    # DNAS trains exactly one candidate; black-box methods train many.
+    assert dnas["candidates_trained"] == 1
+    for name, row in rows.items():
+        if name != "DNAS (ours)" and row["best_accuracy"] is not None:
+            assert row["candidates_trained"] > 1
+    # DNAS stays competitive despite the tiny oracle budget.
+    best_blackbox = max(
+        (r["best_accuracy"] or 0.0) for n, r in rows.items() if n != "DNAS (ours)"
+    )
+    assert dnas["best_accuracy"] > best_blackbox - 0.25

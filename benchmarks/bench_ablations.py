@@ -1,0 +1,45 @@
+"""Design-choice ablations (DESIGN.md §5)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import ablations
+
+
+def bench_ablation_proxy(benchmark, scale):
+    result = run_experiment(benchmark, ablations.run_proxy, scale=scale)
+    model_row = result.rows[0]
+    layer_row = result.rows[1]
+    assert model_row["linear_fit_r2"] > 0.95
+    assert layer_row["linear_fit_r2"] < model_row["linear_fit_r2"]
+
+
+def bench_ablation_memory_model(benchmark, scale):
+    result = run_experiment(benchmark, ablations.run_memory_model, scale=scale)
+    for row in result.rows:
+        assert abs(row["eq3_err_pct"]) < 25.0
+        assert row["sum_err_pct"] > 50.0  # naive sum wildly overestimates
+
+
+def bench_ablation_channel_multiple(benchmark, scale):
+    result = run_experiment(benchmark, ablations.run_channel_multiple, scale=scale)
+    penalties = {r["channels"]: r["penalty_vs_div4"] for r in result.rows}
+    assert penalties[136] == 1.0 or penalties[136] is None
+    assert penalties[138] > 1.4
+    assert penalties[140] == 1.0
+
+
+def bench_ablation_gumbel(benchmark, scale):
+    result = run_experiment(benchmark, ablations.run_gumbel, scale=scale)
+    by_schedule = {r["schedule"]: r for r in result.rows}
+    annealed = by_schedule["annealed 5.0->0.5"]
+    fixed = by_schedule["fixed 5.0"]
+    assert annealed["mean_decision_confidence"] >= fixed["mean_decision_confidence"] - 0.05
+
+
+def bench_ablation_qat(benchmark, scale):
+    result = run_experiment(benchmark, ablations.run_qat, scale=scale)
+    by_method = {r["method"]: r for r in result.rows}
+    qat = by_method["QAT (fake-quant)"]
+    ptq = by_method["PTQ (float train)"]
+    # Both must produce usable int8 models; QAT should not be worse by much.
+    assert qat["int8_acc"] > 0.3
+    assert qat["quant_drop_pts"] <= ptq["quant_drop_pts"] + 5.0

@@ -1,0 +1,16 @@
+"""Figure 2 — SRAM/eFlash memory map of a KWS model on the medium MCU."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig2_memory_map
+
+
+def bench_fig2_memory_map(benchmark, scale):
+    result = run_experiment(benchmark, fig2_memory_map.run, scale=scale)
+    sram = {r["section"]: r["kb"] for r in result.rows if r["memory"] == "SRAM"}
+    flash = {r["section"]: r["kb"] for r in result.rows if r["memory"] == "eFlash"}
+    # Paper's structure: activations dominate SRAM; the model dominates flash.
+    assert sram["activations"] > sram["runtime"]
+    assert flash["model_weights_and_graph"] > flash["runtime_code"]
+    # Interpreter overheads match the paper's reported constants.
+    assert abs(sram["runtime"] - 4.0) < 0.01
+    assert abs(flash["runtime_code"] - 37.0) < 25.0

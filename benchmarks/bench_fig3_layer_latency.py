@@ -1,0 +1,16 @@
+"""Figure 3 — per-layer latency vs op count."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig3_layer_latency
+
+
+def bench_fig3_layer_latency(benchmark, scale):
+    result = run_experiment(benchmark, fig3_layer_latency.run, scale=scale)
+    rates = {r["kind"]: r["median_mops_per_s"] for r in result.rows if r["median_mops_per_s"]}
+    # Depthwise convs are the slowest per op; dense/conv2d are faster.
+    assert rates["depthwise_conv2d"] < rates["conv2d"]
+    assert rates["depthwise_conv2d"] < rates["dense"]
+    # Spread within a kind: p90 strictly above p10.
+    for row in result.rows:
+        if row["p90_mops"] is not None:
+            assert row["p90_mops"] > row["p10_mops"]

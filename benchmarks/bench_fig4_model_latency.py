@@ -1,0 +1,24 @@
+"""Figure 4 — whole-model latency linearity across backbones/devices."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig4_model_latency
+
+
+def bench_fig4_model_latency(benchmark, scale):
+    result = run_experiment(benchmark, fig4_model_latency.run, scale=scale)
+    # Every (device, backbone) pair fits a line with high r².
+    for row in result.rows:
+        assert row["r_squared"] > 0.93, row
+    by_key = {(r["device"], r["backbone"]): r for r in result.rows}
+    # KWS backbone has the higher-throughput slope on both devices.
+    for device in ("STM32F446RE", "STM32F746ZG"):
+        assert (
+            by_key[(device, "kws")]["throughput_mops"]
+            > by_key[(device, "cifar10")]["throughput_mops"]
+        )
+    # M7 board roughly twice the M4's throughput.
+    ratio = (
+        by_key[("STM32F746ZG", "kws")]["throughput_mops"]
+        / by_key[("STM32F446RE", "kws")]["throughput_mops"]
+    )
+    assert 1.7 < ratio < 2.4

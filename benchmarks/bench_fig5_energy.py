@@ -1,0 +1,18 @@
+"""Figure 5 — power constancy and energy-vs-ops linearity."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig5_energy
+
+
+def bench_fig5_energy(benchmark, scale):
+    result = run_experiment(benchmark, fig5_energy.run, scale=scale)
+    for row in result.rows:
+        # Paper: sigma/mu = 0.00731 — power is workload-independent.
+        assert row["power_cv"] < 0.02
+        assert row["energy_per_mop_uj"] > 0
+    by_device = {r["device"]: r for r in result.rows}
+    small = by_device["STM32F446RE"]
+    medium = by_device["STM32F746ZG"]
+    # The small board draws a third of the power and wins on energy.
+    assert small["mean_power_w"] < 0.5 * medium["mean_power_w"]
+    assert small["mean_energy_mj"] < medium["mean_energy_mj"]

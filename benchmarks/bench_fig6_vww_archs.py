@@ -1,0 +1,16 @@
+"""Figure 6 — DNAS-discovered VWW architectures per MCU target."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig6_vww_archs
+
+
+def bench_fig6_vww_archs(benchmark, scale):
+    result = run_experiment(benchmark, fig6_vww_archs.run, scale=scale)
+    assert len(result.rows) == 2
+    small = result.row_by("target", "STM32F446RE")
+    medium = result.row_by("target", "STM32F746ZG")
+    # Both discovered models must actually deploy on their targets.
+    assert small["deploys"]
+    assert medium["deploys"]
+    # The medium-target model is the larger one (Fig. 6's visual message).
+    assert medium["ops_m"] > small["ops_m"]

@@ -1,0 +1,25 @@
+"""Figure 7 — KWS Pareto fronts: MicroNets vs DS-CNN vs MBNETV2."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig7_kws_pareto
+
+
+def bench_fig7_kws_pareto(benchmark, scale):
+    result = run_experiment(benchmark, fig7_kws_pareto.run, scale=scale)
+    rows = {r["model"]: r for r in result.rows}
+
+    # Deployability shape: MBNETV2-L fits neither targeted board.
+    assert not rows["MBNETV2-L"]["fits_small"]
+    assert not rows["MBNETV2-L"]["fits_medium"]
+    # MicroNet-KWS S and M deploy on the smallest MCU (paper's headline).
+    assert rows["MicroNet-KWS-S"]["fits_small"]
+    assert rows["MicroNet-KWS-M"]["fits_small"]
+
+    # No baseline dominates a MicroNet (checked by the experiment itself).
+    assert any("Pareto" in note or "dominate" in note for note in result.notes)
+    assert not any(note.startswith("WARNING") for note in result.notes)
+
+    # Accuracy ordering: MicroNet-KWS-M above the MBNETV2 baselines.
+    mn_m = rows["MicroNet-KWS-M"]["accuracy_pct"]
+    if mn_m is not None and rows["MBNETV2-S"]["accuracy_pct"] is not None:
+        assert mn_m > rows["MBNETV2-S"]["accuracy_pct"] - 8.0

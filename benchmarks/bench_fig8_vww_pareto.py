@@ -1,0 +1,29 @@
+"""Figure 8 — VWW Pareto and deployability."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig8_vww_pareto
+
+
+def bench_fig8_vww_pareto(benchmark, scale):
+    result = run_experiment(benchmark, fig8_vww_pareto.run, scale=scale)
+    rows = {r["model"]: r for r in result.rows}
+
+    # The paper's deployability story.
+    assert rows["MicroNet-VWW-S"]["fits_small"]
+    assert not rows["ProxylessNAS"]["fits_small"]
+    assert not rows["ProxylessNAS"]["fits_medium"]
+    assert rows["ProxylessNAS"]["fits_large"]
+    assert not rows["MSNet"]["fits_small"]
+    assert rows["TFLM-PersonDetection"]["fits_small"]
+    assert rows["MicroNet-VWW-M"]["fits_medium"]
+    # MicroNet-VWW-M is the only medium-deployable model in the set.
+    others_on_medium = [
+        r["model"]
+        for r in result.rows
+        if r["fits_medium"] and r["model"] != "MicroNet-VWW-M"
+        and r["model"] != "MicroNet-VWW-S" and r["model"] != "TFLM-PersonDetection"
+    ]
+    assert not others_on_medium
+
+    # Trained MicroNet-VWW-S accuracy beats chance decisively.
+    assert rows["MicroNet-VWW-S"]["accuracy_pct"] > 60.0

@@ -1,0 +1,17 @@
+"""Figure 9 — duty-cycled current traces and average power."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig9_power_trace
+
+
+def bench_fig9_power_trace(benchmark, scale):
+    result = run_experiment(benchmark, fig9_power_trace.run, scale=scale)
+    rows = {(r["model"], r["device"]): r for r in result.rows}
+    s_small = rows[("MicroNet-KWS-S", "STM32F446RE")]
+    m_small = rows[("MicroNet-KWS-M", "STM32F446RE")]
+    s_medium = rows[("MicroNet-KWS-S", "STM32F746ZG")]
+    # Smaller model → lower average power at the same duty cycle.
+    assert s_small["avg_power_mw"] < m_small["avg_power_mw"]
+    # Small MCU wins on average power despite being active longer.
+    assert s_small["latency_ms"] > s_medium["latency_ms"]
+    assert s_small["avg_power_mw"] < s_medium["avg_power_mw"]

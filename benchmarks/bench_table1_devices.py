@@ -1,0 +1,14 @@
+"""Table 1 — MCU hardware comparison."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import table1_devices
+
+
+def bench_table1_devices(benchmark, scale):
+    result = run_experiment(benchmark, table1_devices.run, scale=scale)
+    assert len(result.rows) == 3
+    prices = result.column("price_usd")
+    srams = result.column("sram_kb")
+    # Bigger boards cost more — the economic gradient motivating small models.
+    assert sorted(prices) == prices
+    assert sorted(srams) == srams

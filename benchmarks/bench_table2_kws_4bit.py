@@ -1,0 +1,31 @@
+"""Table 2 — sub-byte (4-bit) KWS MicroNet."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import table2_kws_4bit
+
+
+def bench_table2_kws_4bit(benchmark, scale):
+    result = run_experiment(benchmark, table2_kws_4bit.run, scale=scale)
+    rows = {r["model"]: r for r in result.rows}
+    s4 = rows["MicroNet-KWS-S4"]
+    m8 = rows["MicroNet-KWS-M"]
+    l8 = rows["MicroNet-KWS-L"]
+
+    # The 4-bit model has L-class weights but fits the small MCU.
+    assert s4["fits_small"]
+    assert not l8["fits_small"]
+    # Packed weights: the 4-bit model file is far below the 8-bit L model's.
+    assert s4["model_size_kb"] < 0.6 * l8["model_size_kb"]
+    # Real-time bound from the paper: < 1 s on the medium board.
+    assert s4["latency_m_s"] < 1.0
+    # The resource shape (the deployability story) must hold at any scale.
+    assert s4["sram_kb"] < 128
+    # Accuracy parity with the 8-bit M model (paper: +0.3 pts) requires
+    # converged training; at CI scale we require the 4-bit pipeline to
+    # train far past chance (12 classes -> 8.3%), and full parity at
+    # REPRO_SCALE=paper.
+    if s4["accuracy_pct"] is not None:
+        assert s4["accuracy_pct"] > 30.0
+    import os
+    if os.environ.get("REPRO_SCALE") == "paper" and m8["accuracy_pct"] is not None:
+        assert s4["accuracy_pct"] >= m8["accuracy_pct"] - 4.0

@@ -1,0 +1,25 @@
+"""Table 3 — anomaly detection: MicroNets vs auto-encoders."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import table3_anomaly
+
+
+def bench_table3_anomaly(benchmark, scale):
+    result = run_experiment(benchmark, table3_anomaly.run, scale=scale)
+    rows = {r["model"]: r for r in result.rows}
+
+    micronet_aucs = [
+        r["auc_pct"] for r in result.rows if str(r["model"]).startswith("MicroNet")
+    ]
+    fc_auc = rows["FC-AE-Baseline"]["auc_pct"]
+    # Paper's ordering: every MicroNet-AD beats the FC-AE baseline.
+    assert max(micronet_aucs) > fc_auc
+    # The wide AE is not deployable; the Conv-AE needs unsupported ops.
+    assert not rows["FC-AE-Wide"]["deployable"]
+    assert not rows["Conv-AE"]["deployable"]
+    # Each MicroNet deploys on its target board with uptime < 100%.
+    for name in ("MicroNet-AD-S", "MicroNet-AD-M", "MicroNet-AD-L"):
+        assert rows[name]["deployable"], name
+        assert rows[name]["uptime_pct"] < 100.0, name
+    # FC-AE is far cheaper per inference (the paper's trade-off).
+    assert rows["FC-AE-Baseline"]["ops_m"] < 0.1 * rows["MicroNet-AD-S"]["ops_m"]

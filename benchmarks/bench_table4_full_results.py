@@ -1,0 +1,27 @@
+"""Table 4 — the full deployment matrix."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import table4_full_results
+
+
+def bench_table4_full_results(benchmark, scale):
+    result = run_experiment(benchmark, table4_full_results.run, scale=scale)
+    rows = {r["model"]: r for r in result.rows}
+
+    # Deployability pattern of the paper's appendix.
+    assert rows["MicroNet-KWS-S"]["lat_s"] is not None
+    assert rows["MicroNet-KWS-L"]["lat_s"] is None  # too big for the small board
+    assert rows["MicroNet-KWS-L"]["lat_m"] is not None
+    assert rows["MicroNet-VWW-M"]["lat_s"] is None
+    assert rows["MicroNet-AD-L"]["lat_m"] is None
+    assert rows["MicroNet-AD-L"]["lat_l"] is not None
+    assert rows["MBNETV2-L"]["lat_m"] is None
+
+    # Latency ordering within each family (S < M < L wherever measured).
+    assert rows["MicroNet-KWS-S"]["lat_m"] < rows["MicroNet-KWS-M"]["lat_m"]
+    assert rows["MicroNet-KWS-M"]["lat_m"] < rows["MicroNet-KWS-L"]["lat_m"]
+
+    # Energy: small board cheaper than medium for every dual-deployable model.
+    for row in result.rows:
+        if row["energy_s_mj"] is not None and row["energy_m_mj"] is not None:
+            assert row["energy_s_mj"] < row["energy_m_mj"], row["model"]

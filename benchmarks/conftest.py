@@ -1,0 +1,38 @@
+"""Shared plumbing for the benchmark harness.
+
+Each ``bench_*`` module reproduces one of the paper's tables or figures:
+it runs the corresponding :mod:`repro.experiments` module once under
+pytest-benchmark, prints the resulting table (run pytest with ``-s`` to see
+it live), and archives it under ``benchmarks/results/``.
+
+The workload size is controlled by ``REPRO_SCALE`` (``ci`` default,
+``paper`` for the full-size runs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import format_table, save_result
+from repro.experiments.base import ExperimentResult
+from repro.utils.scale import resolve_scale
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return resolve_scale()
+
+
+def run_experiment(benchmark, run_fn, **kwargs) -> ExperimentResult:
+    """Run one experiment once under the benchmark timer and archive it."""
+    result = benchmark.pedantic(run_fn, kwargs=kwargs, rounds=1, iterations=1)
+    rendered = format_table(result)
+    print()
+    print(rendered)
+    save_result(result, RESULTS_DIR)
+    assert result.rows, f"experiment {result.experiment_id} produced no rows"
+    return result

@@ -1,0 +1,56 @@
+"""Self-supervised anomaly detection on synthetic machine sounds.
+
+Reproduces the paper's §4.3 formulation end to end: train a classifier to
+recognize which of four slide-rail machines produced a (normal) sound clip;
+at test time, score anomalies by how *unconfident* the classifier is about
+a clip's true machine — a failing machine no longer sounds like itself.
+Compares against the DCASE fully connected auto-encoder baseline, and
+reports the paper's "Uptime" metric (latency / 640 ms input stride).
+
+Run:  python examples/anomaly_detection.py
+"""
+
+from __future__ import annotations
+
+from repro.hw.devices import SMALL
+from repro.hw.latency import LatencyModel
+from repro.models.autoencoders import fc_autoencoder_baseline
+from repro.models.micronets import micronet_ad_s
+from repro.models.spec import arch_workload
+from repro.runtime.deploy import deployment_report
+from repro.tasks import ad
+from repro.utils.scale import resolve_scale
+
+
+def main() -> None:
+    scale = resolve_scale()
+    print(f"scale: {scale.name}")
+
+    arch = micronet_ad_s()
+    print(f"\n=== MicroNet-AD-S: self-supervised machine-ID classifier ===")
+    result = ad.run(arch, scale=scale, rng=0)
+    print(f"float AUC: {result.float_metric:.3f}")
+    print(f"int8  AUC: {result.quant_metric:.3f}")
+
+    latency = LatencyModel(SMALL).model_latency(arch_workload(arch))
+    uptime = ad.uptime_percent(latency)
+    print(f"latency on {SMALL.name}: {latency*1e3:.0f} ms -> uptime {uptime:.0f}% "
+          f"({'real-time' if uptime < 100 else 'NOT real-time'} at a 640 ms stride)")
+    report = deployment_report(result.graph, SMALL)
+    print(f"deploys on {SMALL.name}: {report.deployable} "
+          f"(SRAM {report.memory.total_sram/1024:.0f} KB)")
+
+    print(f"\n=== FC auto-encoder baseline (reconstruction scoring) ===")
+    ae_result = ad.run_autoencoder(fc_autoencoder_baseline(), scale=scale, rng=0)
+    print(f"float AUC: {ae_result.float_metric:.3f}")
+    print(f"int8  AUC: {ae_result.quant_metric:.3f}")
+
+    winner = "MicroNet" if result.quant_metric > ae_result.quant_metric else "FC-AE"
+    print(f"\n{winner} wins on AUC "
+          f"({result.quant_metric:.3f} vs {ae_result.quant_metric:.3f}) — "
+          "the paper finds the self-supervised classifier far ahead "
+          "(95-97% vs 84.8% AUC).")
+
+
+if __name__ == "__main__":
+    main()

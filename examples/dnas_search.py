@@ -1,0 +1,68 @@
+"""Differentiable NAS: discover a KWS model for a specific microcontroller.
+
+The paper's core workflow (§5): define a DS-CNN supernet, derive resource
+budgets from the target MCU (eFlash → model size, SRAM → working memory,
+latency target → op count via the §3 linear proxy), search by gradient
+descent, then verify the extracted architecture actually deploys.
+
+Run:  python examples/dnas_search.py [device] [latency_target_s]
+e.g.  python examples/dnas_search.py STM32F446RE 0.1
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.datasets import make_kws_dataset
+from repro.hw import get_device
+from repro.models.spec import arch_workload, export_graph
+from repro.nas import SearchConfig, budgets_for_device, search
+from repro.nas.backbones import micronet_kws_supernet
+from repro.runtime.deploy import deployment_report
+from repro.utils.scale import resolve_scale
+
+
+def main() -> None:
+    device = get_device(sys.argv[1] if len(sys.argv) > 1 else "STM32F446RE")
+    latency_target = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+    scale = resolve_scale()
+
+    print(f"target: {device.name} ({device.sram_bytes//1024}KB SRAM, "
+          f"{device.eflash_bytes//1024}KB flash), latency <= {latency_target}s")
+
+    budget = budgets_for_device(device, latency_target_s=latency_target)
+    print(f"budgets: params<={budget.params:,.0f}  "
+          f"activations<={budget.activation_bytes:,.0f}B  ops<={budget.ops:,.0f}")
+
+    train = make_kws_dataset(720 if scale.name == "ci" else 8000, rng=0)
+    supernet = micronet_kws_supernet(scale, rng=0)
+    config = SearchConfig(epochs=8 if scale.name == "ci" else 100, warmup_epochs=2)
+
+    print(f"\nsearching ({config.epochs} epochs, "
+          f"{len(supernet.decisions())} decision nodes)...")
+    outcome = search(supernet, train.features, train.labels, budget, config, rng=0,
+                     arch_name=f"DNAS-KWS-{device.size_class}")
+
+    print(f"\ndiscovered architecture ({outcome.arch.name}):")
+    for layer in outcome.arch.layers:
+        print(f"  {layer}")
+    workload = arch_workload(outcome.arch)
+    print(f"\nexpected by search: params={outcome.expected_params:,.0f} "
+          f"ops={outcome.expected_ops:,.0f} mem={outcome.expected_memory_bytes:,.0f}B")
+    print(f"actual (extracted): params={workload.params:,} ops={workload.ops:,}")
+
+    graph = export_graph(outcome.arch, bits=8)
+    report = deployment_report(graph, device)
+    print(f"\ndeploys on {device.name}: {report.deployable}")
+    if report.deployable:
+        print(f"  SRAM  {report.memory.total_sram/1024:.0f} KB "
+              f"(margin {report.sram_margin_bytes/1024:.0f} KB)")
+        print(f"  flash {report.memory.total_flash/1024:.0f} KB "
+              f"(margin {report.flash_margin_bytes/1024:.0f} KB)")
+        print(f"  latency {report.latency_s*1e3:.0f} ms "
+              f"({'meets' if report.latency_s <= latency_target else 'misses'} "
+              f"the {latency_target}s target)")
+
+
+if __name__ == "__main__":
+    main()

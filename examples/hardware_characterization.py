@@ -1,0 +1,64 @@
+"""Reproduce the paper's hardware characterization (§3) on the MCU model.
+
+Samples hundreds of random models from two supernet backbones, times them
+on the simulated boards, and prints the §3 findings:
+
+* per-layer latency is noisy in op count (layer-kind spread, the
+  channels-divisible-by-4 fast path);
+* whole-model latency is linear in ops with a backbone-specific slope;
+* power is a device constant, so energy is linear in ops too — and the
+  smallest MCU wins on energy per inference.
+
+Run:  python examples/hardware_characterization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw import EnergyModel, LatencyModel, MEDIUM, SMALL, LARGE
+from repro.hw.characterize import channel_sweep_conv, random_layer_corpus, sample_models
+from repro.hw.latency import fit_linear_latency
+
+
+def main() -> None:
+    print("=== layer-level view (Figure 3) ===")
+    model = LatencyModel(LARGE)
+    corpus = random_layer_corpus(rng=0, count=200)
+    for kind in ("conv2d", "depthwise_conv2d", "dense"):
+        rates = [
+            model.layer_latency(l).ops_per_second / 1e6
+            for l in corpus
+            if l.kind == kind
+        ]
+        print(f"{kind:18s} median {np.median(rates):6.1f} Mops/s "
+              f"(p10 {np.percentile(rates, 10):5.1f}, p90 {np.percentile(rates, 90):6.1f})")
+    t138 = model.layer_latency(channel_sweep_conv(138)).seconds
+    t140 = model.layer_latency(channel_sweep_conv(140)).seconds
+    print(f"conv 138/138 vs 140/140 channels: {t138*1e3:.0f} ms vs {t140*1e3:.0f} ms "
+          f"-> the *larger* layer is {t138/t140:.2f}x faster (CMSIS-NN fast path)")
+
+    print("\n=== model-level view (Figure 4) ===")
+    for device in (SMALL, MEDIUM):
+        latency_model = LatencyModel(device)
+        for backbone in ("cifar10", "kws"):
+            models = sample_models(backbone, 200, rng=1)
+            fit = fit_linear_latency(models, latency_model)
+            print(f"{device.name} / {backbone:8s}: r^2={fit.r_squared:.4f} "
+                  f"throughput={fit.throughput_mops:6.1f} Mops/s")
+
+    print("\n=== energy view (Figure 5) ===")
+    models = sample_models("cifar10", 400, rng=2)
+    for device in (SMALL, MEDIUM):
+        em = EnergyModel(device)
+        powers = np.array([em.power(m) for m in models])
+        energies = np.array([em.energy(m).energy_mj for m in models])
+        print(f"{device.name}: power {powers.mean()*1e3:5.1f} mW "
+              f"(CV {powers.std()/powers.mean():.4f}), "
+              f"mean energy {energies.mean():6.1f} mJ/inference")
+    print("\nops is a viable proxy for both latency and energy -> DNAS can "
+          "regularize on op count (the paper's key enabling observation).")
+
+
+if __name__ == "__main__":
+    main()

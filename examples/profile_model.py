@@ -1,0 +1,51 @@
+"""Profile a model: where do the milliseconds and kilobytes go?
+
+The MCU developer's first two questions about any model, answered with the
+library's profiler and memory visualizer:
+
+* per-layer latency breakdown (which layers dominate, at what throughput);
+* Figure-2-style SRAM/eFlash occupancy bars and the arena packing timeline.
+
+Run:  python examples/profile_model.py [model] [device]
+e.g.  python examples/profile_model.py MicroNet-KWS-M STM32F746ZG
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.hw import get_device
+from repro.hw.profiler import profile_model
+from repro.models import dscnn, micronets
+from repro.models.spec import arch_workload, export_graph
+from repro.runtime.visualize import render_arena_timeline, render_memory_map
+
+MODELS = {
+    "MicroNet-KWS-S": micronets.micronet_kws_s,
+    "MicroNet-KWS-M": micronets.micronet_kws_m,
+    "MicroNet-KWS-L": micronets.micronet_kws_l,
+    "MicroNet-AD-S": micronets.micronet_ad_s,
+    "MicroNet-VWW-S": micronets.micronet_vww_s,
+    "DSCNN-S": dscnn.dscnn_s,
+    "DSCNN-L": dscnn.dscnn_l,
+}
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "MicroNet-KWS-S"
+    device = get_device(sys.argv[2] if len(sys.argv) > 2 else "STM32F446RE")
+    if model_name not in MODELS:
+        print(f"unknown model {model_name!r}; choose from {sorted(MODELS)}")
+        raise SystemExit(2)
+
+    arch = MODELS[model_name]()
+    print(profile_model(arch_workload(arch), device).render())
+    print()
+    graph = export_graph(arch, bits=8)
+    print(render_memory_map(graph, device))
+    print()
+    print(render_arena_timeline(graph))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""MicroNets reproduction: DNAS for TinyML on commodity microcontrollers.
+
+A full-stack, from-scratch reproduction of *MicroNets: Neural Network
+Architectures for Deploying TinyML Applications on Commodity
+Microcontrollers* (Banbury, Zhou, Fedorov et al., MLSys 2021), built on
+numpy. The physical pieces of the paper — STM32 boards, TFLM, TensorFlow,
+the TinyMLPerf datasets — are replaced by calibrated simulations; see
+DESIGN.md for the substitution table.
+
+Quick tour
+----------
+>>> from repro.models import micronets
+>>> from repro.models.spec import export_graph
+>>> from repro.runtime.deploy import deployment_report
+>>> from repro.hw import get_device
+>>> graph = export_graph(micronets.micronet_kws_s(), bits=8)
+>>> report = deployment_report(graph, get_device("STM32F446RE"))
+>>> report.deployable
+True
+
+Packages
+--------
+``repro.tensor``        reverse-mode autodiff over numpy (NHWC layout)
+``repro.nn``            layers, losses, optimizers, schedules, metrics
+``repro.quantization``  int8/int4 QAT and integer inference kernels
+``repro.audio``         MFCC / log-mel front end
+``repro.datasets``      synthetic VWW / Speech-Commands / MIMII generators
+``repro.hw``            MCU device registry + latency/energy models
+``repro.runtime``       TFLM-style graph, planner, serializer, interpreter
+``repro.models``        MicroNets, DS-CNN, MobileNetV2, AE baselines
+``repro.nas``           differentiable architecture search (the core)
+``repro.tasks``         end-to-end train/deploy/evaluate pipelines
+``repro.experiments``   one module per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    DatasetError,
+    DeploymentError,
+    GraphError,
+    QuantizationError,
+    ReproError,
+    SearchError,
+    ShapeError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ShapeError",
+    "GraphError",
+    "DeploymentError",
+    "QuantizationError",
+    "SearchError",
+    "DatasetError",
+]

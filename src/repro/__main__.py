@@ -1,0 +1,91 @@
+"""Command-line entry point: run paper experiments by id.
+
+Usage::
+
+    python -m repro list                      # enumerate experiments
+    python -m repro run fig4                  # run one, print its table
+    python -m repro run table3 --scale paper  # full-size run
+    python -m repro run all                   # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Dict, List
+
+from repro.experiments import format_table, save_result
+from repro.utils.scale import resolve_scale
+
+#: experiment id → (module, description). Ablations with sub-parts expose
+#: their combined ``run`` where available.
+EXPERIMENTS: Dict[str, str] = {
+    "table1": "repro.experiments.table1_devices",
+    "fig2": "repro.experiments.fig2_memory_map",
+    "fig3": "repro.experiments.fig3_layer_latency",
+    "fig4": "repro.experiments.fig4_model_latency",
+    "fig5": "repro.experiments.fig5_energy",
+    "fig6": "repro.experiments.fig6_vww_archs",
+    "fig7": "repro.experiments.fig7_kws_pareto",
+    "fig8": "repro.experiments.fig8_vww_pareto",
+    "fig9": "repro.experiments.fig9_power_trace",
+    "table2": "repro.experiments.table2_kws_4bit",
+    "table3": "repro.experiments.table3_anomaly",
+    "table4": "repro.experiments.table4_full_results",
+    "ablation_search": "repro.experiments.ablation_search_methods",
+    "ablation_runtime": "repro.experiments.ablation_runtime",
+    "ablation_mixed": "repro.experiments.ablation_mixed_precision",
+    "ablations": "repro.experiments.ablations",
+}
+
+#: Experiments that train models (minutes at CI scale, hours at paper scale).
+HEAVY = {"fig6", "fig7", "fig8", "table2", "table3", "ablation_search", "ablation_mixed", "ablations"}
+
+
+def _run_one(experiment_id: str, scale, seed: int, save: bool) -> int:
+    module = importlib.import_module(EXPERIMENTS[experiment_id])
+    outcome = module.run(scale=scale, rng=seed)
+    results = outcome if isinstance(outcome, list) else [outcome]
+    for result in results:
+        print(format_table(result))
+        print()
+        if save:
+            path = save_result(result)
+            print(f"saved -> {path}\n")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MicroNets reproduction — regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run an experiment by id")
+    run_parser.add_argument("experiment", help="experiment id, or 'all'")
+    run_parser.add_argument("--scale", default=None, choices=["ci", "paper"])
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--no-save", action="store_true", help="do not archive results")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id, module in EXPERIMENTS.items():
+            tag = " [heavy]" if experiment_id in HEAVY else ""
+            print(f"{experiment_id:18s} {module}{tag}")
+        return 0
+
+    scale = resolve_scale(args.scale)
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'python -m repro list'", file=sys.stderr)
+        return 2
+    for target in targets:
+        _run_one(target, scale, args.seed, save=not args.no_save)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Audio feature extraction front end.
+
+The KWS and AD tasks consume spectro-temporal features, not raw audio:
+MFCCs for keyword spotting (40 ms frames, 20 ms stride, 10 coefficients →
+49×10 inputs) and log-mel spectrograms for anomaly detection (64 ms frames,
+32 ms stride, 64 mel bins, stacked 64 frames → bilinear-downsampled to
+32×32). This package implements the complete pipeline from waveform to
+model input: framing, windowing, STFT power spectra, mel filterbanks,
+log compression, DCT-II cepstra, and bilinear resampling.
+"""
+
+from repro.audio.dsp import frame_signal, hann_window, power_spectrum
+from repro.audio.mel import hz_to_mel, mel_to_hz, mel_filterbank
+from repro.audio.features import (
+    log_mel_spectrogram,
+    mfcc,
+    bilinear_downsample,
+    FeatureConfig,
+    KWS_FEATURE_CONFIG,
+    AD_FEATURE_CONFIG,
+)
+
+__all__ = [
+    "frame_signal",
+    "hann_window",
+    "power_spectrum",
+    "hz_to_mel",
+    "mel_to_hz",
+    "mel_filterbank",
+    "log_mel_spectrogram",
+    "mfcc",
+    "bilinear_downsample",
+    "FeatureConfig",
+    "KWS_FEATURE_CONFIG",
+    "AD_FEATURE_CONFIG",
+]

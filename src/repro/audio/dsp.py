@@ -1,0 +1,47 @@
+"""Basic signal processing: framing, windows, spectra."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.fft
+
+from repro.errors import DatasetError
+
+
+def frame_signal(signal: np.ndarray, frame_length: int, hop_length: int) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames → (num_frames, frame_length).
+
+    Frames that would run past the end of the signal are dropped (no
+    padding), matching the paper's 49-frames-per-second arithmetic for KWS.
+    """
+    signal = np.asarray(signal, dtype=np.float32)
+    if signal.ndim != 1:
+        raise DatasetError(f"frame_signal expects 1-D audio, got shape {signal.shape}")
+    if frame_length <= 0 or hop_length <= 0:
+        raise DatasetError("frame and hop lengths must be positive")
+    if len(signal) < frame_length:
+        raise DatasetError(
+            f"signal of {len(signal)} samples shorter than frame length {frame_length}"
+        )
+    num_frames = 1 + (len(signal) - frame_length) // hop_length
+    # Zero-copy strided view, then copy once into a contiguous array.
+    stride = signal.strides[0]
+    frames = np.lib.stride_tricks.as_strided(
+        signal,
+        shape=(num_frames, frame_length),
+        strides=(hop_length * stride, stride),
+    )
+    return np.ascontiguousarray(frames)
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Periodic Hann window (the STFT convention)."""
+    return (0.5 - 0.5 * np.cos(2.0 * np.pi * np.arange(length) / length)).astype(np.float32)
+
+
+def power_spectrum(frames: np.ndarray, n_fft: int) -> np.ndarray:
+    """Windowed FFT power spectrum of framed audio → (num_frames, n_fft//2+1)."""
+    frames = np.asarray(frames, dtype=np.float32)
+    window = hann_window(frames.shape[-1])
+    spectrum = scipy.fft.rfft(frames * window, n=n_fft, axis=-1)
+    return (np.abs(spectrum) ** 2).astype(np.float32)

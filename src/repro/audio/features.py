@@ -1,0 +1,81 @@
+"""High-level feature pipelines: log-mel spectrograms and MFCCs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.fft
+
+from repro.audio.dsp import frame_signal, power_spectrum
+from repro.audio.mel import mel_filterbank
+
+#: Floor applied before the log to avoid -inf on silent frames.
+LOG_FLOOR = 1e-6
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Front-end configuration for one audio task."""
+
+    sample_rate: int
+    frame_ms: float
+    hop_ms: float
+    num_mels: int
+    num_mfcc: int = 0  # 0 → log-mel features, no DCT
+
+    @property
+    def frame_length(self) -> int:
+        return int(self.sample_rate * self.frame_ms / 1000.0)
+
+    @property
+    def hop_length(self) -> int:
+        return int(self.sample_rate * self.hop_ms / 1000.0)
+
+    @property
+    def n_fft(self) -> int:
+        n = 1
+        while n < self.frame_length:
+            n *= 2
+        return n
+
+
+#: KWS (paper §4.2): 40 ms frames, 20 ms stride, 10 MFCCs → 49×10 for 1 s.
+KWS_FEATURE_CONFIG = FeatureConfig(sample_rate=8000, frame_ms=40, hop_ms=20, num_mels=40, num_mfcc=10)
+
+#: AD (paper §4.3): 64 ms frames, 32 ms stride, 64 log-mel bins.
+AD_FEATURE_CONFIG = FeatureConfig(sample_rate=8000, frame_ms=64, hop_ms=32, num_mels=64)
+
+
+def log_mel_spectrogram(signal: np.ndarray, config: FeatureConfig) -> np.ndarray:
+    """Waveform → (num_frames, num_mels) log-mel features."""
+    frames = frame_signal(signal, config.frame_length, config.hop_length)
+    spectrum = power_spectrum(frames, config.n_fft)
+    bank = mel_filterbank(config.num_mels, config.n_fft, config.sample_rate)
+    mel_energy = spectrum @ bank
+    return np.log(np.maximum(mel_energy, LOG_FLOOR)).astype(np.float32)
+
+
+def mfcc(signal: np.ndarray, config: FeatureConfig) -> np.ndarray:
+    """Waveform → (num_frames, num_mfcc) cepstral coefficients (DCT-II)."""
+    log_mel = log_mel_spectrogram(signal, config)
+    cepstra = scipy.fft.dct(log_mel, type=2, axis=-1, norm="ortho")
+    return cepstra[:, : config.num_mfcc].astype(np.float32)
+
+
+def bilinear_downsample(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinear image resize (align_corners=False), used to shrink AD
+    spectrogram patches from 64×64 to 32×32 (paper §4.3)."""
+    image = np.asarray(image, dtype=np.float32)
+    h, w = image.shape[:2]
+    ys = np.clip((np.arange(out_h) + 0.5) * h / out_h - 0.5, 0, h - 1)
+    xs = np.clip((np.arange(out_w) + 0.5) * w / out_w - 0.5, 0, w - 1)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0).astype(np.float32)[:, None]
+    wx = (xs - x0).astype(np.float32)[None, :]
+    top = image[np.ix_(y0, x0)] * (1 - wx) + image[np.ix_(y0, x1)] * wx
+    bottom = image[np.ix_(y1, x0)] * (1 - wx) + image[np.ix_(y1, x1)] * wx
+    return (top * (1 - wy) + bottom * wy).astype(np.float32)

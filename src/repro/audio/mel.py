@@ -1,0 +1,55 @@
+"""Mel scale conversions and triangular filterbanks (HTK convention)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def hz_to_mel(hz):
+    """Hertz → mel (HTK formula)."""
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel):
+    """Mel → hertz (HTK formula)."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_mels: int,
+    n_fft: int,
+    sample_rate: float,
+    fmin: float = 20.0,
+    fmax: float = None,
+) -> np.ndarray:
+    """Triangular mel filterbank → (n_fft//2 + 1, num_mels).
+
+    Filters are normalized so each triangle peaks at 1; consecutive filters
+    sum to 1 across the interior band (a partition of unity), which the
+    property-based tests verify.
+    """
+    fmax = fmax if fmax is not None else sample_rate / 2.0
+    if fmin >= fmax:
+        raise DatasetError(f"fmin {fmin} must be below fmax {fmax}")
+    if num_mels < 2:
+        raise DatasetError("need at least 2 mel bands")
+
+    mel_points = np.linspace(hz_to_mel(fmin), hz_to_mel(fmax), num_mels + 2)
+    hz_points = mel_to_hz(mel_points)
+    bins = np.floor((n_fft + 1) * hz_points / sample_rate).astype(int)
+    bins = np.clip(bins, 0, n_fft // 2)
+
+    bank = np.zeros((n_fft // 2 + 1, num_mels), dtype=np.float32)
+    for m in range(num_mels):
+        left, center, right = bins[m], bins[m + 1], bins[m + 2]
+        if center == left:
+            center += 1
+        if right == center:
+            right += 1
+        rising = np.arange(left, center)
+        bank[rising, m] = (rising - left) / (center - left)
+        falling = np.arange(center, min(right, n_fft // 2 + 1))
+        bank[falling, m] = 1.0 - (falling - center) / (right - center)
+    return bank

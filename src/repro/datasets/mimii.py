@@ -1,0 +1,142 @@
+"""Synthetic MIMII slide-rail machine-sound data for anomaly detection.
+
+Four machine IDs, each with a characteristic hum: a base rotation frequency
+and a stable harmonic amplitude signature. Normal clips are the hum plus
+broadband floor noise; anomalous clips perturb the machine sound in one of
+three ways observed in real slide-rail failures:
+
+* ``rattle`` — periodic broadband impact bursts;
+* ``detune`` — the base frequency drifts a few percent;
+* ``dropout`` — a harmonic disappears (bearing/belt fault).
+
+Training data contains **only normal clips** (unsupervised setting); the
+self-supervised task classifies machine ID, and anomaly scores derive from
+the classifier's confidence (paper §4.3). Features: 64-bin log-mel frames
+(64 ms window, 32 ms hop), 64 frames stacked into a 64×64 patch, bilinear
+downsampled to 32×32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.audio.features import AD_FEATURE_CONFIG, FeatureConfig, bilinear_downsample, log_mel_spectrogram
+from repro.errors import DatasetError
+from repro.utils.rng import RngLike, new_rng
+
+NUM_MACHINES = 4
+ANOMALY_KINDS = ("rattle", "detune", "dropout")
+
+#: Final CNN input resolution (paper §4.3 downsamples 64×64 → 32×32).
+PATCH_SIZE = 32
+
+
+@dataclass(frozen=True)
+class ADDataset:
+    """AD data: patches (N, 32, 32, 1), machine ids, anomaly labels.
+
+    ``anomaly`` is 1 for anomalous clips (only ever present in test splits).
+    """
+
+    patches: np.ndarray
+    machine_ids: np.ndarray
+    anomaly: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.machine_ids)
+
+
+def _machine_signature(machine_id: int) -> Tuple[float, np.ndarray]:
+    """Deterministic (base_freq, harmonic_amplitudes) for a machine ID."""
+    rng = np.random.default_rng(7000 + machine_id)
+    base = rng.uniform(50.0, 110.0) * (1.0 + 0.35 * machine_id)
+    harmonics = rng.uniform(0.2, 1.0, size=8)
+    harmonics[0] = 1.0
+    return float(base), harmonics.astype(np.float32)
+
+
+def _synthesize_clip(
+    machine_id: int,
+    rng: np.random.Generator,
+    config: FeatureConfig,
+    duration_s: float,
+    anomaly_kind: Optional[str],
+) -> np.ndarray:
+    sr = config.sample_rate
+    n = int(sr * duration_s)
+    t = np.arange(n, dtype=np.float32) / sr
+    base, harmonics = _machine_signature(machine_id)
+
+    base = base * rng.uniform(0.99, 1.01)  # small operating-point variation
+    if anomaly_kind == "detune":
+        base *= rng.uniform(1.06, 1.12) if rng.random() < 0.5 else rng.uniform(0.88, 0.94)
+
+    amps = harmonics.copy()
+    if anomaly_kind == "dropout":
+        amps[int(rng.integers(1, len(amps)))] = 0.0
+
+    signal = np.zeros(n, dtype=np.float32)
+    for k, amp in enumerate(amps, start=1):
+        phase = rng.uniform(0, 2 * np.pi)
+        signal += amp * np.sin(2 * np.pi * base * k * t + phase)
+    signal *= rng.uniform(0.8, 1.2) / len(amps)
+
+    # Broadband floor noise (factory ambience).
+    signal += 0.05 * rng.normal(0.0, 1.0, size=n).astype(np.float32)
+
+    if anomaly_kind == "rattle":
+        burst_rate = rng.uniform(4.0, 9.0)  # impacts per second
+        burst_phase = rng.uniform(0, 1.0)
+        gate = (np.sin(2 * np.pi * burst_rate * t + burst_phase) > 0.93).astype(np.float32)
+        signal += 0.6 * gate * rng.normal(0.0, 1.0, size=n).astype(np.float32)
+    return signal
+
+
+def _clip_to_patch(signal: np.ndarray, config: FeatureConfig) -> np.ndarray:
+    """Waveform → 64×64 log-mel patch → 32×32 bilinear-downsampled input."""
+    log_mel = log_mel_spectrogram(signal, config)
+    if log_mel.shape[0] < 64:
+        raise DatasetError(f"clip too short: {log_mel.shape[0]} frames < 64")
+    patch = log_mel[:64, :64]
+    return bilinear_downsample(patch, PATCH_SIZE, PATCH_SIZE)
+
+
+def make_ad_dataset(
+    num_train: int,
+    num_test: int,
+    rng: RngLike = 0,
+    config: FeatureConfig = AD_FEATURE_CONFIG,
+    anomaly_fraction: float = 0.5,
+    clip_duration_s: float = 2.2,
+) -> Tuple[ADDataset, ADDataset]:
+    """Generate (train, test) AD splits.
+
+    The train split is all-normal (unsupervised setting); the test split
+    mixes normal and anomalous clips of every machine.
+    """
+    rng = new_rng(rng)
+
+    def build(num: int, with_anomalies: bool) -> ADDataset:
+        patches = np.empty((num, PATCH_SIZE, PATCH_SIZE, 1), dtype=np.float32)
+        machine_ids = (np.arange(num) % NUM_MACHINES).astype(np.int64)
+        anomaly = np.zeros(num, dtype=np.int64)
+        if with_anomalies:
+            anomaly[: int(round(num * anomaly_fraction))] = 1
+            rng.shuffle(anomaly)
+        for i in range(num):
+            kind = str(rng.choice(ANOMALY_KINDS)) if anomaly[i] else None
+            clip = _synthesize_clip(int(machine_ids[i]), rng, config, clip_duration_s, kind)
+            patches[i, :, :, 0] = _clip_to_patch(clip, config)
+        perm = rng.permutation(num)
+        return ADDataset(patches=patches[perm], machine_ids=machine_ids[perm], anomaly=anomaly[perm])
+
+    train = build(num_train, with_anomalies=False)
+    test = build(num_test, with_anomalies=True)
+    # Standardize with training statistics only (no test leakage).
+    mean, std = train.patches.mean(), train.patches.std() + 1e-6
+    train.patches[:] = (train.patches - mean) / std
+    test.patches[:] = (test.patches - mean) / std
+    return train, test

@@ -1,0 +1,138 @@
+"""Synthetic Visual Wake Words: person / no-person image classification.
+
+Each image is a smooth procedural background (low-frequency noise plus a
+horizon gradient). Positive images contain a "person": an articulated
+vertical figure (head + torso + legs) whose area is at least 0.5% of the
+frame, per the VWW labeling rule. Negative images may contain distractor
+objects (boxes, horizontal blobs) with similar intensity statistics, so the
+classifier must learn shape, not brightness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import RngLike, new_rng
+
+#: VWW labeling rule: person must occupy at least this fraction of the frame.
+MIN_PERSON_AREA_FRACTION = 0.005
+
+
+@dataclass(frozen=True)
+class VWWDataset:
+    """Images in [0, 1], shape (N, H, W, 1); labels 1 = person present."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def _background(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Smooth background: blurred noise + vertical gradient."""
+    coarse = rng.normal(0.5, 0.2, size=(size // 4 + 1, size // 4 + 1))
+    # Bilinear upsample of coarse noise → low-frequency texture.
+    ys = np.linspace(0, coarse.shape[0] - 1.001, size)
+    xs = np.linspace(0, coarse.shape[1] - 1.001, size)
+    y0, x0 = ys.astype(int), xs.astype(int)
+    wy, wx = (ys - y0)[:, None], (xs - x0)[None, :]
+    tex = (
+        coarse[np.ix_(y0, x0)] * (1 - wy) * (1 - wx)
+        + coarse[np.ix_(y0, x0 + 1)] * (1 - wy) * wx
+        + coarse[np.ix_(y0 + 1, x0)] * wy * (1 - wx)
+        + coarse[np.ix_(y0 + 1, x0 + 1)] * wy * wx
+    )
+    gradient = np.linspace(0.15, -0.15, size)[:, None]
+    return tex + gradient
+
+
+def _draw_person(rng: np.random.Generator, image: np.ndarray) -> None:
+    """Draw an articulated vertical figure covering ≥0.5% of the frame."""
+    size = image.shape[0]
+    min_area = MIN_PERSON_AREA_FRACTION * size * size
+    # Height between ~18% and 60% of the frame, aspect ratio ~1:3.
+    height = rng.uniform(0.18, 0.6) * size
+    width = height / 3.0
+    if height * width < min_area:
+        height = np.sqrt(3 * min_area)
+        width = height / 3.0
+    cy = rng.uniform(height / 2, size - height / 2)
+    cx = rng.uniform(width / 2, size - width / 2)
+    intensity = rng.choice([-0.55, 0.55]) * rng.uniform(0.8, 1.2)
+
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float32)
+    head_r = height * 0.14
+    head_cy = cy - height / 2 + head_r
+    head = ((yy - head_cy) ** 2 + (xx - cx) ** 2) <= head_r**2
+    torso = (
+        (np.abs(xx - cx) <= width / 2)
+        & (yy >= head_cy + head_r * 0.8)
+        & (yy <= cy + height * 0.15)
+    )
+    leg_width = width * 0.3
+    leg_split = rng.uniform(0.15, 0.3) * width
+    legs = (
+        (yy > cy + height * 0.15)
+        & (yy <= cy + height / 2)
+        & (
+            (np.abs(xx - (cx - leg_split)) <= leg_width)
+            | (np.abs(xx - (cx + leg_split)) <= leg_width)
+        )
+    )
+    image[head | torso | legs] += intensity
+
+
+def _draw_distractor(rng: np.random.Generator, image: np.ndarray) -> None:
+    """Draw a non-person object: a horizontal blob or a box."""
+    size = image.shape[0]
+    intensity = rng.choice([-0.55, 0.55]) * rng.uniform(0.8, 1.2)
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float32)
+    cy = rng.uniform(0.2, 0.8) * size
+    cx = rng.uniform(0.2, 0.8) * size
+    if rng.random() < 0.5:
+        # Horizontal ellipse (e.g. a car / log) — wrong aspect for a person.
+        a = rng.uniform(0.15, 0.3) * size
+        b = a / rng.uniform(2.5, 4.0)
+        mask = ((yy - cy) / b) ** 2 + ((xx - cx) / a) ** 2 <= 1.0
+    else:
+        # Axis-aligned box.
+        h = rng.uniform(0.1, 0.25) * size
+        w = h * rng.uniform(0.8, 1.2)
+        mask = (np.abs(yy - cy) <= h / 2) & (np.abs(xx - cx) <= w / 2)
+    image[mask] += intensity
+
+
+def make_vww_dataset(
+    num_samples: int, image_size: int = 50, rng: RngLike = 0
+) -> VWWDataset:
+    """Generate a balanced synthetic VWW dataset.
+
+    Parameters
+    ----------
+    num_samples: total images (half positive, half negative).
+    image_size: square image side; the paper uses 50 (small MCU target) and
+        160 (medium target).
+    """
+    if num_samples < 2:
+        raise DatasetError("need at least 2 samples")
+    rng = new_rng(rng)
+    images = np.empty((num_samples, image_size, image_size, 1), dtype=np.float32)
+    labels = (np.arange(num_samples) % 2).astype(np.int64)
+    for i in range(num_samples):
+        img = _background(rng, image_size)
+        if labels[i] == 1:
+            _draw_person(rng, img)
+            if rng.random() < 0.3:
+                _draw_distractor(rng, img)
+        else:
+            if rng.random() < 0.7:
+                _draw_distractor(rng, img)
+        img += rng.normal(0.0, 0.03, size=img.shape)  # sensor noise
+        images[i, :, :, 0] = np.clip(img, 0.0, 1.0)
+    perm = rng.permutation(num_samples)
+    return VWWDataset(images=images[perm], labels=labels[perm])

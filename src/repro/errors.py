@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """An operation received tensors with incompatible shapes."""
+
+
+class GraphError(ReproError):
+    """A runtime graph is malformed (cycles, dangling tensors, bad refs)."""
+
+
+class DeploymentError(ReproError):
+    """A model cannot be deployed on the requested device."""
+
+
+class QuantizationError(ReproError):
+    """Invalid quantization parameters or unsupported bit width."""
+
+
+class SearchError(ReproError):
+    """Differentiable architecture search was configured incorrectly."""
+
+
+class DatasetError(ReproError):
+    """Synthetic dataset generation was configured incorrectly."""

@@ -1,0 +1,27 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Every module exposes ``run(scale=None, rng=0) -> ExperimentResult``. The
+result carries the rows the paper's table/figure reports; benchmarks print
+them and archive them under ``benchmarks/results/``.
+
+| module | reproduces |
+|---|---|
+| ``table1_devices``    | Table 1 — MCU hardware comparison |
+| ``fig2_memory_map``   | Figure 2 — SRAM/eFlash occupancy of a KWS model |
+| ``fig3_layer_latency``| Figure 3 — per-layer latency vs ops |
+| ``fig4_model_latency``| Figure 4 — whole-model latency linearity |
+| ``fig5_energy``       | Figure 5 — power constancy, energy vs ops |
+| ``fig6_vww_archs``    | Figure 6 — DNAS-discovered VWW architectures |
+| ``fig7_kws_pareto``   | Figure 7 — KWS accuracy/latency/memory Pareto |
+| ``fig8_vww_pareto``   | Figure 8 — VWW Pareto + deployability |
+| ``table2_kws_4bit``   | Table 2 — 4-bit KWS MicroNet |
+| ``table3_anomaly``    | Table 3 — anomaly-detection results |
+| ``table4_full_results``| Table 4 — the full results appendix |
+| ``fig9_power_trace``  | Figure 9 — duty-cycled current traces |
+| ``ablations``         | design-choice ablations (DESIGN.md §5) |
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report import format_table, save_result
+
+__all__ = ["ExperimentResult", "format_table", "save_result"]

@@ -1,0 +1,41 @@
+"""Shared experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows reproducing one paper table or figure.
+
+    Attributes
+    ----------
+    experiment_id: e.g. ``"table2"`` or ``"fig4"``.
+    title: human-readable description.
+    columns: ordered column names.
+    rows: list of dicts keyed by column name.
+    notes: free-form observations (e.g. shape checks that passed/failed).
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, key: str, value: object) -> Optional[Dict[str, object]]:
+        for row in self.rows:
+            if row.get(key) == value:
+                return row
+        return None

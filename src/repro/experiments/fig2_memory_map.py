@@ -1,0 +1,54 @@
+"""Figure 2 — SRAM and eFlash occupancy of a KWS model under the runtime.
+
+The paper shows the memory map of a KWS model deployed on the STM32F746ZG
+with TFLM: SRAM holds the activation arena, ~34 KB of persistent buffers
+and ~4 KB of interpreter state; eFlash holds the model flatbuffer and
+~37 KB of runtime code.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.hw.devices import MEDIUM
+from repro.models.micronets import micronet_kws_l
+from repro.models.spec import export_graph
+from repro.runtime import memory_report
+from repro.utils.scale import Scale
+
+
+def run(scale: Scale = None, rng: int = 0) -> ExperimentResult:
+    graph = export_graph(micronet_kws_l(), bits=8)
+    report = memory_report(graph)
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title=f"Memory map of {graph.name} on {MEDIUM.name} (paper Fig. 2)",
+        columns=["memory", "section", "kb", "percent_of_device"],
+    )
+    for section, size in report.sram_breakdown().items():
+        result.add_row(
+            memory="SRAM",
+            section=section,
+            kb=size / 1024,
+            percent_of_device=100.0 * size / MEDIUM.sram_bytes,
+        )
+    result.add_row(
+        memory="SRAM",
+        section="free",
+        kb=(MEDIUM.sram_bytes - report.total_sram) / 1024,
+        percent_of_device=100.0 * (MEDIUM.sram_bytes - report.total_sram) / MEDIUM.sram_bytes,
+    )
+    for section, size in report.flash_breakdown().items():
+        result.add_row(
+            memory="eFlash",
+            section=section,
+            kb=size / 1024,
+            percent_of_device=100.0 * size / MEDIUM.eflash_bytes,
+        )
+    result.add_row(
+        memory="eFlash",
+        section="free",
+        kb=(MEDIUM.eflash_bytes - report.total_flash) / 1024,
+        percent_of_device=100.0 * (MEDIUM.eflash_bytes - report.total_flash) / MEDIUM.eflash_bytes,
+    )
+    result.note("paper: persistent buffers 34KB, runtime 4KB SRAM / 37KB eFlash")
+    return result

@@ -1,0 +1,65 @@
+"""Figure 3 — per-layer latency vs op count on the large MCU.
+
+Reproduces the paper's observations: (a) different layer kinds show
+different throughput trends (depthwise convs are slowest per op), (b) layers
+of the same kind scatter around their trend, and (c) the CMSIS-NN conv fast
+path makes a 140/140-channel conv *faster* than a 138/138 one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.hw.characterize import channel_sweep_conv, random_layer_corpus
+from repro.hw.devices import LARGE
+from repro.hw.latency import LatencyModel
+from repro.utils.scale import Scale, resolve_scale
+
+
+def run(scale: Scale = None, rng: int = 0) -> ExperimentResult:
+    scale = scale or resolve_scale()
+    count = scale.samples(1000, floor=120)
+    corpus = random_layer_corpus(rng=rng, count=count)
+    model = LatencyModel(LARGE)
+    timings = [model.layer_latency(layer) for layer in corpus]
+
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title=f"Per-layer latency on {LARGE.name} ({count} layers, paper Fig. 3)",
+        columns=["kind", "layers", "median_mops_per_s", "p10_mops", "p90_mops"],
+    )
+    for kind in ("conv2d", "depthwise_conv2d", "dense"):
+        rates = np.array(
+            [t.ops_per_second / 1e6 for t in timings if t.workload.kind == kind]
+        )
+        result.add_row(
+            kind=kind,
+            layers=len(rates),
+            median_mops_per_s=float(np.median(rates)),
+            p10_mops=float(np.percentile(rates, 10)),
+            p90_mops=float(np.percentile(rates, 90)),
+        )
+
+    t138 = model.layer_latency(channel_sweep_conv(138)).seconds
+    t140 = model.layer_latency(channel_sweep_conv(140)).seconds
+    result.add_row(
+        kind="conv 138/138 vs 140/140",
+        layers=2,
+        median_mops_per_s=None,
+        p10_mops=None,
+        p90_mops=None,
+    )
+    result.note(
+        f"138ch {t138*1e3:.1f} ms vs 140ch {t140*1e3:.1f} ms -> {t138/t140:.2f}x slower "
+        "(paper: 37.5 ms vs 21.5 ms, 1.74x)"
+    )
+    conv = [t for t in timings if t.workload.kind == "conv2d"]
+    dw = [t for t in timings if t.workload.kind == "depthwise_conv2d"]
+    conv_med = np.median([t.ops_per_second for t in conv])
+    dw_med = np.median([t.ops_per_second for t in dw])
+    result.note(
+        f"conv2d/depthwise throughput ratio {conv_med / dw_med:.2f}x "
+        "(paper: depthwise markedly slower per op)"
+    )
+    return result

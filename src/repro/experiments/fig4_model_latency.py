@@ -1,0 +1,52 @@
+"""Figure 4 — whole-model latency is linear in op count per backbone.
+
+For models sampled from a fixed backbone, latency vs ops fits a line with
+0.95 < r² < 0.99; the two backbones give different slopes (the KWS backbone
+has ~40% higher throughput), and the F746ZG is ~2× faster than the F446RE.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.hw.characterize import sample_models
+from repro.hw.devices import MEDIUM, SMALL
+from repro.hw.latency import LatencyModel, fit_linear_latency
+from repro.utils.scale import Scale, resolve_scale
+
+
+def run(scale: Scale = None, rng: int = 0) -> ExperimentResult:
+    scale = scale or resolve_scale()
+    count = scale.samples(500, floor=100)
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title=f"Model latency vs ops, {count} random models/backbone (paper Fig. 4)",
+        columns=["device", "backbone", "models", "r_squared", "throughput_mops"],
+    )
+    fits = {}
+    for device in (SMALL, MEDIUM):
+        model = LatencyModel(device)
+        for backbone in ("cifar10", "kws"):
+            models = sample_models(backbone, count, rng=rng)
+            fit = fit_linear_latency(models, model)
+            fits[(device.name, backbone)] = fit
+            result.add_row(
+                device=device.name,
+                backbone=backbone,
+                models=count,
+                r_squared=fit.r_squared,
+                throughput_mops=fit.throughput_mops,
+            )
+
+    ratio = (
+        fits[(MEDIUM.name, "kws")].throughput_mops
+        / fits[(MEDIUM.name, "cifar10")].throughput_mops
+    )
+    speed = (
+        fits[(MEDIUM.name, "cifar10")].throughput_mops
+        / fits[(SMALL.name, "cifar10")].throughput_mops
+    )
+    result.note(f"KWS/CIFAR10 backbone throughput ratio {ratio:.2f}x (paper ~1.4x)")
+    result.note(f"{MEDIUM.name} / {SMALL.name} speed ratio {speed:.2f}x (paper ~2x)")
+    min_r2 = min(fit.r_squared for fit in fits.values())
+    result.note(f"minimum r^2 = {min_r2:.4f} (paper: 0.95 < r^2 < 0.99)")
+    return result

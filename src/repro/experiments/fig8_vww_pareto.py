@@ -1,0 +1,126 @@
+"""Figure 8 — VWW Pareto and deployability.
+
+Trains the MicroNet VWW models on the synthetic person-detection task and
+compares against the paper's external reference points (ProxylessNAS,
+MSNet, the TFLM person-detection example). The shape claims:
+
+* the MicroNet-VWW-S beats the TFLM reference accuracy on the small MCU;
+* ProxylessNAS and MSNet — although more accurate — cannot deploy on the
+  small/medium boards because their activation memory exceeds SRAM;
+* MicroNet-VWW-M is the only model in the set that deploys on the medium
+  MCU.
+
+At CI scale the medium model trains at a reduced input resolution (its
+footprints are still reported at the paper's 160×160 geometry).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult
+from repro.hw.devices import DEVICES, LARGE, MEDIUM, SMALL
+from repro.hw.latency import LatencyModel
+from repro.models import external, micronets
+from repro.models.spec import arch_workload, export_graph
+from repro.runtime import memory_report
+from repro.runtime.deploy import deployment_report
+from repro.tasks import vww
+from repro.utils.rng import RngLike, new_rng, spawn_rng
+from repro.utils.scale import Scale, resolve_scale
+
+
+def run(scale: Optional[Scale] = None, rng: RngLike = 0) -> ExperimentResult:
+    scale = scale or resolve_scale()
+    rng = new_rng(rng)
+
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="VWW Pareto and deployability (paper Fig. 8)",
+        columns=[
+            "model",
+            "accuracy_pct",
+            "flash_kb",
+            "sram_kb",
+            "fits_small",
+            "fits_medium",
+            "fits_large",
+            "source",
+        ],
+    )
+
+    # --- MicroNets: train on the synthetic task and deploy. ---
+    config = None
+    if scale.name == "ci":
+        config = vww.default_config(scale)
+        config.epochs = min(config.epochs, 6)  # keep the CI bench tractable
+    small = micronets.micronet_vww_s()
+    task_s = vww.run(small, scale=scale, rng=spawn_rng(rng, "vww-s"), config=config)
+    _add_arch_row(result, small, 100.0 * task_s.metric)
+
+    medium_full = micronets.micronet_vww_m()  # 160x160 footprint geometry
+    if scale.name == "paper":
+        task_m = vww.run(medium_full, scale=scale, rng=spawn_rng(rng, "vww-m"))
+        acc_m = 100.0 * task_m.metric
+    else:
+        # Train a reduced-resolution variant for accuracy; footprints below
+        # still use the full 160x160 geometry.
+        proxy = micronets.micronet_vww_m(input_size=64)
+        task_m = vww.run(proxy, scale=scale, rng=spawn_rng(rng, "vww-m"), config=config)
+        acc_m = 100.0 * task_m.metric
+        result.note("CI scale: VWW-M accuracy trained at 64x64 input (footprints at 160x160)")
+    _add_arch_row(result, medium_full, acc_m)
+
+    # --- External reference points (paper-reported numbers). ---
+    for ref in (external.PROXYLESSNAS_VWW, external.MSNET_VWW, external.TFLM_PERSON_DETECTION):
+        fits = ref.deployability()
+        result.add_row(
+            model=ref.name,
+            accuracy_pct=ref.accuracy,
+            flash_kb=ref.flash_bytes / 1024,
+            sram_kb=ref.sram_bytes / 1024,
+            fits_small=fits[SMALL.name],
+            fits_medium=fits[MEDIUM.name],
+            fits_large=fits[LARGE.name],
+            source="paper-reported",
+        )
+
+    _check_shape(result)
+    return result
+
+
+def _add_arch_row(result: ExperimentResult, arch, accuracy_pct: float) -> None:
+    graph = export_graph(arch, bits=8)
+    memory = memory_report(graph)
+    result.add_row(
+        model=arch.name,
+        accuracy_pct=accuracy_pct,
+        flash_kb=memory.model_flash_bytes / 1024,
+        sram_kb=memory.total_sram / 1024,
+        fits_small=deployment_report(graph, SMALL).deployable,
+        fits_medium=deployment_report(graph, MEDIUM).deployable,
+        fits_large=deployment_report(graph, LARGE).deployable,
+        source="trained+measured",
+    )
+
+
+def _check_shape(result: ExperimentResult) -> None:
+    proxyless = result.row_by("model", "ProxylessNAS")
+    msnet = result.row_by("model", "MSNet")
+    tflm = result.row_by("model", "TFLM-PersonDetection")
+    mn_s = result.row_by("model", "MicroNet-VWW-S")
+    mn_m = result.row_by("model", "MicroNet-VWW-M")
+    if not (proxyless["fits_small"] or proxyless["fits_medium"]) and proxyless["fits_large"]:
+        result.note("ProxylessNAS: SRAM-bound to the large MCU (matches paper)")
+    if not msnet["fits_small"] and msnet["fits_large"]:
+        result.note("MSNet: SRAM-bound to the large MCU (matches paper)")
+    if mn_s["fits_small"] and tflm["fits_small"]:
+        result.note(
+            "small-MCU deployables: MicroNet-VWW-S vs TFLM reference -> "
+            f"{mn_s['accuracy_pct']:.1f}% vs {tflm['accuracy_pct']:.1f}% "
+            "(paper: MicroNet +3.1% over the 76% reference)"
+        )
+    if mn_m["fits_medium"] and not any(
+        r["fits_medium"] for r in result.rows if r["source"] == "paper-reported"
+    ):
+        result.note("MicroNet-VWW-M is the only model deployable on the medium MCU (paper's claim)")

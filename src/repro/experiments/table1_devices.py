@@ -1,0 +1,28 @@
+"""Table 1 — hardware comparison of the target MCUs."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.hw.devices import DEVICES
+from repro.utils.scale import Scale
+
+
+def run(scale: Scale = None, rng: int = 0) -> ExperimentResult:
+    """Dump the device registry in Table 1's format."""
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="TinyML hardware targets (paper Table 1)",
+        columns=["platform", "core", "clock_mhz", "sram_kb", "eflash_kb", "power_w", "price_usd"],
+    )
+    for device in DEVICES.values():
+        result.add_row(
+            platform=device.name,
+            core=device.core,
+            clock_mhz=device.clock_hz / 1e6,
+            sram_kb=device.sram_bytes / 1024,
+            eflash_kb=device.eflash_bytes / 1024,
+            power_w=device.active_power_w,
+            price_usd=device.price_usd,
+        )
+    result.note("paper: 128KB/0.5MB @ $3, 320KB/1MB @ $5, 512KB/2MB @ $8")
+    return result

@@ -1,0 +1,160 @@
+"""Table 3 — anomaly detection results.
+
+Self-supervised MicroNet-AD classifiers against the DCASE auto-encoder
+baselines and external reference models. The shape claims:
+
+* MicroNet-AD models hold the top AUCs; the FC-AE baseline is tiny and
+  fast but far less accurate; scaling it up ("wide") exceeds every MCU's
+  flash before becoming competitive;
+* the Conv-AE needs transposed convolutions and cannot deploy with TFLM;
+* uptime (latency / 640 ms input stride) stays below 100% for each
+  MicroNet on its target board — real-time continuous monitoring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult
+from repro.hw.devices import LARGE, MEDIUM, SMALL, MCUDevice
+from repro.hw.latency import LatencyModel
+from repro.models import external, micronets
+from repro.models.autoencoders import fc_autoencoder_baseline, fc_autoencoder_wide
+from repro.models.spec import arch_workload, export_graph  # noqa: F401 (workload used for epoch scaling)
+from repro.runtime import memory_report
+from repro.runtime.deploy import deployment_report
+from repro.tasks import ad
+from repro.utils.rng import RngLike, new_rng, spawn_rng
+from repro.utils.scale import Scale, resolve_scale
+
+PAPER_ROWS = {
+    "MicroNet-AD-L": dict(auc=97.28, ops_m=129, size_kb=442, mem_kb=383, uptime=95.9),
+    "MicroNet-AD-M": dict(auc=96.22, ops_m=124.7, size_kb=453, mem_kb=274, uptime=94.8),
+    "MicroNet-AD-S": dict(auc=95.35, ops_m=37.5, size_kb=247, mem_kb=114, uptime=71.4),
+    "FC-AE-Baseline": dict(auc=84.76, ops_m=0.52, size_kb=270, mem_kb=4.7, uptime=10.3),
+    "FC-AE-Wide": dict(auc=87.1, ops_m=4.47, size_kb=2200, mem_kb=4.7, uptime=None),
+}
+
+
+def _target_device(name: str) -> MCUDevice:
+    if name.endswith("-S"):
+        return SMALL
+    if name.endswith("-M"):
+        return MEDIUM
+    return LARGE
+
+
+def run(scale: Optional[Scale] = None, rng: RngLike = 0) -> ExperimentResult:
+    scale = scale or resolve_scale()
+    rng = new_rng(rng)
+
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Anomaly detection (paper Table 3)",
+        columns=[
+            "model",
+            "auc_pct",
+            "ops_m",
+            "size_kb",
+            "mem_kb",
+            "uptime_pct",
+            "target_device",
+            "deployable",
+        ],
+    )
+
+    # --- MicroNet-AD classifiers (self-supervised) ---
+    for arch in (micronets.micronet_ad_l(), micronets.micronet_ad_m(), micronets.micronet_ad_s()):
+        config = ad.default_config(scale)
+        if scale.name == "ci":
+            # Larger models need more steps to converge; the paper trains
+            # everything to convergence (50 epochs), so scale CI epochs
+            # with capacity to preserve the capacity ordering.
+            ops_m = arch_workload(arch).ops / 1e6
+            config.epochs = max(config.epochs, int(round(config.epochs * min(3.0, ops_m / 30.0))))
+        task = ad.run(arch, scale=scale, rng=spawn_rng(rng, arch.name), config=config)
+        device = _target_device(arch.name)
+        graph = task.graph
+        memory = memory_report(graph)
+        workload = arch_workload(arch)
+        latency = LatencyModel(device).model_latency(workload)
+        result.add_row(
+            model=arch.name,
+            auc_pct=100.0 * task.metric,
+            ops_m=workload.ops / 1e6,
+            size_kb=memory.model_flash_bytes / 1024,
+            mem_kb=memory.total_sram / 1024,
+            uptime_pct=ad.uptime_percent(latency),
+            target_device=device.name,
+            deployable=deployment_report(graph, device).deployable,
+        )
+
+    # --- FC auto-encoder baseline (trained; reconstruction scoring) ---
+    ae = fc_autoencoder_baseline()
+    ae_task = ad.run_autoencoder(ae, scale=scale, rng=spawn_rng(rng, "fc-ae"))
+    ae_memory = memory_report(ae_task.graph)
+    ae_workload = arch_workload(ae)
+    ae_latency = LatencyModel(MEDIUM).model_latency(ae_workload)
+    result.add_row(
+        model=ae.name,
+        auc_pct=100.0 * ae_task.metric,
+        ops_m=ae_workload.ops / 1e6,
+        size_kb=ae_memory.model_flash_bytes / 1024,
+        mem_kb=ae_memory.total_sram / 1024,
+        uptime_pct=ad.uptime_percent(ae_latency, stride_s=0.032),
+        target_device=MEDIUM.name,
+        deployable=deployment_report(ae_task.graph, MEDIUM).deployable,
+    )
+
+    # --- Wide FC-AE: footprint only (the paper marks it not deployable) ---
+    wide = fc_autoencoder_wide()
+    wide_graph = export_graph(wide, bits=8)
+    wide_memory = memory_report(wide_graph)
+    result.add_row(
+        model=wide.name,
+        auc_pct=None,
+        ops_m=arch_workload(wide).ops / 1e6,
+        size_kb=wide_memory.model_flash_bytes / 1024,
+        mem_kb=wide_memory.total_sram / 1024,
+        uptime_pct=None,
+        target_device="-",
+        deployable=deployment_report(wide_graph, LARGE).deployable,
+    )
+
+    # --- External records ---
+    for ref in (external.CONV_AE_AD, external.MBNETV2_05_AD):
+        result.add_row(
+            model=ref.name,
+            auc_pct=ref.accuracy,
+            ops_m=(ref.ops or 0) / 1e6,
+            size_kb=ref.flash_bytes / 1024,
+            mem_kb=ref.sram_bytes / 1024,
+            uptime_pct=None,
+            target_device=LARGE.name if ref.fits(LARGE) else "-",
+            deployable=ref.fits(LARGE),
+        )
+
+    _check_shape(result)
+    result.note(f"paper values: {PAPER_ROWS}")
+    return result
+
+
+def _check_shape(result: ExperimentResult) -> None:
+    micronet_aucs = [
+        r["auc_pct"] for r in result.rows if str(r["model"]).startswith("MicroNet")
+    ]
+    fc = result.row_by("model", "FC-AE-Baseline")
+    if min(micronet_aucs) > fc["auc_pct"]:
+        result.note("every MicroNet-AD beats the FC-AE baseline AUC (paper's ordering)")
+    else:
+        result.note("WARNING: FC-AE matched a MicroNet AUC")
+    wide = result.row_by("model", "FC-AE-Wide")
+    if not wide["deployable"]:
+        result.note("wide FC-AE exceeds MCU flash (paper: >2MB, not deployable)")
+    uptimes = [
+        r["uptime_pct"]
+        for r in result.rows
+        if str(r["model"]).startswith("MicroNet") and r["uptime_pct"] is not None
+    ]
+    if all(u < 100.0 for u in uptimes):
+        result.note("all MicroNet-AD uptimes < 100%: real-time continuous monitoring")

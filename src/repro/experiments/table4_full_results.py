@@ -1,0 +1,103 @@
+"""Table 4 — the full results appendix: every model × every board.
+
+For each model: flash (model file), SRAM (whole-model), latency on the
+small/medium/large boards (dash when undeployable) and per-inference energy
+on the small/medium boards. No training — this table is the deployment
+matrix, directly comparable to the paper's appendix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.hw.devices import LARGE, MEDIUM, SMALL
+from repro.models import dscnn, micronets, mobilenetv2
+from repro.models.autoencoders import fc_autoencoder_baseline
+from repro.models.spec import ArchSpec, export_graph
+from repro.runtime.deploy import deployment_report
+from repro.utils.scale import Scale
+
+#: (architecture constructor result, weight/activation bits)
+def _catalog() -> List[Tuple[ArchSpec, int]]:
+    return [
+        (micronets.micronet_kws_l(), 8),
+        (micronets.micronet_kws_m(), 8),
+        (micronets.micronet_kws_s(), 8),
+        (micronets.micronet_kws_s4(), 4),
+        (micronets.micronet_vww_m(), 8),
+        (micronets.micronet_vww_s(), 8),
+        (micronets.micronet_ad_l(), 8),
+        (micronets.micronet_ad_m(), 8),
+        (micronets.micronet_ad_s(), 8),
+        (dscnn.dscnn_l(), 8),
+        (dscnn.dscnn_m(), 8),
+        (dscnn.dscnn_s(), 8),
+        (mobilenetv2.mbnetv2_kws_l(), 8),
+        (mobilenetv2.mbnetv2_kws_m(), 8),
+        (mobilenetv2.mbnetv2_kws_s(), 8),
+        (fc_autoencoder_baseline(), 8),
+    ]
+
+
+def run(scale: Optional[Scale] = None, rng: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table4",
+        title="Full results matrix (paper Table 4)",
+        columns=[
+            "model",
+            "flash_kb",
+            "sram_kb",
+            "lat_s",
+            "lat_m",
+            "lat_l",
+            "energy_s_mj",
+            "energy_m_mj",
+        ],
+    )
+    for arch, bits in _catalog():
+        graph = export_graph(arch, bits=bits)
+        reports = {
+            device.name: deployment_report(graph, device)
+            for device in (SMALL, MEDIUM, LARGE)
+        }
+        memory = reports[SMALL.name].memory
+        result.add_row(
+            model=arch.name,
+            flash_kb=memory.model_flash_bytes / 1024,
+            sram_kb=memory.total_sram / 1024,
+            lat_s=reports[SMALL.name].latency_s,
+            lat_m=reports[MEDIUM.name].latency_s,
+            lat_l=reports[LARGE.name].latency_s,
+            energy_s_mj=(
+                reports[SMALL.name].energy_j * 1e3
+                if reports[SMALL.name].energy_j is not None
+                else None
+            ),
+            energy_m_mj=(
+                reports[MEDIUM.name].energy_j * 1e3
+                if reports[MEDIUM.name].energy_j is not None
+                else None
+            ),
+        )
+
+    # Shape checks against the paper's matrix.
+    def deployable_on(model: str, col: str) -> bool:
+        return result.row_by("model", model)[col] is not None
+
+    if not deployable_on("MicroNet-KWS-L", "lat_s") and deployable_on("MicroNet-KWS-L", "lat_m"):
+        result.note("MicroNet-KWS-L: medium+ boards only (matches paper)")
+    if deployable_on("MicroNet-KWS-S", "lat_s"):
+        row = result.row_by("model", "MicroNet-KWS-S")
+        result.note(
+            f"MicroNet-KWS-S on small board: {row['lat_s']:.3f}s "
+            f"(paper 0.250s), energy {row['energy_s_mj']:.1f} mJ (paper 40.7)"
+        )
+    lat_ratio = []
+    for row in result.rows:
+        if row["lat_s"] is not None and row["lat_m"] is not None:
+            lat_ratio.append(row["lat_s"] / row["lat_m"])
+    if lat_ratio:
+        avg = sum(lat_ratio) / len(lat_ratio)
+        result.note(f"small/medium latency ratio ~{avg:.2f}x (paper ~2.2x)")
+    return result

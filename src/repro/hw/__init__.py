@@ -1,0 +1,38 @@
+"""MCU hardware performance model.
+
+This package replaces the paper's physical STM32 boards (measured with the
+Mbed Timer API and a Qoitech Otii Arc power analyzer) with a parametric
+performance model of Cortex-M class microcontrollers running TFLM +
+CMSIS-NN. It reproduces the *mechanisms* the paper measures:
+
+* per-layer latency that is a noisy function of op count (layer-type
+  throughput differences, IM2COL overhead, the CMSIS-NN channel-divisible-
+  by-4 fast path) — Figure 3;
+* whole-model latency that is nevertheless linear in total op count for
+  models drawn from a fixed backbone — Figure 4;
+* power that is essentially independent of the workload, making energy a
+  linear function of ops — Figure 5 and Figure 9.
+"""
+
+from repro.hw.devices import MCUDevice, DEVICES, get_device, SMALL, MEDIUM, LARGE
+from repro.hw.workload import LayerWorkload, ModelWorkload
+from repro.hw.latency import LatencyModel, LayerTiming
+from repro.hw.energy import EnergyModel, EnergyReport
+from repro.hw.power_trace import PowerTrace, synthesize_trace
+
+__all__ = [
+    "MCUDevice",
+    "DEVICES",
+    "get_device",
+    "SMALL",
+    "MEDIUM",
+    "LARGE",
+    "LayerWorkload",
+    "ModelWorkload",
+    "LatencyModel",
+    "LayerTiming",
+    "EnergyModel",
+    "EnergyReport",
+    "PowerTrace",
+    "synthesize_trace",
+]

@@ -1,0 +1,100 @@
+"""Calibrating the latency model against measured data.
+
+The cycle-cost constants in :mod:`repro.hw.latency` were calibrated against
+the paper's reported numbers. This module makes that process reproducible:
+given (layer workload, measured seconds) pairs from *any* board — real
+hardware, or this package's own model — it re-fits per-kind cycles-per-op
+and the per-op dispatch cost by least squares, and reports the fit quality.
+
+This is how a user would port the hardware model to a new MCU: run a layer
+corpus on the device with a timer, feed the measurements in, and install
+the fitted constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.hw.devices import MCUDevice
+from repro.hw.latency import LatencyModel
+from repro.hw.workload import LayerWorkload
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed layer execution on a device."""
+
+    workload: LayerWorkload
+    seconds: float
+
+
+@dataclass
+class CalibrationResult:
+    """Fitted per-kind cycle costs and dispatch overhead."""
+
+    cycles_per_op: Dict[str, float]
+    dispatch_cycles: float
+    r_squared: float
+
+    def predicted_seconds(self, workload: LayerWorkload, device: MCUDevice) -> float:
+        cycles = self.cycles_per_op.get(workload.kind, 2.0) * workload.ops
+        return (cycles + self.dispatch_cycles) / device.clock_hz
+
+
+def fit_latency_model(
+    measurements: Sequence[Measurement], device: MCUDevice
+) -> CalibrationResult:
+    """Least-squares fit of cycle costs from measured layer latencies.
+
+    Model: ``cycles = Σ_kind c_kind · ops_kind + d · 1`` — a linear system
+    in the unknown per-kind costs ``c_kind`` and dispatch cost ``d``.
+    """
+    if len(measurements) < 3:
+        raise ReproError("need at least 3 measurements to calibrate")
+    kinds = sorted({m.workload.kind for m in measurements})
+    design = np.zeros((len(measurements), len(kinds) + 1))
+    target = np.zeros(len(measurements))
+    for i, measurement in enumerate(measurements):
+        design[i, kinds.index(measurement.workload.kind)] = measurement.workload.ops
+        design[i, -1] = 1.0  # dispatch column
+        target[i] = measurement.seconds * device.clock_hz
+    coefficients, _, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    if rank < design.shape[1]:
+        raise ReproError(
+            "calibration system is rank-deficient; add more layer variety"
+        )
+    predicted = design @ coefficients
+    ss_res = float(((target - predicted) ** 2).sum())
+    ss_tot = float(((target - target.mean()) ** 2).sum())
+    return CalibrationResult(
+        cycles_per_op={k: float(coefficients[i]) for i, k in enumerate(kinds)},
+        dispatch_cycles=float(coefficients[-1]),
+        r_squared=1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0,
+    )
+
+
+def measure_with_model(
+    workloads: Sequence[LayerWorkload], device: MCUDevice, spread: bool = True
+) -> List[Measurement]:
+    """Produce measurements from the built-in model (a stand-in for a
+    physical board when validating the calibration pipeline)."""
+    model = LatencyModel(device, spread=spread)
+    return [Measurement(w, model.layer_latency(w).seconds) for w in workloads]
+
+
+def validate_round_trip(
+    workloads: Sequence[LayerWorkload], device: MCUDevice
+) -> Tuple[CalibrationResult, float]:
+    """Fit against the noise-free model and report the max relative error
+    of the re-fitted predictor — the calibration pipeline's self-check."""
+    measurements = measure_with_model(workloads, device, spread=False)
+    result = fit_latency_model(measurements, device)
+    errors = []
+    for m in measurements:
+        predicted = result.predicted_seconds(m.workload, device)
+        errors.append(abs(predicted - m.seconds) / m.seconds)
+    return result, max(errors)

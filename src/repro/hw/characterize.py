@@ -1,0 +1,136 @@
+"""Random-model characterization harnesses (paper §3.2–§3.4).
+
+The paper characterizes MCU performance by (a) timing a corpus of individual
+layers of many types and sizes (Figure 3), and (b) sampling whole models from
+parameterized supernet backbones and timing them end to end (Figures 4, 5).
+This module generates those corpora.
+
+Two backbones are provided, mirroring the paper:
+
+* an image-classification backbone ("CIFAR10"): conv stem + inverted-
+  bottleneck-style stages on a 32×32 input;
+* an audio KWS backbone: conv stem + depthwise-separable blocks on a
+  49×10 MFCC input.
+
+Models sampled from one backbone share a layer-type mix, which is what makes
+whole-model latency linear in op count with a backbone-specific slope.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.hw.workload import LayerWorkload, ModelWorkload
+from repro.utils.rng import RngLike, new_rng
+
+
+def random_layer_corpus(rng: RngLike = 0, count: int = 300) -> List[LayerWorkload]:
+    """Generate a mixed corpus of individual layers (Figure 3 workload)."""
+    rng = new_rng(rng)
+    corpus: List[LayerWorkload] = []
+    for i in range(count):
+        kind = rng.choice(["conv2d", "depthwise_conv2d", "dense"])
+        if kind == "conv2d":
+            size = int(rng.choice([8, 10, 14, 16, 20, 28, 32]))
+            cin = int(rng.integers(1, 33)) * 4 if rng.random() < 0.7 else int(rng.integers(3, 131))
+            cout = int(rng.integers(1, 33)) * 4 if rng.random() < 0.7 else int(rng.integers(3, 131))
+            kernel = int(rng.choice([1, 3, 5]))
+            stride = int(rng.choice([1, 2]))
+            corpus.append(
+                LayerWorkload.conv2d(f"conv_{i}", (size, size, cin), cout, kernel, stride)
+            )
+        elif kind == "depthwise_conv2d":
+            size = int(rng.choice([8, 10, 14, 16, 20, 28, 32]))
+            channels = int(rng.integers(2, 65)) * 4
+            stride = int(rng.choice([1, 2]))
+            corpus.append(
+                LayerWorkload.depthwise_conv2d(f"dw_{i}", (size, size, channels), 3, stride)
+            )
+        else:
+            fan_in = int(rng.integers(16, 1025))
+            fan_out = int(rng.integers(8, 513))
+            corpus.append(LayerWorkload.dense(f"fc_{i}", fan_in, fan_out))
+    return corpus
+
+
+def channel_sweep_conv(
+    channels: int, spatial: int = 14, kernel: int = 3
+) -> LayerWorkload:
+    """A conv layer with symmetric in/out channels, for the div-by-4 demo.
+
+    The paper observes that increasing a conv from 138/138 to 140/140
+    channels *decreases* latency by 57% because 140 is divisible by 4.
+    """
+    return LayerWorkload.conv2d(
+        f"sweep_conv_{channels}", (spatial, spatial, channels), channels, kernel, 1
+    )
+
+
+def sample_cifar10_backbone(rng: RngLike = 0) -> ModelWorkload:
+    """Sample one random model from the image-classification backbone.
+
+    A plain 3×3-conv CNN (VGG/ResNet flavour): its ops are dominated by 3×3
+    convolutions, which pay the IM2COL kernel-area cost, giving this backbone
+    a lower throughput slope than the pointwise-dominated KWS backbone.
+    """
+    rng = new_rng(rng)
+    model = ModelWorkload(name=f"cifar10_rand_{rng.integers(0, 1 << 30)}")
+    shape = (32, 32, 3)
+    stem = 4 * int(rng.integers(4, 13))  # 16..48 channels
+    layer = LayerWorkload.conv2d("stem", shape, stem, 3, 1)
+    model.append(layer)
+    shape = layer.output_shape
+    n_stages = int(rng.integers(2, 5))
+    for stage in range(n_stages):
+        n_blocks = int(rng.integers(1, 4))
+        width = 4 * int(rng.integers(6, 33))  # 24..128 channels
+        for block in range(n_blocks):
+            s = 2 if block == 0 else 1
+            conv = LayerWorkload.conv2d(f"s{stage}b{block}_conv", shape, width, 3, s)
+            model.append(conv)
+            shape = conv.output_shape
+            if rng.random() < 0.5:
+                # Bottleneck-style 1x1 companion conv (ResNet flavour).
+                pw = LayerWorkload.conv2d(f"s{stage}b{block}_pw", shape, width, 1, 1)
+                model.append(pw)
+                shape = pw.output_shape
+    model.append(LayerWorkload.global_avg_pool("gap", shape))
+    model.append(LayerWorkload.dense("classifier", shape[-1], 10))
+    return model
+
+
+def sample_kws_backbone(rng: RngLike = 0) -> ModelWorkload:
+    """Sample one random model from the DS-CNN-style KWS backbone."""
+    rng = new_rng(rng)
+    model = ModelWorkload(name=f"kws_rand_{rng.integers(0, 1 << 30)}")
+    shape = (49, 10, 1)
+    stem = 4 * int(rng.integers(10, 70))  # 40..276 channels
+    layer = LayerWorkload.conv2d("stem", shape, stem, 4, 2)
+    model.append(layer)
+    shape = layer.output_shape
+    n_blocks = int(rng.integers(3, 10))
+    width = 4 * int(rng.integers(10, 70))
+    for block in range(n_blocks):
+        dw = LayerWorkload.depthwise_conv2d(f"b{block}_dw", shape, 3, 1)
+        model.append(dw)
+        pw = LayerWorkload.conv2d(f"b{block}_pw", dw.output_shape, width, 1, 1)
+        model.append(pw)
+        shape = pw.output_shape
+    model.append(LayerWorkload.global_avg_pool("gap", shape))
+    model.append(LayerWorkload.dense("classifier", shape[-1], 12))
+    return model
+
+
+BACKBONE_SAMPLERS: Dict[str, Callable[[RngLike], ModelWorkload]] = {
+    "cifar10": sample_cifar10_backbone,
+    "kws": sample_kws_backbone,
+}
+
+
+def sample_models(backbone: str, count: int, rng: RngLike = 0) -> List[ModelWorkload]:
+    """Sample ``count`` random models from a named backbone."""
+    rng = new_rng(rng)
+    sampler = BACKBONE_SAMPLERS[backbone]
+    return [sampler(np.random.default_rng(rng.integers(0, 2**63 - 1))) for _ in range(count)]

@@ -1,0 +1,110 @@
+"""Device registry for the three commodity MCUs targeted by the paper.
+
+The numbers mirror Table 1 of the paper plus ST datasheet values needed by
+the latency/energy models (clock rate, sleep current). Power figures are the
+paper's measured active powers (0.1 W for the F446RE, 0.3 W for the F7s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import DeploymentError
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MCUDevice:
+    """A commodity microcontroller.
+
+    Attributes
+    ----------
+    name: Board name (e.g. ``"STM32F446RE"``).
+    core: CPU core (``"cortex-m4"`` or ``"cortex-m7"``).
+    clock_hz: Core clock frequency.
+    sram_bytes: On-chip SRAM available for activations + runtime state.
+    eflash_bytes: Embedded flash for the model, graph and code.
+    active_power_w: Average power while running inference (measured).
+    sleep_power_w: Deep-sleep power between duty-cycled inferences.
+    dual_issue: Whether the core can dual-issue load + ALU ops (M7).
+    price_usd: Approximate unit price (Table 1).
+    """
+
+    name: str
+    core: str
+    clock_hz: float
+    sram_bytes: int
+    eflash_bytes: int
+    active_power_w: float
+    sleep_power_w: float
+    dual_issue: bool
+    price_usd: float
+
+    @property
+    def size_class(self) -> str:
+        """Paper's S/M/L designation, keyed by SRAM size."""
+        if self.sram_bytes <= 128 * KiB:
+            return "S"
+        if self.sram_bytes <= 320 * KiB:
+            return "M"
+        return "L"
+
+
+SMALL = MCUDevice(
+    name="STM32F446RE",
+    core="cortex-m4",
+    clock_hz=180e6,
+    sram_bytes=128 * KiB,
+    eflash_bytes=512 * KiB,
+    active_power_w=0.1,
+    sleep_power_w=0.0022,
+    dual_issue=False,
+    price_usd=3.0,
+)
+
+MEDIUM = MCUDevice(
+    name="STM32F746ZG",
+    core="cortex-m7",
+    clock_hz=216e6,
+    sram_bytes=320 * KiB,
+    eflash_bytes=1 * MiB,
+    active_power_w=0.3,
+    sleep_power_w=0.0033,
+    dual_issue=True,
+    price_usd=5.0,
+)
+
+LARGE = MCUDevice(
+    name="STM32F767ZI",
+    core="cortex-m7",
+    clock_hz=216e6,
+    sram_bytes=512 * KiB,
+    eflash_bytes=2 * MiB,
+    active_power_w=0.3,
+    sleep_power_w=0.0035,
+    dual_issue=True,
+    price_usd=8.0,
+)
+
+DEVICES: Dict[str, MCUDevice] = {d.name: d for d in (SMALL, MEDIUM, LARGE)}
+
+_ALIASES = {
+    "S": SMALL,
+    "M": MEDIUM,
+    "L": LARGE,
+    "small": SMALL,
+    "medium": MEDIUM,
+    "large": LARGE,
+}
+
+
+def get_device(key: str) -> MCUDevice:
+    """Look up a device by board name or S/M/L alias."""
+    if key in DEVICES:
+        return DEVICES[key]
+    if key in _ALIASES:
+        return _ALIASES[key]
+    raise DeploymentError(f"unknown device {key!r}; known: {sorted(DEVICES)} or S/M/L")

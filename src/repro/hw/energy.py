@@ -1,0 +1,81 @@
+"""Energy model: MCU power is workload-independent, so energy ∝ latency.
+
+Section 3.4 of the paper measures 400 random models and finds the coefficient
+of variation of power across models is σ/μ = 0.00731 — power is essentially a
+device constant. We reproduce that: each (device, model) pair draws a tiny
+deterministic log-normal jitter around the device's active power, and energy
+is power × latency.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.devices import MCUDevice
+from repro.hw.latency import LatencyModel
+from repro.hw.workload import ModelWorkload
+
+#: Paper-measured coefficient of variation of power across models.
+POWER_SIGMA_OVER_MU = 0.00731
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one model inference on one device."""
+
+    device: str
+    model: str
+    latency_s: float
+    power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.latency_s * self.power_w
+
+    @property
+    def energy_mj(self) -> float:
+        return self.energy_j * 1e3
+
+
+class EnergyModel:
+    """Per-inference energy: near-constant power times modeled latency."""
+
+    def __init__(self, device: MCUDevice, latency_model: "LatencyModel | None" = None) -> None:
+        self.device = device
+        self.latency_model = latency_model or LatencyModel(device)
+
+    def power(self, model: ModelWorkload) -> float:
+        """Active power for a model: device constant with ~0.7% jitter.
+
+        The jitter is keyed deterministically on the model structure, so a
+        given model always reports the same power (as a real board would).
+        """
+        seed = zlib.crc32(
+            repr([(l.kind, l.input_shape, l.output_shape) for l in model.layers]).encode()
+        )
+        rng = np.random.default_rng(seed)
+        jitter = float(np.exp(rng.normal(0.0, POWER_SIGMA_OVER_MU)))
+        return self.device.active_power_w * jitter
+
+    def energy(self, model: ModelWorkload) -> EnergyReport:
+        return EnergyReport(
+            device=self.device.name,
+            model=model.name,
+            latency_s=self.latency_model.model_latency(model),
+            power_w=self.power(model),
+        )
+
+    def duty_cycled_average_power(self, model: ModelWorkload, period_s: float) -> float:
+        """Average power for one inference per ``period_s`` with deep sleep.
+
+        Reproduces the Appendix B analysis: energy of the active burst plus
+        sleep power for the rest of the period, divided by the period.
+        """
+        report = self.energy(model)
+        if report.latency_s >= period_s:
+            return report.power_w
+        sleep_energy = self.device.sleep_power_w * (period_s - report.latency_s)
+        return (report.energy_j + sleep_energy) / period_s

@@ -1,0 +1,217 @@
+"""Layer and model latency model for Cortex-M MCUs running TFLM + CMSIS-NN.
+
+The model encodes the mechanisms §3 of the paper measures on real boards:
+
+* each operator kind has a characteristic cost in **cycles per op**
+  (2D convolutions and dense layers stream MACs through the SIMD MAC path;
+  depthwise convolutions pay a high IM2COL overhead relative to their low
+  op count; pooling and elementwise ops are memory-bound);
+* the CMSIS-NN conv kernel has a fast path when the input *and* output
+  channel counts are divisible by 4 — the paper observes a 57% speedup
+  going from 138/138 to 140/140 channels;
+* individual layers show additional spread from data-reuse patterns. We
+  model this as a deterministic log-normal factor keyed by the layer
+  geometry, so a given layer always times the same but different layers
+  scatter around the trend line (Figure 3);
+* the Cortex-M7 dual-issues load + ALU ops, giving it ~1.67x the IPC of the
+  M4; together with its 20% clock advantage the F746ZG/F767ZI come out
+  about twice as fast as the F446RE (§3.1);
+* the TFLM interpreter adds a small fixed dispatch cost per operator.
+
+Whole-model latency is the sum of layer latencies. Because a fixed backbone
+produces a stable mix of operator kinds, this sum is linear in total op
+count with a backbone-dependent slope — exactly the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.hw.devices import MCUDevice
+from repro.hw.workload import LayerWorkload, ModelWorkload
+
+#: Baseline cycles-per-op on a dual-issue Cortex-M7 for each operator kind.
+CYCLES_PER_OP_M7: Dict[str, float] = {
+    "conv2d": 1.7,
+    "dense": 1.8,
+    "depthwise_conv2d": 4.2,
+    "avg_pool": 3.0,
+    "max_pool": 3.0,
+    "global_avg_pool": 3.0,
+    "add": 2.0,
+    "softmax": 10.0,
+    "pad": 1.0,
+    "reshape": 0.5,
+}
+
+#: IPC handicap of the single-issue Cortex-M4 relative to the M7.
+M4_IPC_FACTOR = 1.67
+
+#: Penalty for conv channels not divisible by 4 (CMSIS-NN fast path miss).
+#: Calibrated to the paper's observation that a 138/138-channel conv is
+#: ~1.74x slower than the (slightly larger) 140/140 one.
+CHANNEL_DIV4_PENALTY = 1.74
+#: Extra penalty for odd channel counts (no even-lane vectorization at all).
+CHANNEL_ODD_PENALTY = 1.9
+
+#: IM2COL cost scales with the conv kernel area: 1x1 convs skip patch
+#: extraction entirely while larger kernels pay progressively more per op.
+CONV_1X1_FACTOR = 0.62
+CONV_KERNEL_AREA_SLOPE = 0.04
+CONV_KERNEL_FACTOR_CAP = 1.4
+
+#: Per-operator interpreter dispatch overhead, in cycles.
+DISPATCH_CYCLES = 2200.0
+
+#: Log-normal sigma of the per-layer spread, by kind.
+LAYER_SPREAD_SIGMA: Dict[str, float] = {
+    "conv2d": 0.16,
+    "dense": 0.08,
+    "depthwise_conv2d": 0.13,
+}
+DEFAULT_SPREAD_SIGMA = 0.05
+
+
+def _stable_seed(*parts) -> int:
+    """Deterministic 32-bit seed from arbitrary hashable parts."""
+    return zlib.crc32(repr(parts).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Latency of one layer on one device."""
+
+    workload: LayerWorkload
+    seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.workload.ops / self.seconds if self.seconds > 0 else 0.0
+
+
+class LatencyModel:
+    """Maps :class:`LayerWorkload`s to seconds on a given device.
+
+    Parameters
+    ----------
+    device:
+        Target MCU.
+    spread:
+        If False, disable the per-layer log-normal spread (useful for
+        ablations isolating the deterministic cost terms).
+    """
+
+    def __init__(self, device: MCUDevice, spread: bool = True) -> None:
+        self.device = device
+        self.spread = spread
+        self._ipc_factor = 1.0 if device.dual_issue else M4_IPC_FACTOR
+
+    # ------------------------------------------------------------------
+    def cycles_per_op(self, kind: str) -> float:
+        """Deterministic cycles/op for an operator kind on this device."""
+        base = CYCLES_PER_OP_M7.get(kind)
+        if base is None:
+            base = 2.0
+        return base * self._ipc_factor
+
+    def _channel_penalty(self, workload: LayerWorkload) -> float:
+        if workload.kind not in ("conv2d",):
+            return 1.0
+        cin = workload.input_shape[-1]
+        cout = workload.output_shape[-1]
+        if cin % 4 == 0 and cout % 4 == 0:
+            return 1.0
+        if cin % 2 == 0 and cout % 2 == 0:
+            return CHANNEL_DIV4_PENALTY
+        return CHANNEL_ODD_PENALTY
+
+    def _kernel_factor(self, workload: LayerWorkload) -> float:
+        if workload.kind != "conv2d":
+            return 1.0
+        area = workload.kernel_area
+        if area <= 1:
+            return CONV_1X1_FACTOR
+        return min(CONV_KERNEL_FACTOR_CAP, 1.0 + CONV_KERNEL_AREA_SLOPE * area)
+
+    def _spread_factor(self, workload: LayerWorkload) -> float:
+        if not self.spread:
+            return 1.0
+        sigma = LAYER_SPREAD_SIGMA.get(workload.kind, DEFAULT_SPREAD_SIGMA)
+        seed = _stable_seed(
+            workload.kind,
+            workload.input_shape,
+            workload.output_shape,
+            workload.kernel,
+            workload.stride,
+        )
+        rng = np.random.default_rng(seed)
+        return float(np.exp(rng.normal(0.0, sigma)))
+
+    # ------------------------------------------------------------------
+    def layer_latency(self, workload: LayerWorkload) -> LayerTiming:
+        """Latency of a single operator, in seconds."""
+        compute_cycles = (
+            workload.ops
+            * self.cycles_per_op(workload.kind)
+            * self._channel_penalty(workload)
+            * self._kernel_factor(workload)
+            * self._spread_factor(workload)
+        )
+        total_cycles = compute_cycles + DISPATCH_CYCLES
+        return LayerTiming(workload=workload, seconds=total_cycles / self.device.clock_hz)
+
+    def model_latency(self, model: ModelWorkload) -> float:
+        """End-to-end model latency: sum of its layers' latencies."""
+        return sum(self.layer_latency(layer).seconds for layer in model.layers)
+
+    def layer_latencies(self, model: ModelWorkload) -> List[LayerTiming]:
+        return [self.layer_latency(layer) for layer in model.layers]
+
+    def throughput_ops_per_second(self, model: ModelWorkload) -> float:
+        latency = self.model_latency(model)
+        return model.ops / latency if latency > 0 else 0.0
+
+
+def fit_linear_latency(
+    models: Iterable[ModelWorkload], latency_model: LatencyModel
+) -> "LatencyFit":
+    """Least-squares fit of latency = slope * ops + intercept.
+
+    Returns the fit plus r², reproducing the paper's Figure 4 analysis.
+    """
+    ops = np.array([m.ops for m in models], dtype=np.float64)
+    lat = np.array([latency_model.model_latency(m) for m in models], dtype=np.float64)
+    if len(ops) < 2:
+        raise ValueError("need at least two models to fit a line")
+    slope, intercept = np.polyfit(ops, lat, 1)
+    predicted = slope * ops + intercept
+    residual = ((lat - predicted) ** 2).sum()
+    total = ((lat - lat.mean()) ** 2).sum()
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return LatencyFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=float(r_squared),
+        ops=ops,
+        latencies=lat,
+    )
+
+
+@dataclass
+class LatencyFit:
+    """Linear fit of model latency against op count."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    ops: np.ndarray
+    latencies: np.ndarray
+
+    @property
+    def throughput_mops(self) -> float:
+        """Aggregate throughput implied by the fit slope, in Mops/s."""
+        return 1e-6 / self.slope if self.slope > 0 else float("inf")

@@ -1,0 +1,82 @@
+"""Synthesize current-vs-time traces (paper Figure 9 / Appendix B).
+
+A duty-cycled TinyML application wakes up, runs one inference, and returns to
+deep sleep. The trace is a rectangular active burst (with small measurement
+noise, as the Otii Arc would record) on top of the sleep floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.devices import MCUDevice
+from repro.hw.energy import EnergyModel
+from repro.hw.workload import ModelWorkload
+
+#: MCU supply voltage used to convert power to current.
+SUPPLY_VOLTAGE = 3.3
+
+
+@dataclass
+class PowerTrace:
+    """A sampled current trace over one duty cycle."""
+
+    device: str
+    model: str
+    time_s: np.ndarray
+    current_a: np.ndarray
+    latency_s: float
+    period_s: float
+
+    @property
+    def average_power_w(self) -> float:
+        return float(np.trapezoid(self.current_a, self.time_s) / self.period_s * SUPPLY_VOLTAGE)
+
+    @property
+    def peak_current_a(self) -> float:
+        return float(self.current_a.max())
+
+
+def synthesize_trace(
+    model: ModelWorkload,
+    device: MCUDevice,
+    period_s: float = 1.0,
+    sample_rate_hz: float = 10_000.0,
+    rng: "np.random.Generator | None" = None,
+) -> PowerTrace:
+    """Build the current trace for one inference per ``period_s``.
+
+    Parameters
+    ----------
+    period_s:
+        Duty-cycle period (the paper plots one frame per second).
+    sample_rate_hz:
+        Sampling rate of the simulated power analyzer.
+    rng:
+        Optional generator for measurement noise; defaults to a fixed seed.
+    """
+    rng = rng if rng is not None else np.random.default_rng(1234)
+    energy_model = EnergyModel(device)
+    report = energy_model.energy(model)
+    latency = min(report.latency_s, period_s)
+
+    n = max(int(period_s * sample_rate_hz), 16)
+    time_s = np.linspace(0.0, period_s, n, endpoint=False)
+    active_current = report.power_w / SUPPLY_VOLTAGE
+    sleep_current = device.sleep_power_w / SUPPLY_VOLTAGE
+
+    current = np.full(n, sleep_current, dtype=np.float64)
+    active = time_s < latency
+    # ~1% measurement/di-dt noise on the active plateau, as an Otii would show.
+    noise = rng.normal(0.0, 0.01 * active_current, size=int(active.sum()))
+    current[active] = active_current + noise
+    return PowerTrace(
+        device=device.name,
+        model=model.name,
+        time_s=time_s,
+        current_a=current,
+        latency_s=latency,
+        period_s=period_s,
+    )

@@ -1,0 +1,97 @@
+"""Per-layer execution profiling — the TFLM profiler analogue.
+
+Answers the question every MCU developer asks first: *where does the time
+go?* Produces a per-layer table of ops, modeled latency, throughput and
+share of total, plus per-kind aggregates — the same view TFLM's profiling
+build prints over UART.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hw.devices import MCUDevice
+from repro.hw.energy import EnergyModel
+from repro.hw.latency import LatencyModel
+from repro.hw.workload import ModelWorkload
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """One layer's share of an inference."""
+
+    name: str
+    kind: str
+    ops: int
+    latency_s: float
+    percent: float
+
+    @property
+    def mops_per_s(self) -> float:
+        return self.ops / self.latency_s / 1e6 if self.latency_s > 0 else 0.0
+
+
+@dataclass
+class ModelProfile:
+    """Full per-layer profile of one model on one device."""
+
+    model: str
+    device: str
+    layers: List[LayerProfile]
+    total_latency_s: float
+    energy_j: float
+
+    def by_kind(self) -> Dict[str, float]:
+        """Latency share per operator kind (fractions summing to 1)."""
+        shares: Dict[str, float] = {}
+        for layer in self.layers:
+            shares[layer.kind] = shares.get(layer.kind, 0.0) + layer.latency_s
+        return {k: v / self.total_latency_s for k, v in shares.items()}
+
+    def hottest(self, n: int = 5) -> List[LayerProfile]:
+        """The n most expensive layers."""
+        return sorted(self.layers, key=lambda l: -l.latency_s)[:n]
+
+    def render(self, max_rows: int = 30) -> str:
+        """Plain-text profile table."""
+        lines = [
+            f"profile of {self.model} on {self.device}: "
+            f"{self.total_latency_s * 1e3:.1f} ms, {self.energy_j * 1e3:.1f} mJ",
+            f"{'layer':32s} {'kind':18s} {'ops':>12s} {'ms':>8s} {'%':>6s} {'Mops/s':>8s}",
+        ]
+        for layer in self.layers[:max_rows]:
+            lines.append(
+                f"{layer.name[:32]:32s} {layer.kind:18s} {layer.ops:12,d} "
+                f"{layer.latency_s * 1e3:8.2f} {layer.percent:6.1f} {layer.mops_per_s:8.1f}"
+            )
+        if len(self.layers) > max_rows:
+            lines.append(f"... {len(self.layers) - max_rows} more layers")
+        for kind, share in sorted(self.by_kind().items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {kind:18s} {100 * share:5.1f}% of latency")
+        return "\n".join(lines)
+
+
+def profile_model(workload: ModelWorkload, device: MCUDevice) -> ModelProfile:
+    """Profile a model workload on a device with the calibrated models."""
+    latency_model = LatencyModel(device)
+    timings = latency_model.layer_latencies(workload)
+    total = sum(t.seconds for t in timings)
+    layers = [
+        LayerProfile(
+            name=t.workload.name,
+            kind=t.workload.kind,
+            ops=t.workload.ops,
+            latency_s=t.seconds,
+            percent=100.0 * t.seconds / total if total > 0 else 0.0,
+        )
+        for t in timings
+    ]
+    energy = EnergyModel(device, latency_model).energy(workload).energy_j
+    return ModelProfile(
+        model=workload.name,
+        device=device.name,
+        layers=layers,
+        total_latency_s=total,
+        energy_j=energy,
+    )

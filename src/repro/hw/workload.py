@@ -1,0 +1,244 @@
+"""Framework-independent layer workload descriptions.
+
+A :class:`LayerWorkload` captures exactly what the latency model needs to
+know about one NN operator: its kind, tensor geometry and op count. Both the
+runtime graph and the NAS cost model lower to this representation, so every
+part of the library counts ops the same way.
+
+Op counting follows the paper's convention (footnote 2): **one
+multiply-accumulate = two ops**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ShapeError
+from repro.tensor.conv import as_pair, conv_output_size
+
+Shape = Tuple[int, ...]
+IntOrPair = Tuple[int, int]
+
+#: Operator kinds the hardware model knows how to time.
+LAYER_KINDS = (
+    "conv2d",
+    "depthwise_conv2d",
+    "dense",
+    "avg_pool",
+    "max_pool",
+    "global_avg_pool",
+    "add",
+    "softmax",
+    "pad",
+    "reshape",
+)
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """One operator's compute/memory profile.
+
+    Attributes
+    ----------
+    kind: one of :data:`LAYER_KINDS`.
+    name: human-readable identifier (layer path).
+    input_shape / output_shape: activation geometry, without batch dim
+        (H, W, C) for spatial ops, (F,) for dense.
+    kernel / stride: spatial parameters where applicable.
+    macs: multiply-accumulate count.
+    extra_ops: non-MAC arithmetic (pool sums, elementwise adds).
+    params: weight scalar count (for flash accounting).
+    """
+
+    kind: str
+    name: str
+    input_shape: Shape
+    output_shape: Shape
+    kernel: IntOrPair = (0, 0)
+    stride: IntOrPair = (1, 1)
+    macs: int = 0
+    extra_ops: int = 0
+    params: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in LAYER_KINDS:
+            raise ShapeError(f"unknown layer kind {self.kind!r}")
+        object.__setattr__(self, "kernel", as_pair(self.kernel))
+        object.__setattr__(self, "stride", as_pair(self.stride))
+
+    @property
+    def kernel_area(self) -> int:
+        return self.kernel[0] * self.kernel[1]
+
+    @property
+    def ops(self) -> int:
+        """Total op count: 2 ops per MAC plus non-MAC arithmetic."""
+        return 2 * self.macs + self.extra_ops
+
+    @property
+    def input_elements(self) -> int:
+        return int(_prod(self.input_shape))
+
+    @property
+    def output_elements(self) -> int:
+        return int(_prod(self.output_shape))
+
+    # ------------------------------------------------------------------
+    # Constructors for the common operators
+    # ------------------------------------------------------------------
+    @staticmethod
+    def conv2d(
+        name: str,
+        input_shape: Shape,
+        out_channels: int,
+        kernel,
+        stride=1,
+        padding: str = "same",
+    ) -> "LayerWorkload":
+        h, w, c = input_shape
+        kh, kw = as_pair(kernel)
+        sh, sw = as_pair(stride)
+        oh = conv_output_size(h, kh, sh, padding)
+        ow = conv_output_size(w, kw, sw, padding)
+        macs = oh * ow * kh * kw * c * out_channels
+        params = kh * kw * c * out_channels + out_channels
+        return LayerWorkload(
+            kind="conv2d",
+            name=name,
+            input_shape=input_shape,
+            output_shape=(oh, ow, out_channels),
+            kernel=(kh, kw),
+            stride=(sh, sw),
+            macs=macs,
+            params=params,
+        )
+
+    @staticmethod
+    def depthwise_conv2d(
+        name: str, input_shape: Shape, kernel, stride=1, padding: str = "same"
+    ) -> "LayerWorkload":
+        h, w, c = input_shape
+        kh, kw = as_pair(kernel)
+        sh, sw = as_pair(stride)
+        oh = conv_output_size(h, kh, sh, padding)
+        ow = conv_output_size(w, kw, sw, padding)
+        macs = oh * ow * kh * kw * c
+        params = kh * kw * c + c
+        return LayerWorkload(
+            kind="depthwise_conv2d",
+            name=name,
+            input_shape=input_shape,
+            output_shape=(oh, ow, c),
+            kernel=(kh, kw),
+            stride=(sh, sw),
+            macs=macs,
+            params=params,
+        )
+
+    @staticmethod
+    def dense(name: str, in_features: int, out_features: int) -> "LayerWorkload":
+        return LayerWorkload(
+            kind="dense",
+            name=name,
+            input_shape=(in_features,),
+            output_shape=(out_features,),
+            macs=in_features * out_features,
+            params=in_features * out_features + out_features,
+        )
+
+    @staticmethod
+    def pool(
+        name: str,
+        input_shape: Shape,
+        pool: int,
+        stride: Optional[int] = None,
+        kind: str = "avg_pool",
+        padding: str = "valid",
+    ) -> "LayerWorkload":
+        stride = stride if stride is not None else pool
+        h, w, c = input_shape
+        oh = conv_output_size(h, pool, stride, padding)
+        ow = conv_output_size(w, pool, stride, padding)
+        return LayerWorkload(
+            kind=kind,
+            name=name,
+            input_shape=input_shape,
+            output_shape=(oh, ow, c),
+            kernel=pool,
+            stride=stride,
+            extra_ops=oh * ow * c * pool * pool,
+        )
+
+    @staticmethod
+    def global_avg_pool(name: str, input_shape: Shape) -> "LayerWorkload":
+        h, w, c = input_shape
+        return LayerWorkload(
+            kind="global_avg_pool",
+            name=name,
+            input_shape=input_shape,
+            output_shape=(c,),
+            extra_ops=h * w * c,
+        )
+
+    @staticmethod
+    def add(name: str, shape: Shape) -> "LayerWorkload":
+        return LayerWorkload(
+            kind="add",
+            name=name,
+            input_shape=shape,
+            output_shape=shape,
+            extra_ops=int(_prod(shape)),
+        )
+
+    @staticmethod
+    def softmax(name: str, features: int) -> "LayerWorkload":
+        return LayerWorkload(
+            kind="softmax",
+            name=name,
+            input_shape=(features,),
+            output_shape=(features,),
+            extra_ops=4 * features,
+        )
+
+
+@dataclass
+class ModelWorkload:
+    """An ordered collection of layer workloads forming one model."""
+
+    name: str
+    layers: List[LayerWorkload] = field(default_factory=list)
+
+    @property
+    def ops(self) -> int:
+        return sum(layer.ops for layer in self.layers)
+
+    @property
+    def macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    def ops_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for layer in self.layers:
+            out[layer.kind] = out.get(layer.kind, 0) + layer.ops
+        return out
+
+    def append(self, layer: LayerWorkload) -> None:
+        self.layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+
+def _prod(shape: Shape) -> int:
+    out = 1
+    for dim in shape:
+        out *= int(dim)
+    return out

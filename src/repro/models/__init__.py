@@ -1,0 +1,50 @@
+"""Model zoo: MicroNets, baselines and external comparison points.
+
+Every trainable model is described by an :class:`~repro.models.spec.ArchSpec`
+— a declarative architecture description that compiles to:
+
+* a trainable float module (:func:`~repro.models.spec.build_module`),
+* a deployable runtime graph (:func:`~repro.models.spec.export_graph`),
+* a hardware workload for latency/energy (:func:`~repro.models.spec.arch_workload`).
+
+Models that the paper compares against but whose implementations are not
+reproducible (ProxylessNAS, MSNet, the TFLM person-detection example,
+MobileNetV2-0.5AD) are carried as static reference records in
+:mod:`repro.models.external`.
+"""
+
+from repro.models.spec import (
+    ArchSpec,
+    ConvSpec,
+    DWConvSpec,
+    DenseSpec,
+    PoolSpec,
+    GlobalPoolSpec,
+    FlattenSpec,
+    DropoutSpec,
+    ResidualSpec,
+    build_module,
+    arch_workload,
+    export_graph,
+)
+from repro.models import micronets, dscnn, mobilenetv2, autoencoders, external
+
+__all__ = [
+    "ArchSpec",
+    "ConvSpec",
+    "DWConvSpec",
+    "DenseSpec",
+    "PoolSpec",
+    "GlobalPoolSpec",
+    "FlattenSpec",
+    "DropoutSpec",
+    "ResidualSpec",
+    "build_module",
+    "arch_workload",
+    "export_graph",
+    "micronets",
+    "dscnn",
+    "mobilenetv2",
+    "autoencoders",
+    "external",
+]

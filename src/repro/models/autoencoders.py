@@ -1,0 +1,48 @@
+"""Auto-encoder anomaly-detection baselines (Table 3).
+
+The DCASE baseline is a fully connected auto-encoder over 640-dimensional
+input features (5 stacked 128-mel frames): 4×128 hidden layers, an
+8-neuron bottleneck, 4×128 hidden layers, and a 640-d reconstruction. Its
+anomaly score is the reconstruction error. The "wide" variant scales hidden
+layers to 512 and exceeds every MCU's flash (the paper marks it ND); the
+convolutional AE needs transposed convolutions, unsupported in TFLM, so it
+appears only as an external record.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.models.spec import ArchSpec, DenseSpec
+
+#: DCASE AE input: 5 consecutive 128-dim log-mel frames.
+FCAE_INPUT_DIM = 640
+
+
+def fc_autoencoder(
+    hidden: int = 128, bottleneck: int = 8, input_dim: int = FCAE_INPUT_DIM, name: str = "FC-AE"
+) -> ArchSpec:
+    """The DCASE fully connected auto-encoder baseline."""
+    layers: Tuple[DenseSpec, ...] = (
+        DenseSpec(hidden, activation="relu"),
+        DenseSpec(hidden, activation="relu"),
+        DenseSpec(hidden, activation="relu"),
+        DenseSpec(hidden, activation="relu"),
+        DenseSpec(bottleneck, activation="relu"),
+        DenseSpec(hidden, activation="relu"),
+        DenseSpec(hidden, activation="relu"),
+        DenseSpec(hidden, activation="relu"),
+        DenseSpec(hidden, activation="relu"),
+        DenseSpec(input_dim, activation=None),
+    )
+    return ArchSpec(name=name, input_shape=(input_dim,), layers=layers)
+
+
+def fc_autoencoder_baseline() -> ArchSpec:
+    """FC-AE(Baseline): 128-wide hidden layers (~270 KB in 8-bit)."""
+    return fc_autoencoder(hidden=128, name="FC-AE-Baseline")
+
+
+def fc_autoencoder_wide() -> ArchSpec:
+    """FC-AE(Wide): 512-wide hidden layers (>2 MB — not deployable)."""
+    return fc_autoencoder(hidden=512, name="FC-AE-Wide")

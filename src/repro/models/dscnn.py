@@ -1,0 +1,59 @@
+"""DS-CNN keyword-spotting baselines (Zhang et al., 2017, "Hello Edge").
+
+The paper trains DS-CNN S/M/L as baselines for Figure 7 / Table 4. A DS-CNN
+is a 10×4 conv stem followed by depthwise-separable blocks and a pooled
+classifier. Geometry follows the original paper: the small model strides
+(2, 2) in the stem while the medium/large models stride (2, 1), which is
+what makes their activation maps — and hence SRAM footprints — much larger.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.models.spec import (
+    ArchSpec,
+    ConvSpec,
+    DenseSpec,
+    DropoutSpec,
+    DWConvSpec,
+    GlobalPoolSpec,
+)
+
+#: TinyMLPerf KWS input geometry: 49 MFCC frames × 10 coefficients.
+KWS_INPUT_SHAPE = (49, 10, 1)
+KWS_NUM_CLASSES = 12
+
+#: DS-CNN stem kernel (time × frequency).
+DSCNN_STEM_KERNEL = (10, 4)
+
+
+def _dscnn(
+    name: str,
+    channels: int,
+    blocks: int,
+    stem_stride: Union[int, Tuple[int, int]],
+    input_shape: Tuple[int, ...] = KWS_INPUT_SHAPE,
+    num_classes: int = KWS_NUM_CLASSES,
+) -> ArchSpec:
+    layers = [ConvSpec(channels, kernel=DSCNN_STEM_KERNEL, stride=stem_stride)]
+    for _ in range(blocks):
+        layers.append(DWConvSpec(kernel=3, stride=1))
+        layers.append(ConvSpec(channels, kernel=1, stride=1))
+    layers += [DropoutSpec(0.2), GlobalPoolSpec(), DenseSpec(num_classes)]
+    return ArchSpec(name=name, input_shape=input_shape, layers=tuple(layers))
+
+
+def dscnn_s(input_shape: Tuple[int, ...] = KWS_INPUT_SHAPE, num_classes: int = KWS_NUM_CLASSES) -> ArchSpec:
+    """DS-CNN(S): 64 channels, 4 separable blocks, stride-(2,2) stem."""
+    return _dscnn("DSCNN-S", 64, 4, (2, 2), input_shape, num_classes)
+
+
+def dscnn_m(input_shape: Tuple[int, ...] = KWS_INPUT_SHAPE, num_classes: int = KWS_NUM_CLASSES) -> ArchSpec:
+    """DS-CNN(M): 172 channels, 4 separable blocks, stride-(2,1) stem."""
+    return _dscnn("DSCNN-M", 172, 4, (2, 1), input_shape, num_classes)
+
+
+def dscnn_l(input_shape: Tuple[int, ...] = KWS_INPUT_SHAPE, num_classes: int = KWS_NUM_CLASSES) -> ArchSpec:
+    """DS-CNN(L): 276 channels, 5 separable blocks, stride-(2,1) stem."""
+    return _dscnn("DSCNN-L", 276, 5, (2, 1), input_shape, num_classes)

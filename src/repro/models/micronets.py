@@ -1,0 +1,213 @@
+"""The MicroNet model family — the architectures DNAS discovers.
+
+The paper's appendix gives discovered architectures per task and MCU target;
+here they are encoded as :class:`ArchSpec`s whose deployed footprints land
+close to the paper's Table 4 (flash/SRAM within the same MCU class), so the
+deployability verdicts — which model fits which board — are preserved.
+
+These specs are also what :mod:`repro.nas` converges to: the DNAS benches
+search the same backbones under the same constraints and extract
+architectures of this family.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.models.dscnn import KWS_INPUT_SHAPE, KWS_NUM_CLASSES
+from repro.models.mobilenetv2 import ibn_block
+from repro.models.spec import (
+    ArchSpec,
+    ConvSpec,
+    DenseSpec,
+    DropoutSpec,
+    DWConvSpec,
+    GlobalPoolSpec,
+    LayerSpecType,
+    PoolSpec,
+    ResidualSpec,
+)
+
+#: TinyMLPerf AD input geometry: 64×64 log-mel patch downsampled to 32×32.
+AD_INPUT_SHAPE = (32, 32, 1)
+AD_NUM_MACHINES = 4
+
+
+def _separable_stack(
+    name: str,
+    stem_channels: int,
+    block_channels: Sequence[Tuple[int, int]],
+    input_shape: Tuple[int, int, int],
+    num_classes: int,
+    stem_kernel=(10, 4),
+    stem_stride=(2, 1),
+    dropout: float = 0.2,
+) -> ArchSpec:
+    """DS-CNN-style stack: stem conv + (channels, stride) separable blocks."""
+    layers: List[LayerSpecType] = [ConvSpec(stem_channels, kernel=stem_kernel, stride=stem_stride)]
+    for channels, stride in block_channels:
+        layers.append(DWConvSpec(kernel=3, stride=stride))
+        layers.append(ConvSpec(channels, kernel=1))
+    layers += [DropoutSpec(dropout), GlobalPoolSpec(), DenseSpec(num_classes)]
+    return ArchSpec(name=name, input_shape=input_shape, layers=tuple(layers))
+
+
+# ----------------------------------------------------------------------
+# Keyword spotting (Figure 7 / Table 2 / Table 4)
+# ----------------------------------------------------------------------
+def micronet_kws_s(num_classes: int = KWS_NUM_CLASSES) -> ArchSpec:
+    """MicroNet-KWS-S: fits the small MCU; ~10 FPS on the medium board."""
+    return _separable_stack(
+        "MicroNet-KWS-S",
+        stem_channels=100,
+        block_channels=[(132, 1), (132, 1), (136, 1), (140, 1)],
+        input_shape=KWS_INPUT_SHAPE,
+        num_classes=num_classes,
+        stem_stride=(2, 2),
+    )
+
+
+def micronet_kws_m(num_classes: int = KWS_NUM_CLASSES) -> ArchSpec:
+    """MicroNet-KWS-M: fits the small MCU; ~5 FPS on the medium board."""
+    return _separable_stack(
+        "MicroNet-KWS-M",
+        stem_channels=168,
+        block_channels=[(196, 2), (196, 1), (196, 1), (196, 1)],
+        input_shape=KWS_INPUT_SHAPE,
+        num_classes=num_classes,
+        stem_stride=(2, 1),
+    )
+
+
+def micronet_kws_l(num_classes: int = KWS_NUM_CLASSES) -> ArchSpec:
+    """MicroNet-KWS-L: real-time (<1 s) target, needs the medium MCU."""
+    return _separable_stack(
+        "MicroNet-KWS-L",
+        stem_channels=276,
+        block_channels=[(276, 1), (276, 2), (276, 1), (276, 1), (276, 1), (276, 1), (276, 1)],
+        input_shape=KWS_INPUT_SHAPE,
+        num_classes=num_classes,
+        stem_stride=(2, 1),
+    )
+
+
+def micronet_kws_s4(num_classes: int = KWS_NUM_CLASSES) -> ArchSpec:
+    """The 4-bit MicroNet-KWS (Table 2): bigger than the 8-bit M model but
+    deployable on the small MCU thanks to sub-byte weight/activation storage."""
+    return _separable_stack(
+        "MicroNet-KWS-S4",
+        stem_channels=276,
+        block_channels=[(276, 1), (276, 2), (276, 1), (276, 1), (276, 1), (276, 1)],
+        input_shape=KWS_INPUT_SHAPE,
+        num_classes=num_classes,
+        stem_stride=(2, 1),
+    )
+
+
+# ----------------------------------------------------------------------
+# Visual wake words (Figures 6, 8)
+# ----------------------------------------------------------------------
+def micronet_vww_s(input_size: int = 50, num_classes: int = 2) -> ArchSpec:
+    """MicroNet-VWW-S (Figure 6a): 50×50 grayscale input, slim IBN trunk.
+
+    Early expansions are narrow (the SRAM-critical region at 25×25) while
+    late blocks are wide (the flash-dominant region), which is exactly the
+    shape DNAS discovers under a joint SRAM + flash constraint.
+    """
+    layers: List[LayerSpecType] = [ConvSpec(16, kernel=3, stride=2, activation="relu6")]
+    in_ch = 16
+    # (expand, out, stride)
+    plan = [
+        (24, 16, 1),
+        (48, 24, 2),
+        (96, 32, 1),
+        (120, 48, 2),
+        (144, 56, 1),
+        (192, 96, 2),
+        (448, 144, 1),
+    ]
+    for expand, out, stride in plan:
+        layers.extend(ibn_block(in_ch, expand, out, stride))
+        in_ch = out
+    layers.append(ConvSpec(400, kernel=1, activation="relu6"))
+    layers += [GlobalPoolSpec(), DenseSpec(num_classes)]
+    return ArchSpec(
+        name="MicroNet-VWW-S", input_shape=(input_size, input_size, 1), layers=tuple(layers)
+    )
+
+
+def micronet_vww_m(input_size: int = 160, num_classes: int = 2) -> ArchSpec:
+    """MicroNet-VWW-M (Figure 6b): 160×160 grayscale input, wider trunk."""
+    layers: List[LayerSpecType] = [ConvSpec(24, kernel=3, stride=2, activation="relu6")]
+    in_ch = 24
+    plan = [
+        (24, 24, 2),
+        (96, 48, 2),
+        (240, 80, 1),
+        (240, 80, 1),
+        (400, 120, 2),
+        (480, 120, 1),
+        (640, 160, 2),
+        (640, 176, 1),
+    ]
+    for expand, out, stride in plan:
+        layers.extend(ibn_block(in_ch, expand, out, stride))
+        in_ch = out
+    layers.append(ConvSpec(560, kernel=1, activation="relu6"))
+    layers += [GlobalPoolSpec(), DenseSpec(num_classes)]
+    return ArchSpec(
+        name="MicroNet-VWW-M", input_shape=(input_size, input_size, 1), layers=tuple(layers)
+    )
+
+
+# ----------------------------------------------------------------------
+# Anomaly detection (Table 3)
+# ----------------------------------------------------------------------
+def _ad_stack(
+    name: str,
+    stem: int,
+    blocks: Sequence[Tuple[int, int]],
+    stem_stride=(2, 1),
+    num_machines: int = AD_NUM_MACHINES,
+) -> ArchSpec:
+    """AD MicroNets: DS-CNN trunk whose late blocks stride 2 so the final
+    feature map is ~4×4 before pooling (paper §5.2.3)."""
+    layers: List[LayerSpecType] = [ConvSpec(stem, kernel=4, stride=stem_stride)]
+    for channels, stride in blocks:
+        layers.append(DWConvSpec(kernel=3, stride=stride))
+        layers.append(ConvSpec(channels, kernel=1))
+    layers += [GlobalPoolSpec(), DenseSpec(num_machines)]
+    return ArchSpec(name=name, input_shape=AD_INPUT_SHAPE, layers=tuple(layers))
+
+
+def micronet_ad_s(num_machines: int = AD_NUM_MACHINES) -> ArchSpec:
+    """MicroNet-AD-S: real-time AD on the small MCU."""
+    return _ad_stack(
+        "MicroNet-AD-S",
+        stem=180,
+        stem_stride=(2, 2),
+        blocks=[(180, 1), (224, 2), (256, 2), (256, 1)],
+        num_machines=num_machines,
+    )
+
+
+def micronet_ad_m(num_machines: int = AD_NUM_MACHINES) -> ArchSpec:
+    """MicroNet-AD-M: targets the medium MCU."""
+    return _ad_stack(
+        "MicroNet-AD-M",
+        stem=240,
+        stem_stride=(2, 1),
+        blocks=[(240, 1), (256, 2), (256, 1), (280, 2), (288, 1), (296, 1)],
+        num_machines=num_machines,
+    )
+
+
+def micronet_ad_l(num_machines: int = AD_NUM_MACHINES) -> ArchSpec:
+    """MicroNet-AD-L: targets the large MCU."""
+    return _ad_stack(
+        "MicroNet-AD-L",
+        stem=280,
+        stem_stride=(1, 1),
+        blocks=[(300, 2), (320, 2), (340, 1), (340, 2)],
+        num_machines=num_machines,
+    )

@@ -1,0 +1,146 @@
+"""MobileNetV2 (Sandler et al., 2018) and derived baselines.
+
+Used three ways in the paper: as the VWW DNAS backbone / teacher, as
+stacked-IBN KWS baselines (MBNETV2 S/M/L in Table 4), and width-0.5 as the
+DCASE anomaly-detection comparison model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.models.spec import (
+    ArchSpec,
+    ConvSpec,
+    DenseSpec,
+    DropoutSpec,
+    DWConvSpec,
+    GlobalPoolSpec,
+    LayerSpecType,
+    ResidualSpec,
+)
+
+
+def _round_channels(channels: float, multiple: int = 4) -> int:
+    """Round to a hardware-friendly multiple (the paper restricts widths
+    to multiples of 4 for the CMSIS-NN fast path)."""
+    return max(multiple, int(channels + multiple / 2) // multiple * multiple)
+
+
+def ibn_block(
+    in_channels: int, expand_channels: int, out_channels: int, stride: int = 1
+) -> List[LayerSpecType]:
+    """One inverted-bottleneck block: 1×1 expand, 3×3 depthwise, 1×1 project.
+
+    When ``expand_channels <= in_channels`` the expansion conv is omitted
+    (MobileNetV2's t=1 first block), which matters for SRAM: the expansion
+    buffer at input resolution is usually a model's activation peak.
+
+    A residual connection is used when the block preserves geometry, as in
+    MobileNetV2.
+    """
+    body_layers: List[LayerSpecType] = []
+    if expand_channels > in_channels:
+        body_layers.append(ConvSpec(expand_channels, kernel=1, activation="relu6"))
+    body_layers.append(DWConvSpec(kernel=3, stride=stride, activation="relu6"))
+    body_layers.append(ConvSpec(out_channels, kernel=1, activation=None))
+    if stride == 1 and in_channels == out_channels:
+        return [ResidualSpec(body=tuple(body_layers), shortcut="identity", activation=None)]
+    return body_layers
+
+
+#: MobileNetV2 stage table: (expansion t, output channels c, repeats n, stride s)
+MOBILENETV2_STAGES = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def mobilenet_v2(
+    input_shape: Tuple[int, int, int] = (160, 160, 1),
+    num_classes: int = 2,
+    width_multiplier: float = 1.0,
+    name: str = "MobileNetV2",
+    stages: Sequence[Tuple[int, int, int, int]] = MOBILENETV2_STAGES,
+) -> ArchSpec:
+    """Full MobileNetV2 with a width multiplier (grayscale input for VWW)."""
+    stem = _round_channels(32 * width_multiplier)
+    layers: List[LayerSpecType] = [ConvSpec(stem, kernel=3, stride=2, activation="relu6")]
+    in_ch = stem
+    for t, c, n, s in stages:
+        out_ch = _round_channels(c * width_multiplier)
+        for i in range(n):
+            stride = s if i == 0 else 1
+            expand = _round_channels(in_ch * t)
+            layers.extend(ibn_block(in_ch, expand, out_ch, stride))
+            in_ch = out_ch
+    head = _round_channels(max(1280 * width_multiplier, 640))
+    layers.append(ConvSpec(head, kernel=1, activation="relu6"))
+    layers += [GlobalPoolSpec(), DropoutSpec(0.2), DenseSpec(num_classes)]
+    return ArchSpec(name=name, input_shape=input_shape, layers=tuple(layers))
+
+
+def _kws_mbnetv2(name: str, widths: Sequence[Tuple[int, int, int]],
+                 input_shape=(49, 10, 1), num_classes: int = 12) -> ArchSpec:
+    """Stacked-IBN KWS baseline: list of (expand, out, stride) blocks.
+
+    The stem strides (2, 1), like the DS-CNN family, keeping the frequency
+    axis — which is what makes these baselines' SRAM footprints large
+    relative to their accuracy (Figure 7's message).
+    """
+    layers: List[LayerSpecType] = [
+        ConvSpec(widths[0][1], kernel=3, stride=(2, 1), activation="relu6")
+    ]
+    in_ch = widths[0][1]
+    for expand, out, stride in widths[1:]:
+        layers.extend(ibn_block(in_ch, expand, out, stride))
+        in_ch = out
+    layers += [GlobalPoolSpec(), DenseSpec(num_classes)]
+    return ArchSpec(name=name, input_shape=input_shape, layers=tuple(layers))
+
+
+def mbnetv2_kws_s() -> ArchSpec:
+    """MBNETV2(S) KWS baseline (~80 K params)."""
+    return _kws_mbnetv2(
+        "MBNETV2-S",
+        [(0, 32, 2), (96, 40, 1), (240, 40, 1), (240, 48, 2), (288, 56, 1)],
+    )
+
+
+def mbnetv2_kws_m() -> ArchSpec:
+    """MBNETV2(M) KWS baseline (~210 K params)."""
+    return _kws_mbnetv2(
+        "MBNETV2-M",
+        [(0, 48, 2), (144, 64, 1), (384, 64, 1), (384, 80, 2), (480, 96, 1)],
+    )
+
+
+def mbnetv2_kws_l() -> ArchSpec:
+    """MBNETV2(L) KWS baseline (~1 M params; exceeds every board)."""
+    return _kws_mbnetv2(
+        "MBNETV2-L",
+        [
+            (0, 64, 2),
+            (192, 96, 1),
+            (576, 96, 1),
+            (576, 128, 2),
+            (768, 128, 1),
+            (768, 160, 1),
+            (960, 192, 1),
+        ],
+    )
+
+
+def mbnetv2_05_ad(input_shape=(32, 32, 1), num_classes: int = 4) -> ArchSpec:
+    """MobileNetV2-0.5 as trained for DCASE anomaly detection (Giri 2020)."""
+    return mobilenet_v2(
+        input_shape=input_shape,
+        num_classes=num_classes,
+        width_multiplier=0.5,
+        name="MBNETV2-0.5AD",
+    )

@@ -1,0 +1,35 @@
+"""Differentiable neural architecture search (DNAS) for MCU deployment.
+
+The paper's §5: a supernet with decision nodes over layer widths (and
+effective depth via parallel skip branches) is trained by gradient descent.
+Gumbel-softmax relaxation makes the decisions differentiable, and three
+resource regularizers steer the search toward deployable models:
+
+* model size, eq. (2): Σ_k z_k |θ_k| — the eFlash constraint;
+* working memory, eq. (3): max over nodes of Σ|inputs| + Σ|outputs| — the
+  SpArSe SRAM model, with the TFLM overhead subtracted from the budget;
+* op count, eq. (4): Σ_k z_k c_k — the latency/energy proxy justified by
+  the hardware characterization (§3).
+
+Two supernet families mirror the paper's backbones: a DS-CNN-style stack
+for KWS/AD (width + per-block skip decisions) and a MobileNetV2 IBN trunk
+for VWW (expand/project width decisions).
+"""
+
+from repro.nas.decision import ChoiceDecision, gumbel_softmax
+from repro.nas.budgets import ResourceBudget, budgets_for_device
+from repro.nas.supernet import DSCNNSupernet, IBNSupernet, SupernetCosts
+from repro.nas.search import SearchConfig, DNASResult, search
+
+__all__ = [
+    "ChoiceDecision",
+    "gumbel_softmax",
+    "ResourceBudget",
+    "budgets_for_device",
+    "DSCNNSupernet",
+    "IBNSupernet",
+    "SupernetCosts",
+    "SearchConfig",
+    "DNASResult",
+    "search",
+]

@@ -1,0 +1,108 @@
+"""Supernet factories for the three TinyMLPerf tasks.
+
+Paper-scale backbones match §5.2: the VWW supernet is MobileNetV2 with
+width options at 10%..100% per conv; the KWS/AD supernets are enlarged
+DS-CNN(L) stacks (276-wide blocks, four extra blocks, skip branches). At
+CI scale the same shapes are built narrower so a search finishes on a CPU
+in minutes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.nas.supernet import DSCNNSupernet, IBNSupernet
+from repro.utils.rng import RngLike
+from repro.utils.scale import Scale, resolve_scale
+
+
+def _width_options(max_width: int, fractions: Sequence[float]) -> List[int]:
+    """Width options as fractions of the max, rounded to multiples of 4
+    (the paper restricts channels to multiples of 4, §5.2.2)."""
+    options = sorted({max(4, int(round(max_width * f / 4)) * 4) for f in fractions})
+    return options
+
+
+def micronet_kws_supernet(scale: Scale = None, rng: RngLike = 0) -> DSCNNSupernet:
+    """Enlarged DS-CNN(L) supernet for KWS (§5.2.2)."""
+    scale = scale or resolve_scale()
+    if scale.name == "paper":
+        max_width, blocks = 276, 9
+    else:
+        max_width, blocks = 64, 5
+    options = _width_options(max_width, (0.25, 0.5, 0.75, 1.0))
+    return DSCNNSupernet(
+        input_shape=(49, 10, 1),
+        num_classes=12,
+        stem_options=options,
+        num_blocks=blocks,
+        block_options=options,
+        stem_kernel=(10, 4),
+        stem_stride=(2, 2),
+        rng=rng,
+    )
+
+
+def micronet_ad_supernet(scale: Scale = None, rng: RngLike = 0) -> DSCNNSupernet:
+    """DS-CNN(L) supernet with a stride-2 tail for AD (§5.2.3)."""
+    scale = scale or resolve_scale()
+    if scale.name == "paper":
+        max_width, blocks = 276, 7
+    else:
+        max_width, blocks = 64, 5
+    options = _width_options(max_width, (0.25, 0.5, 0.75, 1.0))
+    strides = [1] * blocks
+    strides[-2:] = [2, 2]  # downsample the tail to ~4x4 before pooling
+    return DSCNNSupernet(
+        input_shape=(32, 32, 1),
+        num_classes=4,
+        stem_options=options,
+        num_blocks=blocks,
+        block_options=options,
+        block_strides=strides,
+        stem_kernel=(4, 4),
+        stem_stride=(2, 2),
+        rng=rng,
+    )
+
+
+def micronet_vww_supernet(
+    input_size: int = 50, scale: Scale = None, rng: RngLike = 0
+) -> IBNSupernet:
+    """MobileNetV2 IBN supernet for VWW (§5.2.1).
+
+    Search space: the width of the expansion and projection conv in each
+    IBN, between 10% and 100% of MobileNetV2's widths in 10% steps
+    (coarsened to keep the option count manageable on CPU).
+    """
+    scale = scale or resolve_scale()
+    fractions = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0) if scale.name == "paper" else (0.25, 0.5, 1.0)
+    if scale.name == "paper":
+        stem = 32
+        stage_plan: List[Tuple[int, int, int]] = [
+            (96, 24, 2),
+            (144, 32, 2),
+            (192, 64, 2),
+            (384, 96, 1),
+            (576, 160, 2),
+        ]
+    else:
+        stem = 8
+        stage_plan = [(24, 16, 2), (48, 24, 2), (96, 32, 2), (96, 32, 1)]
+    stages = [
+        (
+            max_expand,
+            _width_options(max_expand, fractions),
+            max_out,
+            _width_options(max_out, fractions),
+            stride,
+        )
+        for max_expand, max_out, stride in stage_plan
+    ]
+    return IBNSupernet(
+        input_shape=(input_size, input_size, 1),
+        num_classes=2,
+        stem_channels=stem,
+        stages=stages,
+        rng=rng,
+    )

@@ -1,0 +1,333 @@
+"""Black-box architecture search baselines.
+
+The paper positions DNAS against the black-box optimizers used by prior
+TinyML work: **evolutionary search** (MCUNet, Lin et al. 2020) and
+**Bayesian optimization** (SpArSe, Fedorov et al. 2019). To make that
+comparison concrete, this module implements both — plus plain random
+search — over the same DS-CNN design space and the same eq.(2)-(4)
+resource model the DNAS uses, with a fitness function that actually trains
+each candidate.
+
+All three searchers share the interface::
+
+    result = EvolutionarySearch(space, budget).run(evaluate, rng)
+
+where ``evaluate(arch) -> float`` is the (expensive) accuracy oracle and
+infeasible candidates are rejected *before* evaluation, as MCUNet does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.models.micronets import _separable_stack
+from repro.models.spec import ArchSpec, arch_workload, export_graph
+from repro.nas.budgets import ResourceBudget
+from repro.runtime.planner import plan_arena
+from repro.utils.rng import RngLike, new_rng
+
+#: Sentinel genome value meaning "this block is skipped".
+SKIP = -1
+
+
+@dataclass(frozen=True)
+class DSCNNSearchSpace:
+    """The discrete DS-CNN design space the black-box searchers explore.
+
+    A genome is ``(stem_index, block_0, ..., block_{N-1})`` where each block
+    gene is an index into ``width_options`` or :data:`SKIP`.
+    """
+
+    input_shape: Tuple[int, int, int] = (49, 10, 1)
+    num_classes: int = 12
+    width_options: Sequence[int] = (16, 32, 48, 64)
+    num_blocks: int = 5
+    stem_kernel: Tuple[int, int] = (10, 4)
+    stem_stride: Tuple[int, int] = (2, 2)
+
+    @property
+    def genome_length(self) -> int:
+        return 1 + self.num_blocks
+
+    def random_genome(self, rng: np.random.Generator) -> Tuple[int, ...]:
+        genes = [int(rng.integers(0, len(self.width_options)))]
+        for _ in range(self.num_blocks):
+            if rng.random() < 0.2:
+                genes.append(SKIP)
+            else:
+                genes.append(int(rng.integers(0, len(self.width_options))))
+        return tuple(genes)
+
+    def mutate(self, genome: Tuple[int, ...], rng: np.random.Generator) -> Tuple[int, ...]:
+        genes = list(genome)
+        position = int(rng.integers(0, len(genes)))
+        if position == 0:
+            genes[0] = int(rng.integers(0, len(self.width_options)))
+        elif rng.random() < 0.25:
+            genes[position] = SKIP
+        else:
+            genes[position] = int(rng.integers(0, len(self.width_options)))
+        return tuple(genes)
+
+    def crossover(
+        self, a: Tuple[int, ...], b: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        cut = int(rng.integers(1, len(a)))
+        return tuple(a[:cut]) + tuple(b[cut:])
+
+    def to_arch(self, genome: Tuple[int, ...], name: str = "blackbox") -> ArchSpec:
+        stem = self.width_options[genome[0]]
+        blocks = [
+            (self.width_options[g], 1) for g in genome[1:] if g != SKIP
+        ]
+        if not blocks:
+            blocks = [(self.width_options[0], 1)]
+        return _separable_stack(
+            name,
+            stem_channels=stem,
+            block_channels=blocks,
+            input_shape=self.input_shape,
+            num_classes=self.num_classes,
+            stem_kernel=self.stem_kernel,
+            stem_stride=self.stem_stride,
+        )
+
+    def encode(self, genome: Tuple[int, ...]) -> np.ndarray:
+        """Real-vector encoding for surrogate models (skip → -1)."""
+        return np.array(
+            [
+                self.width_options[g] if g != SKIP else 0
+                for g in genome
+            ],
+            dtype=np.float64,
+        )
+
+
+def feasible(arch: ArchSpec, budget: ResourceBudget) -> bool:
+    """Check an architecture against the budget with the deployment model.
+
+    Uses the same accounting DNAS regularizes: weight count, eq.(3) working
+    memory (via the actual arena planner, which eq.(3) tracks closely), and
+    op count.
+    """
+    workload = arch_workload(arch)
+    if workload.params > budget.params:
+        return False
+    if budget.ops is not None and workload.ops > budget.ops:
+        return False
+    graph = export_graph(arch, bits=8)
+    arena = plan_arena(graph).arena_bytes
+    return arena <= budget.activation_bytes
+
+
+@dataclass
+class BlackBoxResult:
+    """Outcome of a black-box search run."""
+
+    best_arch: Optional[ArchSpec]
+    best_fitness: float
+    evaluations: int
+    rejected_infeasible: int
+    history: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
+
+
+class _BlackBoxSearch:
+    """Shared bookkeeping: feasibility filtering, memoized evaluation."""
+
+    def __init__(
+        self, space: DSCNNSearchSpace, budget: ResourceBudget, max_evaluations: int = 16
+    ) -> None:
+        if max_evaluations < 1:
+            raise SearchError("need at least one evaluation")
+        self.space = space
+        self.budget = budget
+        self.max_evaluations = max_evaluations
+        self._cache: Dict[Tuple[int, ...], float] = {}
+        self._rejected = 0
+
+    def _evaluate(
+        self,
+        genome: Tuple[int, ...],
+        evaluate: Callable[[ArchSpec], float],
+        result: BlackBoxResult,
+    ) -> Optional[float]:
+        if genome in self._cache:
+            return self._cache[genome]
+        if result.evaluations >= self.max_evaluations:
+            return None
+        arch = self.space.to_arch(genome)
+        if not feasible(arch, self.budget):
+            self._rejected += 1
+            return None
+        fitness = float(evaluate(arch))
+        self._cache[genome] = fitness
+        result.evaluations += 1
+        result.history.append((genome, fitness))
+        if fitness > result.best_fitness:
+            result.best_fitness = fitness
+            result.best_arch = arch
+        return fitness
+
+    def _finalize(self, result: BlackBoxResult) -> BlackBoxResult:
+        result.rejected_infeasible = self._rejected
+        return result
+
+
+class RandomSearch(_BlackBoxSearch):
+    """Uniform random sampling of feasible genomes."""
+
+    def run(
+        self, evaluate: Callable[[ArchSpec], float], rng: RngLike = 0
+    ) -> BlackBoxResult:
+        rng = new_rng(rng)
+        result = BlackBoxResult(best_arch=None, best_fitness=-np.inf, evaluations=0,
+                                rejected_infeasible=0)
+        attempts = 0
+        while result.evaluations < self.max_evaluations and attempts < 50 * self.max_evaluations:
+            attempts += 1
+            self._evaluate(self.space.random_genome(rng), evaluate, result)
+        return self._finalize(result)
+
+
+class EvolutionarySearch(_BlackBoxSearch):
+    """MCUNet-style evolutionary search: tournament + mutation + crossover.
+
+    Infeasible offspring are rejected before evaluation, so the evaluation
+    budget is only spent on deployable candidates.
+    """
+
+    def __init__(
+        self,
+        space: DSCNNSearchSpace,
+        budget: ResourceBudget,
+        max_evaluations: int = 16,
+        population_size: int = 6,
+        mutation_probability: float = 0.7,
+    ) -> None:
+        super().__init__(space, budget, max_evaluations)
+        self.population_size = population_size
+        self.mutation_probability = mutation_probability
+
+    def run(
+        self, evaluate: Callable[[ArchSpec], float], rng: RngLike = 0
+    ) -> BlackBoxResult:
+        rng = new_rng(rng)
+        result = BlackBoxResult(best_arch=None, best_fitness=-np.inf, evaluations=0,
+                                rejected_infeasible=0)
+        # Seed population with feasible random genomes.
+        population: List[Tuple[Tuple[int, ...], float]] = []
+        attempts = 0
+        while len(population) < self.population_size and attempts < 200:
+            attempts += 1
+            genome = self.space.random_genome(rng)
+            fitness = self._evaluate(genome, evaluate, result)
+            if fitness is not None:
+                population.append((genome, fitness))
+            if result.evaluations >= self.max_evaluations:
+                return self._finalize(result)
+
+        while result.evaluations < self.max_evaluations and population:
+            # Binary tournament selection.
+            def pick() -> Tuple[int, ...]:
+                contenders = [population[int(rng.integers(0, len(population)))] for _ in range(2)]
+                return max(contenders, key=lambda item: item[1])[0]
+
+            if rng.random() < self.mutation_probability or len(population) < 2:
+                child = self.space.mutate(pick(), rng)
+            else:
+                child = self.space.crossover(pick(), pick(), rng)
+            fitness = self._evaluate(child, evaluate, result)
+            if fitness is not None:
+                population.append((child, fitness))
+                population.sort(key=lambda item: -item[1])
+                population = population[: self.population_size]
+        return self._finalize(result)
+
+
+class BayesianSearch(_BlackBoxSearch):
+    """SpArSe-style Bayesian optimization with a GP surrogate.
+
+    A Gaussian-process regressor (RBF kernel over the width-encoded genome)
+    models fitness; candidates are proposed by maximizing expected
+    improvement over a random pool, subject to the feasibility filter.
+    """
+
+    def __init__(
+        self,
+        space: DSCNNSearchSpace,
+        budget: ResourceBudget,
+        max_evaluations: int = 16,
+        pool_size: int = 64,
+        length_scale: float = 32.0,
+        noise: float = 1e-3,
+    ) -> None:
+        super().__init__(space, budget, max_evaluations)
+        self.pool_size = pool_size
+        self.length_scale = length_scale
+        self.noise = noise
+
+    # --- GP machinery -------------------------------------------------
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = ((a[:, None, :] - b[None, :, :]) ** 2).sum(-1)
+        return np.exp(-0.5 * sq / self.length_scale**2)
+
+    def _posterior(
+        self, x_train: np.ndarray, y_train: np.ndarray, x_query: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        k_tt = self._kernel(x_train, x_train) + self.noise * np.eye(len(x_train))
+        k_qt = self._kernel(x_query, x_train)
+        solve = np.linalg.solve(k_tt, np.eye(len(x_train)))
+        mean = k_qt @ solve @ y_train
+        var = 1.0 - np.einsum("ij,jk,ik->i", k_qt, solve, k_qt)
+        return mean, np.maximum(var, 1e-9)
+
+    @staticmethod
+    def _expected_improvement(mean: np.ndarray, var: np.ndarray, best: float) -> np.ndarray:
+        from scipy.stats import norm
+
+        std = np.sqrt(var)
+        z = (mean - best) / std
+        return (mean - best) * norm.cdf(z) + std * norm.pdf(z)
+
+    # --- search loop ----------------------------------------------------
+    def run(
+        self, evaluate: Callable[[ArchSpec], float], rng: RngLike = 0
+    ) -> BlackBoxResult:
+        rng = new_rng(rng)
+        result = BlackBoxResult(best_arch=None, best_fitness=-np.inf, evaluations=0,
+                                rejected_infeasible=0)
+        # Bootstrap with a few random feasible points.
+        bootstrap = max(2, self.max_evaluations // 4)
+        attempts = 0
+        while result.evaluations < bootstrap and attempts < 200:
+            attempts += 1
+            self._evaluate(self.space.random_genome(rng), evaluate, result)
+
+        while result.evaluations < self.max_evaluations and result.history:
+            x_train = np.stack([self.space.encode(g) for g, _ in result.history])
+            y_train = np.array([f for _, f in result.history])
+            y_mean, y_std = y_train.mean(), y_train.std() + 1e-9
+            y_norm = (y_train - y_mean) / y_std
+
+            pool = [self.space.random_genome(rng) for _ in range(self.pool_size)]
+            pool += [self.space.mutate(g, rng) for g, _ in result.history]
+            pool = [g for g in pool if g not in self._cache]
+            if not pool:
+                break
+            x_pool = np.stack([self.space.encode(g) for g in pool])
+            mean, var = self._posterior(x_train, y_norm, x_pool)
+            ei = self._expected_improvement(mean, var, y_norm.max())
+            # Try candidates in EI order until one is feasible.
+            progressed = False
+            for idx in np.argsort(-ei):
+                fitness = self._evaluate(pool[int(idx)], evaluate, result)
+                if fitness is not None:
+                    progressed = True
+                    break
+            if not progressed:
+                break
+        return self._finalize(result)

@@ -1,0 +1,71 @@
+"""Resource budgets for DNAS, derived from target devices.
+
+The paper's constraints (§5.1): the architecture must fit the MCU's eFlash
+(model size) and SRAM (working memory, after subtracting the expected TFLM
+overhead), and meet a latency target expressed in ops via the linear
+latency model of §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.devices import MCUDevice
+from repro.hw.latency import LatencyModel
+from repro.runtime.reporting import RUNTIME_CODE_FLASH, RUNTIME_SRAM_OVERHEAD
+
+#: Fraction of the flash budget reserved for graph metadata + headroom for
+#: application logic (paper §6.2: the constraint cannot be met tightly).
+FLASH_HEADROOM = 0.85
+#: Fraction of SRAM kept free for persistent buffers + planner slack.
+SRAM_HEADROOM = 0.80
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Budgets in the search's native units.
+
+    Attributes
+    ----------
+    params: maximum weight count (flash constraint, eq. 2 units).
+    activation_bytes: maximum working memory (SRAM constraint, eq. 3 units).
+    ops: maximum op count (latency constraint, eq. 4 units); None disables.
+    """
+
+    params: float
+    activation_bytes: float
+    ops: Optional[float] = None
+
+
+def budgets_for_device(
+    device: MCUDevice,
+    latency_target_s: Optional[float] = None,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+    throughput_ops_per_s: Optional[float] = None,
+) -> ResourceBudget:
+    """Derive search budgets from a device and an optional latency target.
+
+    Parameters
+    ----------
+    latency_target_s:
+        e.g. 0.1 for the paper's 10 FPS small-KWS target; None leaves the
+        op-count term unconstrained.
+    throughput_ops_per_s:
+        The backbone's throughput on the device (the slope of Figure 4). If
+        omitted, a conservative per-device default is used.
+    """
+    flash_budget = (device.eflash_bytes - RUNTIME_CODE_FLASH) * FLASH_HEADROOM
+    params = flash_budget * 8 / weight_bits
+    sram_budget = (device.sram_bytes - RUNTIME_SRAM_OVERHEAD) * SRAM_HEADROOM
+    activation_bytes = sram_budget
+    ops = None
+    if latency_target_s is not None:
+        if throughput_ops_per_s is None:
+            # Default to the pointwise-conv rate, the dominant layer type in
+            # the paper's backbones.
+            model = LatencyModel(device)
+            throughput_ops_per_s = device.clock_hz / model.cycles_per_op("conv2d")
+        ops = latency_target_s * throughput_ops_per_s
+    return ResourceBudget(params=params, activation_bytes=activation_bytes, ops=ops)

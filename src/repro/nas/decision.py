@@ -1,0 +1,104 @@
+"""Decision nodes: Gumbel-softmax relaxed categorical choices.
+
+A decision node (paper eq. (1)) selects one of K options. During search the
+one-hot selector ``z`` is relaxed to a Gumbel-softmax sample ``g``; all
+resource terms (eqs. (2)–(4)) become differentiable functions of ``g``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+from repro.utils.rng import RngLike, new_rng
+
+
+def gumbel_softmax(
+    logits: Tensor, temperature: float, rng: np.random.Generator, hard: bool = False
+) -> Tensor:
+    """Sample a relaxed one-hot vector from ``logits``.
+
+    With ``hard=True``, the forward value is the exact one-hot argmax while
+    the gradient flows through the soft sample (straight-through).
+    """
+    if temperature <= 0:
+        raise SearchError("gumbel temperature must be positive")
+    uniform = rng.uniform(1e-9, 1.0 - 1e-9, size=logits.shape).astype(np.float32)
+    gumbel = -np.log(-np.log(uniform))
+    soft = F.softmax((logits + Tensor(gumbel)) * (1.0 / temperature), axis=-1)
+    if not hard:
+        return soft
+    index = int(np.argmax(soft.data))
+    one_hot = np.zeros_like(soft.data)
+    one_hot[index] = 1.0
+    # Straight-through: forward = one_hot, backward = soft's gradient.
+    return soft + Tensor(one_hot - soft.data)
+
+
+class ChoiceDecision(Module):
+    """A K-way architecture decision with per-option scalar costs.
+
+    Parameters
+    ----------
+    options:
+        The semantic value of each option (e.g. channel widths, or
+        ``[1, 0]`` for use-block/skip-block).
+    name:
+        Used in search logs and extraction.
+    """
+
+    def __init__(self, options: Sequence[int], name: str, rng: RngLike = 0) -> None:
+        super().__init__()
+        if len(options) < 2:
+            raise SearchError(f"decision {name!r} needs at least 2 options")
+        self.options = [int(o) for o in options]
+        self.name = name
+        rng = new_rng(rng)
+        init = rng.normal(0.0, 0.01, size=len(options)).astype(np.float32)
+        self.alpha = Parameter(init, name=f"alpha_{name}")
+        self._last_sample: Tensor | None = None
+
+    # ------------------------------------------------------------------
+    def sample(self, temperature: float, rng: np.random.Generator, hard: bool = False) -> Tensor:
+        """Draw the relaxed selector ``g`` for this step (shape (K,))."""
+        g = gumbel_softmax(self.alpha, temperature, rng, hard=hard)
+        self._last_sample = g
+        return g
+
+    def expected_value(self, g: Tensor) -> Tensor:
+        """Σ_k g_k · option_k, e.g. the expected channel width."""
+        return (g * Tensor(np.asarray(self.options, dtype=np.float32))).sum()
+
+    def width_mask(self, g: Tensor, max_width: int) -> Tensor:
+        """Soft channel mask of length ``max_width``.
+
+        Option k contributes a binary mask enabling its first ``options[k]``
+        channels (FBNetV2-style channel masking), blended by ``g``.
+        """
+        masks = np.zeros((len(self.options), max_width), dtype=np.float32)
+        for k, width in enumerate(self.options):
+            if width > max_width:
+                raise SearchError(
+                    f"decision {self.name!r}: option {width} exceeds max width {max_width}"
+                )
+            masks[k, :width] = 1.0
+        return g.reshape(1, -1).matmul(Tensor(masks)).reshape(max_width)
+
+    # ------------------------------------------------------------------
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Current softmax selection probabilities (for logging)."""
+        shifted = self.alpha.data - self.alpha.data.max()
+        exp = np.exp(shifted)
+        return exp / exp.sum()
+
+    def selected(self) -> int:
+        """The option the search has converged to (argmax of alpha)."""
+        return self.options[int(np.argmax(self.alpha.data))]
+
+    def selected_index(self) -> int:
+        return int(np.argmax(self.alpha.data))

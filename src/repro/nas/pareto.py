@@ -1,0 +1,116 @@
+"""Pareto-front utilities for model comparison (Figures 7 and 8).
+
+The paper's central empirical claim is Pareto-optimality: no baseline is
+simultaneously at least as accurate *and* at least as cheap on every
+resource. These helpers compute dominance, extract fronts, and quantify
+front quality (hypervolume) from experiment rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ModelPoint:
+    """One model in objective space.
+
+    ``score`` is maximized (accuracy/AUC); ``costs`` are minimized
+    (latency, SRAM, flash, ...), in a fixed order shared across points.
+    """
+
+    name: str
+    score: float
+    costs: Tuple[float, ...]
+
+    def dominates(self, other: "ModelPoint") -> bool:
+        """Weak dominance with at least one strict improvement."""
+        if len(self.costs) != len(other.costs):
+            raise ReproError("points have different cost dimensionality")
+        not_worse = self.score >= other.score and all(
+            a <= b for a, b in zip(self.costs, other.costs)
+        )
+        strictly_better = self.score > other.score or any(
+            a < b for a, b in zip(self.costs, other.costs)
+        )
+        return not_worse and strictly_better
+
+
+def pareto_front(points: Sequence[ModelPoint]) -> List[ModelPoint]:
+    """The non-dominated subset, sorted by descending score."""
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: -p.score)
+
+
+def dominated_pairs(points: Sequence[ModelPoint]) -> List[Tuple[str, str]]:
+    """(dominated, dominator) name pairs — empty iff all points are on the
+    front."""
+    out = []
+    for p in points:
+        for q in points:
+            if q is not p and q.dominates(p):
+                out.append((p.name, q.name))
+    return out
+
+
+def hypervolume_2d(points: Sequence[ModelPoint], cost_index: int = 0,
+                   reference_cost: float = None, reference_score: float = 0.0) -> float:
+    """2-D hypervolume (score vs one cost) dominated by the front.
+
+    Larger is better. Costs are measured against ``reference_cost``
+    (defaults to the worst cost present); scores against
+    ``reference_score``.
+    """
+    if not points:
+        return 0.0
+    front = pareto_front(points)
+    costs = np.array([p.costs[cost_index] for p in front])
+    scores = np.array([p.score for p in front])
+    if reference_cost is None:
+        reference_cost = float(max(p.costs[cost_index] for p in points))
+    order = np.argsort(costs)
+    costs, scores = costs[order], scores[order]
+    volume = 0.0
+    best_score = reference_score
+    previous_cost = reference_cost
+    # Sweep from the most expensive point toward the cheapest.
+    for cost, score in zip(costs[::-1], scores[::-1]):
+        if cost > reference_cost:
+            continue
+        best_score = max(best_score, score)
+        volume += (previous_cost - cost) * max(best_score - reference_score, 0.0)
+        previous_cost = cost
+    return float(volume)
+
+
+def points_from_rows(
+    rows: Sequence[Dict[str, object]],
+    name_key: str,
+    score_key: str,
+    cost_keys: Sequence[str],
+) -> List[ModelPoint]:
+    """Build points from experiment-result rows, skipping rows with missing
+    values (untrained models)."""
+    points = []
+    for row in rows:
+        score = row.get(score_key)
+        costs = [row.get(k) for k in cost_keys]
+        if score is None or any(c is None for c in costs):
+            continue
+        points.append(
+            ModelPoint(
+                name=str(row[name_key]),
+                score=float(score),
+                costs=tuple(float(c) for c in costs),
+            )
+        )
+    return points

@@ -1,0 +1,463 @@
+"""Supernet definitions: the searchable backbones of §5.2.
+
+Both supernets follow the FBNetV2 channel-masking construction: every conv
+runs at its maximum width and a Gumbel-softmax-blended binary mask zeroes
+the channels beyond the sampled width. All resource terms are accumulated
+*symbolically* (as autodiff tensors over the decision samples) during the
+forward pass, so one backward pass trains weights and architecture jointly.
+
+Costs are tracked in deployment units: weights count toward eq. (2) in
+parameters, op counts toward eq. (4) with 2 ops/MAC, and working memory
+toward eq. (3) in bytes of int8 activations, max-reduced over graph nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.models.micronets import _separable_stack
+from repro.models.mobilenetv2 import ibn_block
+from repro.models.spec import (
+    ArchSpec,
+    ConvSpec,
+    DenseSpec,
+    GlobalPoolSpec,
+    LayerSpecType,
+)
+from repro.nas.decision import ChoiceDecision
+from repro.nn.layers import AvgPool2D, BatchNorm, Conv2D, Dense, DepthwiseConv2D, GlobalAvgPool
+from repro.nn.module import Module
+from repro.tensor import Tensor
+from repro.tensor.conv import as_pair, conv_output_size
+from repro.tensor.tensor import stack
+from repro.utils.rng import RngLike, new_rng, spawn_rng
+
+
+class SupernetCosts:
+    """Accumulates symbolic resource costs during a supernet forward."""
+
+    def __init__(self) -> None:
+        self._params: List[Tensor] = []
+        self._macs: List[Tensor] = []
+        self._memory_nodes: List[Tensor] = []
+
+    def add_layer(self, params: Tensor, macs: Tensor, memory_bytes: Tensor) -> None:
+        self._params.append(params)
+        self._macs.append(macs)
+        self._memory_nodes.append(memory_bytes)
+
+    @property
+    def params(self) -> Tensor:
+        """Expected weight count — eq. (2) summed over the supernet."""
+        return _sum(self._params)
+
+    @property
+    def ops(self) -> Tensor:
+        """Expected op count (2 ops per MAC) — eq. (4)."""
+        return _sum(self._macs) * 2.0
+
+    @property
+    def working_memory(self) -> Tensor:
+        """Expected working memory — eq. (3): max over graph nodes."""
+        return stack(self._memory_nodes).max()
+
+
+def _sum(tensors: List[Tensor]) -> Tensor:
+    total = tensors[0]
+    for t in tensors[1:]:
+        total = total + t
+    return total
+
+
+def _scalar(value: float) -> Tensor:
+    return Tensor(np.float32(value))
+
+
+# ----------------------------------------------------------------------
+# DS-CNN supernet (KWS and AD backbones)
+# ----------------------------------------------------------------------
+class SuperSeparableBlock(Module):
+    """Depthwise-separable block with width and (optional) skip decisions.
+
+    The skip branch (identity, or average pooling when the block
+    downsamples) implements the paper's layer-count search: choosing the
+    skip removes the block from the extracted architecture.
+    """
+
+    def __init__(
+        self,
+        max_width: int,
+        width_options: Sequence[int],
+        name: str,
+        stride: int = 1,
+        searchable_skip: bool = True,
+        rng: RngLike = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.max_width = max_width
+        self.stride = stride
+        self.dw = DepthwiseConv2D(max_width, 3, stride=stride, use_bias=False, rng=spawn_rng(rng))
+        self.bn1 = BatchNorm(max_width)
+        self.pw = Conv2D(max_width, max_width, 1, use_bias=False, rng=spawn_rng(rng))
+        self.bn2 = BatchNorm(max_width)
+        self.width = ChoiceDecision(width_options, f"{name}.width", rng=spawn_rng(rng))
+        self.skip = (
+            ChoiceDecision([1, 0], f"{name}.skip", rng=spawn_rng(rng))
+            if searchable_skip
+            else None
+        )
+        self.pool = AvgPool2D(stride, stride, padding="same") if stride > 1 else None
+
+    def forward_search(
+        self,
+        x: Tensor,
+        e_in: Tensor,
+        spatial: Tuple[int, int],
+        temperature: float,
+        rng: np.random.Generator,
+        costs: SupernetCosts,
+    ) -> Tuple[Tensor, Tensor, Tuple[int, int]]:
+        h, w = spatial
+        oh = conv_output_size(h, 3, self.stride, "same")
+        ow = conv_output_size(w, 3, self.stride, "same")
+
+        g_w = self.width.sample(temperature, rng)
+        mask = self.width.width_mask(g_w, self.max_width)
+        e_out = self.width.expected_value(g_w)
+
+        body = self.bn1(self.dw(x)).relu()
+        body = (self.bn2(self.pw(body)) * mask).relu()
+
+        dw_params = e_in * 10.0  # 3x3 kernel + bias per channel
+        dw_macs = e_in * float(oh * ow * 9)
+        dw_memory = e_in * float(h * w) + e_in * float(oh * ow)
+        pw_params = e_in * e_out + e_out
+        pw_macs = e_in * e_out * float(oh * ow)
+        pw_memory = (e_in + e_out) * float(oh * ow)
+
+        if self.skip is not None:
+            g_s = self.skip.sample(temperature, rng)
+            p_use = g_s[0]
+            shortcut = self.pool(x) if self.pool is not None else x
+            out = body * p_use + shortcut * g_s[1]
+            e_out_eff = e_out * p_use + e_in * g_s[1]
+            costs.add_layer(
+                (dw_params + pw_params) * p_use,
+                (dw_macs + pw_macs) * p_use,
+                stack([dw_memory, pw_memory]).max() * p_use + (e_in * float(h * w + oh * ow)) * g_s[1],
+            )
+        else:
+            out = body
+            e_out_eff = e_out
+            costs.add_layer(dw_params + pw_params, dw_macs + pw_macs, stack([dw_memory, pw_memory]).max())
+        return out, e_out_eff, (oh, ow)
+
+
+class DSCNNSupernet(Module):
+    """The enlarged DS-CNN supernet used for KWS and AD (§5.2.2, §5.2.3).
+
+    Parameters
+    ----------
+    input_shape: (H, W, 1) feature-map geometry.
+    num_classes: classifier width.
+    stem_options / block configs: channel-width options per decision node;
+        all widths should be multiples of 4 (CMSIS fast path).
+    block_strides: per-block stride (the AD variant strides its last two
+        blocks, §5.2.3).
+    """
+
+    def __init__(
+        self,
+        input_shape: Tuple[int, int, int],
+        num_classes: int,
+        stem_options: Sequence[int],
+        num_blocks: int,
+        block_options: Sequence[int],
+        block_strides: Optional[Sequence[int]] = None,
+        stem_kernel=(10, 4),
+        stem_stride=(2, 2),
+        rng: RngLike = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_shape = tuple(input_shape)
+        self.num_classes = num_classes
+        self.stem_kernel = as_pair(stem_kernel)
+        self.stem_stride = as_pair(stem_stride)
+        self.stem_max = max(stem_options)
+        self.block_max = max(block_options)
+        if self.stem_max != self.block_max:
+            raise SearchError(
+                "stem and block max widths must match (masked tensors share layout)"
+            )
+        block_strides = list(block_strides) if block_strides is not None else [1] * num_blocks
+        if len(block_strides) != num_blocks:
+            raise SearchError("block_strides length must equal num_blocks")
+
+        self.stem = Conv2D(
+            input_shape[-1],
+            self.stem_max,
+            self.stem_kernel,
+            stride=self.stem_stride,
+            use_bias=False,
+            rng=spawn_rng(rng),
+        )
+        self.stem_bn = BatchNorm(self.stem_max)
+        self.stem_width = ChoiceDecision(stem_options, "stem.width", rng=spawn_rng(rng))
+        self.blocks = [
+            SuperSeparableBlock(
+                self.block_max,
+                block_options,
+                name=f"block{i}",
+                stride=block_strides[i],
+                searchable_skip=(block_strides[i] == 1),
+                rng=spawn_rng(rng),
+            )
+            for i in range(num_blocks)
+        ]
+        self.head = Dense(self.block_max, num_classes, rng=spawn_rng(rng))
+
+    # ------------------------------------------------------------------
+    def forward_search(
+        self, x: Tensor, temperature: float, rng: np.random.Generator
+    ) -> Tuple[Tensor, SupernetCosts]:
+        costs = SupernetCosts()
+        h, w, c_in = self.input_shape
+        kh, kw = self.stem_kernel
+        sh, sw = self.stem_stride
+        oh = conv_output_size(h, kh, sh, "same")
+        ow = conv_output_size(w, kw, sw, "same")
+
+        g = self.stem_width.sample(temperature, rng)
+        mask = self.stem_width.width_mask(g, self.stem_max)
+        e = self.stem_width.expected_value(g)
+        out = (self.stem_bn(self.stem(x)) * mask).relu()
+        costs.add_layer(
+            e * float(kh * kw * c_in + 1),
+            e * float(oh * ow * kh * kw * c_in),
+            _scalar(h * w * c_in) + e * float(oh * ow),
+        )
+
+        spatial = (oh, ow)
+        for block in self.blocks:
+            out, e, spatial = block.forward_search(out, e, spatial, temperature, rng, costs)
+
+        pooled = GlobalAvgPool()(out)
+        logits = self.head(pooled)
+        costs.add_layer(
+            e * float(self.num_classes) + float(self.num_classes),
+            e * float(self.num_classes),
+            e + float(self.num_classes),
+        )
+        return logits, costs
+
+    def forward(self, x: Tensor) -> Tensor:  # convenience: argmax path
+        logits, _ = self.forward_search(x, temperature=1e-3, rng=np.random.default_rng(0))
+        return logits
+
+    # ------------------------------------------------------------------
+    def decisions(self) -> List[ChoiceDecision]:
+        out = [self.stem_width]
+        for block in self.blocks:
+            out.append(block.width)
+            if block.skip is not None:
+                out.append(block.skip)
+        return out
+
+    def extract(self, name: str = "dnas-dscnn") -> ArchSpec:
+        """Argmax decisions → a deployable architecture spec."""
+        stem = self.stem_width.selected()
+        blocks: List[Tuple[int, int]] = []
+        for block in self.blocks:
+            if block.skip is not None and block.skip.selected() == 0:
+                continue  # block skipped: removed from the extracted net
+            blocks.append((block.width.selected(), block.stride))
+        return _separable_stack(
+            name,
+            stem_channels=stem,
+            block_channels=blocks,
+            input_shape=self.input_shape,
+            num_classes=self.num_classes,
+            stem_kernel=self.stem_kernel,
+            stem_stride=self.stem_stride,
+        )
+
+
+# ----------------------------------------------------------------------
+# MobileNetV2 IBN supernet (VWW backbone)
+# ----------------------------------------------------------------------
+class SuperIBNBlock(Module):
+    """Inverted bottleneck with searchable expansion and projection widths."""
+
+    def __init__(
+        self,
+        max_in: int,
+        max_expand: int,
+        expand_options: Sequence[int],
+        max_out: int,
+        out_options: Sequence[int],
+        name: str,
+        stride: int = 1,
+        residual: bool = True,
+        rng: RngLike = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.max_in = max_in
+        self.max_expand = max_expand
+        self.max_out = max_out
+        self.stride = stride
+        self.residual = residual and stride == 1 and max_in == max_out
+        self.expand_conv = Conv2D(max_in, max_expand, 1, use_bias=False, rng=spawn_rng(rng))
+        self.expand_bn = BatchNorm(max_expand)
+        self.dw = DepthwiseConv2D(max_expand, 3, stride=stride, use_bias=False, rng=spawn_rng(rng))
+        self.dw_bn = BatchNorm(max_expand)
+        self.project = Conv2D(max_expand, max_out, 1, use_bias=False, rng=spawn_rng(rng))
+        self.project_bn = BatchNorm(max_out)
+        self.expand_width = ChoiceDecision(expand_options, f"{name}.expand", rng=spawn_rng(rng))
+        self.out_width = ChoiceDecision(out_options, f"{name}.project", rng=spawn_rng(rng))
+
+    def forward_search(
+        self,
+        x: Tensor,
+        e_in: Tensor,
+        spatial: Tuple[int, int],
+        temperature: float,
+        rng: np.random.Generator,
+        costs: SupernetCosts,
+    ) -> Tuple[Tensor, Tensor, Tuple[int, int]]:
+        h, w = spatial
+        oh = conv_output_size(h, 3, self.stride, "same")
+        ow = conv_output_size(w, 3, self.stride, "same")
+
+        g_e = self.expand_width.sample(temperature, rng)
+        g_o = self.out_width.sample(temperature, rng)
+        mask_e = self.expand_width.width_mask(g_e, self.max_expand)
+        mask_o = self.out_width.width_mask(g_o, self.max_out)
+        e_exp = self.expand_width.expected_value(g_e)
+        e_out = self.out_width.expected_value(g_o)
+
+        expanded = (self.expand_bn(self.expand_conv(x)) * mask_e).relu6()
+        spatial_features = (self.dw_bn(self.dw(expanded)) * mask_e).relu6()
+        projected = self.project_bn(self.project(spatial_features)) * mask_o
+
+        held = e_in * float(h * w) if self.residual else _scalar(0.0)
+        costs.add_layer(
+            e_in * e_exp + e_exp,
+            e_in * e_exp * float(h * w),
+            (e_in + e_exp) * float(h * w) + held,
+        )
+        costs.add_layer(
+            e_exp * 10.0,
+            e_exp * float(oh * ow * 9),
+            e_exp * float(h * w + oh * ow) + held,
+        )
+        costs.add_layer(
+            e_exp * e_out + e_out,
+            e_exp * e_out * float(oh * ow),
+            e_exp * float(oh * ow) + e_out * float(oh * ow) + held,
+        )
+        if self.residual:
+            out = projected + x
+            e_out = e_out  # residual keeps max-width layout; widths blend
+        else:
+            out = projected
+        return out, e_out, (oh, ow)
+
+
+class IBNSupernet(Module):
+    """MobileNetV2-backbone supernet for VWW (§5.2.1).
+
+    Each stage entry is (max_expand, expand_options, max_out, out_options,
+    stride). All IBN projections share ``max_out`` when residual, matching
+    the masked-tensor layout requirement.
+    """
+
+    def __init__(
+        self,
+        input_shape: Tuple[int, int, int],
+        num_classes: int,
+        stem_channels: int,
+        stages: Sequence[Tuple[int, Sequence[int], int, Sequence[int], int]],
+        rng: RngLike = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_shape = tuple(input_shape)
+        self.num_classes = num_classes
+        self.stem_channels = stem_channels
+        self.stem = Conv2D(
+            input_shape[-1], stem_channels, 3, stride=2, use_bias=False, rng=spawn_rng(rng)
+        )
+        self.stem_bn = BatchNorm(stem_channels)
+        self.blocks: List[SuperIBNBlock] = []
+        in_width = stem_channels
+        for i, (max_expand, e_opts, max_out, o_opts, stride) in enumerate(stages):
+            self.blocks.append(
+                SuperIBNBlock(
+                    in_width,
+                    max_expand,
+                    e_opts,
+                    max_out,
+                    o_opts,
+                    name=f"ibn{i}",
+                    stride=stride,
+                    rng=spawn_rng(rng),
+                )
+            )
+            in_width = max_out
+        self.head = Dense(in_width, num_classes, rng=spawn_rng(rng))
+
+    def forward_search(
+        self, x: Tensor, temperature: float, rng: np.random.Generator
+    ) -> Tuple[Tensor, SupernetCosts]:
+        costs = SupernetCosts()
+        h, w, c_in = self.input_shape
+        oh = conv_output_size(h, 3, 2, "same")
+        ow = conv_output_size(w, 3, 2, "same")
+        out = self.stem_bn(self.stem(x)).relu6()
+        e = _scalar(float(self.stem_channels))
+        costs.add_layer(
+            _scalar(9.0 * c_in * self.stem_channels),
+            _scalar(float(oh * ow * 9 * c_in * self.stem_channels)),
+            _scalar(float(h * w * c_in + oh * ow * self.stem_channels)),
+        )
+        spatial = (oh, ow)
+        for block in self.blocks:
+            out, e, spatial = block.forward_search(out, e, spatial, temperature, rng, costs)
+        pooled = GlobalAvgPool()(out)
+        logits = self.head(pooled)
+        costs.add_layer(
+            e * float(self.num_classes) + float(self.num_classes),
+            e * float(self.num_classes),
+            e + float(self.num_classes),
+        )
+        return logits, costs
+
+    def forward(self, x: Tensor) -> Tensor:
+        logits, _ = self.forward_search(x, temperature=1e-3, rng=np.random.default_rng(0))
+        return logits
+
+    def decisions(self) -> List[ChoiceDecision]:
+        out = []
+        for block in self.blocks:
+            out.extend([block.expand_width, block.out_width])
+        return out
+
+    def extract(self, name: str = "dnas-ibn") -> ArchSpec:
+        layers: List[LayerSpecType] = [
+            ConvSpec(self.stem_channels, kernel=3, stride=2, activation="relu6")
+        ]
+        in_ch = self.stem_channels
+        for block in self.blocks:
+            expand = block.expand_width.selected()
+            out_ch = block.out_width.selected() if not block.residual else in_ch
+            layers.extend(ibn_block(in_ch, expand, out_ch, block.stride))
+            in_ch = out_ch
+        layers += [GlobalPoolSpec(), DenseSpec(self.num_classes)]
+        return ArchSpec(name=name, input_shape=self.input_shape, layers=tuple(layers))

@@ -1,0 +1,59 @@
+"""Neural network building blocks over the :mod:`repro.tensor` engine.
+
+Contents mirror what the paper's training recipes need: conv/depthwise/dense
+layers with batch norm, ReLU/ReLU6, pooling, SGD/Adam with cosine schedules,
+cross-entropy with label smoothing, knowledge distillation, and mixup.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    Conv2D,
+    DepthwiseConv2D,
+    Dense,
+    BatchNorm,
+    ReLU,
+    ReLU6,
+    AvgPool2D,
+    MaxPool2D,
+    GlobalAvgPool,
+    Flatten,
+    Dropout,
+    Identity,
+)
+from repro.nn.losses import (
+    cross_entropy,
+    distillation_loss,
+    mse_loss,
+)
+from repro.nn.optim import SGD, Adam
+from repro.nn.schedules import CosineDecay, ConstantSchedule
+from repro.nn.metrics import accuracy, roc_auc
+from repro.nn.augment import mixup
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "Dense",
+    "BatchNorm",
+    "ReLU",
+    "ReLU6",
+    "AvgPool2D",
+    "MaxPool2D",
+    "GlobalAvgPool",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "cross_entropy",
+    "distillation_loss",
+    "mse_loss",
+    "SGD",
+    "Adam",
+    "CosineDecay",
+    "ConstantSchedule",
+    "accuracy",
+    "roc_auc",
+    "mixup",
+]

@@ -1,0 +1,33 @@
+"""Training-time augmentations.
+
+The paper uses mixup (coefficient 0.3) for anomaly detection and
+noise/time-jitter augmentation (applied in :mod:`repro.datasets`) for KWS.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.losses import one_hot
+
+
+def mixup(
+    x: np.ndarray,
+    labels: np.ndarray,
+    num_classes: int,
+    alpha: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """mixup (Zhang et al., 2018): convex combinations of sample pairs.
+
+    Returns mixed inputs and the corresponding *soft* label matrix.
+    """
+    if alpha <= 0.0:
+        return x, one_hot(labels, num_classes)
+    lam = rng.beta(alpha, alpha)
+    perm = rng.permutation(x.shape[0])
+    mixed_x = lam * x + (1.0 - lam) * x[perm]
+    targets = lam * one_hot(labels, num_classes) + (1.0 - lam) * one_hot(labels[perm], num_classes)
+    return mixed_x.astype(np.float32), targets.astype(np.float32)

@@ -1,0 +1,29 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def he_normal(rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He/Kaiming normal init, appropriate for ReLU networks."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def glorot_uniform(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform init, appropriate for linear/sigmoid outputs."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

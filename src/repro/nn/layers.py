@@ -1,0 +1,208 @@
+"""Standard layers used by the MicroNets backbones.
+
+All spatial layers use NHWC layout and TF-style padding so shapes (and hence
+op counts and memory footprints) match what TFLM computes on device.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+from repro.tensor.conv import as_pair
+from repro.utils.rng import new_rng, RngLike
+
+
+class Conv2D(Module):
+    """2-D convolution with optional bias.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts; weight shape is (KH, KW, in, out).
+    kernel_size, stride, padding:
+        Spatial geometry, TF semantics ("same"/"valid").
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size=3,
+        stride=1,
+        padding: str = "same",
+        use_bias: bool = True,
+        rng: RngLike = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        kh, kw = as_pair(kernel_size)
+        self.kernel_size = (kh, kw)
+        self.stride = as_pair(stride)
+        self.padding = padding
+        fan_in = kh * kw * in_channels
+        self.weight = Parameter(
+            init.he_normal(rng, (kh, kw, in_channels, out_channels), fan_in),
+            name="conv_weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="conv_bias") if use_bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.conv2d(x, self.weight, stride=self.stride, padding=self.padding)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class DepthwiseConv2D(Module):
+    """Depthwise convolution (channel multiplier 1)."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size=3,
+        stride=1,
+        padding: str = "same",
+        use_bias: bool = True,
+        rng: RngLike = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.channels = channels
+        kh, kw = as_pair(kernel_size)
+        self.kernel_size = (kh, kw)
+        self.stride = as_pair(stride)
+        self.padding = padding
+        fan_in = kh * kw
+        self.weight = Parameter(
+            init.he_normal(rng, (kh, kw, channels), fan_in),
+            name="dwconv_weight",
+        )
+        self.bias = Parameter(init.zeros((channels,)), name="dwconv_bias") if use_bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.depthwise_conv2d(x, self.weight, stride=self.stride, padding=self.padding)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dense(Module):
+    """Fully connected layer with (in, out) weight."""
+
+    def __init__(
+        self, in_features: int, out_features: int, use_bias: bool = True, rng: RngLike = 0
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.glorot_uniform(rng, (in_features, out_features), in_features, out_features),
+            name="dense_weight",
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="dense_bias") if use_bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ShapeError(f"Dense expects (N, features) input, got {x.shape}")
+        return F.dense(x, self.weight, self.bias)
+
+
+class BatchNorm(Module):
+    """Batch normalization over the channel (last) axis.
+
+    Keeps running statistics for inference; at deploy time the runtime folds
+    BN into the preceding convolution, as TFLite's converter does.
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-3) -> None:
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones((channels,)), name="bn_gamma")
+        self.beta = Parameter(init.zeros((channels,)), name="bn_beta")
+        self.running_mean = np.zeros((channels,), dtype=np.float32)
+        self.running_var = np.ones((channels,), dtype=np.float32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = tuple(range(x.ndim - 1))
+        if self.training:
+            mean = x.mean(axis=axes)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean.data
+            ).astype(np.float32)
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var.data
+            ).astype(np.float32)
+            inv_std = (var + self.eps) ** -0.5
+            return centered * inv_std * self.gamma + self.beta
+        inv_std = Tensor(1.0 / np.sqrt(self.running_var + self.eps))
+        return (x - Tensor(self.running_mean)) * inv_std * self.gamma + self.beta
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class ReLU6(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu6()
+
+
+class AvgPool2D(Module):
+    def __init__(self, pool: int, stride: Optional[int] = None, padding: str = "valid") -> None:
+        super().__init__()
+        self.pool = pool
+        self.stride = stride if stride is not None else pool
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.pool, self.stride, self.padding)
+
+
+class MaxPool2D(Module):
+    def __init__(self, pool: int, stride: Optional[int] = None, padding: str = "valid") -> None:
+        super().__init__()
+        self.pool = pool
+        self.stride = stride if stride is not None else pool
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.pool, self.stride, self.padding)
+
+
+class GlobalAvgPool(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_batch()
+
+
+class Dropout(Module):
+    def __init__(self, rate: float, rng: RngLike = 0) -> None:
+        super().__init__()
+        self.rate = rate
+        self.rng = new_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self.rng, self.training)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,58 @@
+"""Evaluation metrics: classification accuracy and ROC-AUC.
+
+ROC-AUC is the headline metric for the anomaly-detection task (Table 3);
+it is computed exactly via the Mann–Whitney U statistic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of (N, K) logits/probabilities against integer labels."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be (N, K), got {logits.shape}")
+    return float((logits.argmax(axis=-1) == labels).mean())
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Exact area under the ROC curve.
+
+    Parameters
+    ----------
+    scores:
+        Higher score → more likely positive (for AD: higher anomaly score →
+        more likely anomalous).
+    labels:
+        Binary ground truth (1 = positive/anomalous).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    pos = scores[labels == 1]
+    neg = scores[labels == 0]
+    if len(pos) == 0 or len(neg) == 0:
+        raise ShapeError("roc_auc requires at least one positive and one negative sample")
+    # Mann-Whitney U via midranks (ties get half credit).
+    order = np.argsort(np.concatenate([pos, neg]), kind="mergesort")
+    ranks = np.empty(len(order), dtype=np.float64)
+    sorted_scores = np.concatenate([pos, neg])[order]
+    ranks[order] = _midranks(sorted_scores)
+    pos_ranks = ranks[: len(pos)]
+    u = pos_ranks.sum() - len(pos) * (len(pos) + 1) / 2.0
+    return float(u / (len(pos) * len(neg)))
+
+
+def _midranks(sorted_values: np.ndarray) -> np.ndarray:
+    """Ranks (1-based) with ties assigned the mean of their span."""
+    n = len(sorted_values)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    # Average ranks within runs of equal values.
+    _, inverse, counts = np.unique(sorted_values, return_inverse=True, return_counts=True)
+    cumulative = np.concatenate([[0], np.cumsum(counts)])
+    mean_ranks = (cumulative[:-1] + 1 + cumulative[1:]) / 2.0
+    return mean_ranks[inverse]

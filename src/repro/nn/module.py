@@ -1,0 +1,125 @@
+"""Module/parameter containers, in the familiar layers-own-parameters style."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable state of a module."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(np.asarray(data, dtype=np.float32), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Child modules and parameters are discovered through attribute assignment,
+    so subclasses just assign them in ``__init__`` and implement ``forward``.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------
+    def _children(self) -> Iterator[Tuple[str, "Module"]]:
+        for key, value in vars(self).items():
+            if isinstance(value, Module):
+                yield key, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{key}.{i}", item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield (dotted_path, parameter) for this module and its children."""
+        for key, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield f"{prefix}{key}", value
+        for name, child in self._children():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters, in traversal order."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights (paper's |theta| cardinality)."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Switch this module (and children) to training mode."""
+        self.training = True
+        for _, child in self._children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module (and children) to inference mode."""
+        self.training = False
+        for _, child in self._children():
+            child.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameter arrays, keyed by dotted path."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore parameters from :meth:`state_dict` output (strict)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise KeyError(
+                    f"parameter {name}: shape {p.data.shape} != stored {state[name].shape}"
+                )
+            p.data = state[name].astype(np.float32).copy()
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def append(self, module: Module) -> None:
+        """Add a module to the end of the pipeline."""
+        self.layers.append(module)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,109 @@
+"""Optimizers: SGD with momentum and Adam, with decoupled weight decay."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.schedules import ConstantSchedule, Schedule
+
+
+class Optimizer:
+    """Base optimizer; learning rate comes from a :class:`Schedule`."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        schedule: Optional[Schedule] = None,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = list(params)
+        self.schedule = schedule if schedule is not None else ConstantSchedule(lr)
+        self.weight_decay = weight_decay
+        self.step_count = 0
+
+    @property
+    def lr(self) -> float:
+        return self.schedule(self.step_count)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        lr = self.lr
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            self._update(p, grad, lr)
+        self.step_count += 1
+
+    def _update(self, p: Parameter, grad: np.ndarray, lr: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        schedule: Optional[Schedule] = None,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr=lr, schedule=schedule, weight_decay=weight_decay)
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, p: Parameter, grad: np.ndarray, lr: float) -> None:
+        if self.momentum:
+            v = self._velocity.get(id(p))
+            if v is None:
+                v = np.zeros_like(p.data)
+            v = self.momentum * v + grad
+            self._velocity[id(p)] = v
+            grad = v
+        p.data -= lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        schedule: Optional[Schedule] = None,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr=lr, schedule=schedule, weight_decay=weight_decay)
+        self.betas = betas
+        self.eps = eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _update(self, p: Parameter, grad: np.ndarray, lr: float) -> None:
+        b1, b2 = self.betas
+        m = self._m.get(id(p))
+        v = self._v.get(id(p))
+        if m is None:
+            m = np.zeros_like(p.data)
+            v = np.zeros_like(p.data)
+        m = b1 * m + (1 - b1) * grad
+        v = b2 * v + (1 - b2) * grad * grad
+        self._m[id(p)] = m
+        self._v[id(p)] = v
+        t = self.step_count + 1
+        m_hat = m / (1 - b1**t)
+        v_hat = v / (1 - b2**t)
+        p.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)

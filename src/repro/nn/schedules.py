@@ -1,0 +1,50 @@
+"""Learning-rate schedules (the paper uses cosine decay for all recipes)."""
+
+from __future__ import annotations
+
+import math
+
+
+class Schedule:
+    """Maps an integer step to a learning rate."""
+
+    def __call__(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantSchedule(Schedule):
+    def __init__(self, lr: float) -> None:
+        self.lr = lr
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class CosineDecay(Schedule):
+    """Cosine decay from ``lr_max`` to ``lr_min`` over ``total_steps``.
+
+    The paper decays 0.36 → 0.0008 (VWW) and 0.01 → 0.00001 (KWS/AD).
+    """
+
+    def __init__(self, lr_max: float, lr_min: float, total_steps: int) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.lr_max = lr_max
+        self.lr_min = lr_min
+        self.total_steps = total_steps
+
+    def __call__(self, step: int) -> float:
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        return self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (1 + math.cos(math.pi * progress))
+
+
+class StepDecay(Schedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1) -> None:
+        self.lr = lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def __call__(self, step: int) -> float:
+        return self.lr * (self.gamma ** (step // self.step_size))

@@ -1,0 +1,41 @@
+"""Quantization: 8-bit and sub-byte (4-bit) integer inference and QAT.
+
+Follows the TFLite integer quantization scheme the paper deploys with:
+
+* activations: per-tensor affine ``real = scale * (q - zero_point)``;
+* weights: per-channel symmetric (zero point 0);
+* accumulation in int32, requantization by a fixed-point multiplier;
+* 4-bit mode (paper §5.1.3): same math with a [-8, 7] integer grid and
+  two-values-per-byte packing for storage accounting, emulating the custom
+  CMSIS-NN sub-byte kernels the authors wrote.
+
+Training-time emulation (quantization-aware training) uses fake-quant nodes
+with straight-through gradients and ranges learned by gradient descent,
+matching the paper's recipes.
+"""
+
+from repro.quantization.params import (
+    QuantParams,
+    affine_params_from_range,
+    symmetric_params_from_absmax,
+    quantize,
+    dequantize,
+    quantize_multiplier,
+    multiply_by_quantized_multiplier,
+)
+from repro.quantization.fake_quant import FakeQuant
+from repro.quantization.int4 import pack_int4, unpack_int4, packed_size_bytes
+
+__all__ = [
+    "QuantParams",
+    "affine_params_from_range",
+    "symmetric_params_from_absmax",
+    "quantize",
+    "dequantize",
+    "quantize_multiplier",
+    "multiply_by_quantized_multiplier",
+    "FakeQuant",
+    "pack_int4",
+    "unpack_int4",
+    "packed_size_bytes",
+]

@@ -1,0 +1,125 @@
+"""Fake quantization for quantization-aware training (QAT).
+
+A :class:`FakeQuant` node simulates integer inference during float training:
+the forward pass rounds to the integer grid and dequantizes; the backward
+pass uses the straight-through estimator, passing gradients unchanged inside
+the representable range and zeroing them outside (so activations learn to
+stay in range). Ranges are tracked with an exponential moving average of the
+observed min/max — the gradient-descent range learning the paper mentions is
+available through :class:`LearnedFakeQuant`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.quantization.params import affine_params_from_range, qrange
+from repro.tensor import Tensor
+
+
+class FakeQuant(Module):
+    """EMA-range fake quantization with a straight-through gradient.
+
+    Parameters
+    ----------
+    bits: integer bit width to emulate (8 or 4 in this work).
+    momentum: EMA coefficient for range tracking.
+    symmetric: force a symmetric range (used for weights).
+    """
+
+    def __init__(self, bits: int = 8, momentum: float = 0.95, symmetric: bool = False) -> None:
+        super().__init__()
+        self.bits = bits
+        self.momentum = momentum
+        self.symmetric = symmetric
+        self.low = 0.0
+        self.high = 0.0
+        self._initialized = False
+
+    def observe(self, data: np.ndarray) -> None:
+        low = float(data.min())
+        high = float(data.max())
+        if self.symmetric:
+            bound = max(abs(low), abs(high))
+            low, high = -bound, bound
+        if not self._initialized:
+            self.low, self.high = low, high
+            self._initialized = True
+        else:
+            m = self.momentum
+            self.low = m * self.low + (1 - m) * low
+            self.high = m * self.high + (1 - m) * high
+
+    def quant_params(self):
+        return affine_params_from_range(self.low, self.high, self.bits)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            self.observe(x.data)
+        if not self._initialized:
+            return x
+        params = self.quant_params()
+        scale = float(params.scale[0])
+        zp = params.zero_point
+        qmin, qmax = qrange(self.bits)
+
+        q = np.clip(np.round(x.data / scale) + zp, qmin, qmax)
+        out_data = ((q - zp) * scale).astype(np.float32)
+        # STE mask: gradient flows only where x was inside the range.
+        mask = ((x.data >= (qmin - zp) * scale) & (x.data <= (qmax - zp) * scale)).astype(
+            np.float32
+        )
+
+        def backward_fn(grad: np.ndarray) -> None:
+            x._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (x,), backward_fn)
+
+
+class LearnedFakeQuant(Module):
+    """LSQ-style fake quantization with a gradient-learned scale.
+
+    The scale is a trainable parameter; its gradient follows Esser et al.
+    (2020), with the canonical ``1/sqrt(N * qmax)`` gradient scaling.
+    """
+
+    def __init__(self, bits: int = 8, init_scale: float = 0.1) -> None:
+        super().__init__()
+        self.bits = bits
+        self.scale = Parameter(np.array([init_scale], dtype=np.float32), name="lsq_scale")
+        self._initialized = False
+
+    def _maybe_init(self, data: np.ndarray) -> None:
+        if self._initialized:
+            return
+        _, qmax = qrange(self.bits)
+        absmean = float(np.abs(data).mean())
+        self.scale.data = np.array([max(2.0 * absmean / np.sqrt(qmax), 1e-6)], dtype=np.float32)
+        self._initialized = True
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            self._maybe_init(x.data)
+        qmin, qmax = qrange(self.bits)
+        s = float(self.scale.data[0])
+        s = max(s, 1e-8)
+        v = x.data / s
+        v_clipped = np.clip(v, qmin, qmax)
+        q = np.round(v_clipped)
+        out_data = (q * s).astype(np.float32)
+
+        inside = ((v >= qmin) & (v <= qmax)).astype(np.float32)
+        grad_scale_coeff = 1.0 / np.sqrt(x.data.size * qmax)
+        # d(out)/d(s) = q - v inside the range; qmin/qmax outside.
+        ds_local = np.where(inside > 0, q - v, np.clip(v, qmin, qmax)).astype(np.float32)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                x._accumulate(grad * inside)
+            if self.scale.requires_grad:
+                self.scale._accumulate(
+                    np.array([(grad * ds_local).sum() * grad_scale_coeff], dtype=np.float32)
+                )
+
+        return Tensor._make(out_data, (x, self.scale), backward_fn)

@@ -1,0 +1,63 @@
+"""4-bit (sub-byte) quantization support (paper §5.1.3).
+
+Commodity MCUs have no native 4-bit datatype, so 4-bit weights/activations
+are stored two-per-byte and unpacked with 8-bit instructions. The paper's
+custom CMSIS-NN kernels hide most of that overhead using the Cortex-M ILP;
+the latency model charges a small unpack factor accordingly (see
+:data:`INT4_UNPACK_OVERHEAD`).
+
+The arithmetic itself reuses the int8 machinery with a [-8, 7] grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+#: Multiplicative latency overhead of software-emulated 4-bit kernels.
+#: The paper reports their optimized kernels add "negligible" overhead by
+#: exploiting instruction-level parallelism; we charge 5%.
+INT4_UNPACK_OVERHEAD = 1.05
+
+
+def pack_int4(values: np.ndarray) -> np.ndarray:
+    """Pack an int array with values in [-8, 7] into bytes, two per byte.
+
+    The low nibble holds even indices, the high nibble odd indices; an odd
+    count is padded with zero, matching the storage the flash accounting
+    uses.
+    """
+    flat = np.asarray(values).reshape(-1).astype(np.int8)
+    if flat.size and (flat.min() < -8 or flat.max() > 7):
+        raise QuantizationError("int4 values must lie in [-8, 7]")
+    if flat.size % 2:
+        flat = np.concatenate([flat, np.zeros(1, dtype=np.int8)])
+    low = flat[0::2].astype(np.uint8) & 0x0F
+    high = (flat[1::2].astype(np.uint8) & 0x0F) << 4
+    return (low | high).astype(np.uint8)
+
+
+def unpack_int4(packed: np.ndarray, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_int4`; returns ``count`` int8 values."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    low = (packed & 0x0F).astype(np.int8)
+    high = ((packed >> 4) & 0x0F).astype(np.int8)
+    # Sign-extend nibbles.
+    low = np.where(low > 7, low - 16, low)
+    high = np.where(high > 7, high - 16, high)
+    out = np.empty(packed.size * 2, dtype=np.int8)
+    out[0::2] = low
+    out[1::2] = high
+    if count > out.size:
+        raise QuantizationError(f"cannot unpack {count} values from {packed.size} bytes")
+    return out[:count]
+
+
+def packed_size_bytes(count: int, bits: int) -> int:
+    """Storage bytes for ``count`` integers of the given width."""
+    if bits == 8:
+        return count
+    if bits == 4:
+        return (count + 1) // 2
+    raise QuantizationError(f"unsupported storage width {bits}")

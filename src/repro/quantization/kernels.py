@@ -1,0 +1,185 @@
+"""Integer reference kernels (the CMSIS-NN analogues).
+
+These execute quantized operators with the same arithmetic an MCU would:
+int8 (or int4) operands, int32/int64 accumulation, fixed-point
+requantization, and fused activation clamping. They are *reference* kernels
+in the CMSIS-NN sense — bit-exact and vectorized with numpy, with no claim
+about host speed (device speed comes from :mod:`repro.hw`).
+
+All spatial kernels use NHWC layout and TF padding semantics, consistent
+with the float path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quantization.params import QuantParams, qrange, requantize
+from repro.tensor.conv import extract_patches, resolve_padding
+
+
+def _activation_bounds(
+    activation: Optional[str], out_params: QuantParams
+) -> Tuple[int, int]:
+    """Integer clamp bounds implementing a fused activation."""
+    qmin, qmax = qrange(out_params.bits)
+    if activation is None:
+        return qmin, qmax
+    scale = float(out_params.scale[0])
+    zp = out_params.zero_point
+    if activation == "relu":
+        return max(qmin, zp), qmax
+    if activation == "relu6":
+        upper = int(round(6.0 / scale)) + zp
+        return max(qmin, zp), min(qmax, upper)
+    raise QuantizationError(f"unsupported fused activation {activation!r}")
+
+
+def _pad_quantized(x: np.ndarray, pad_h, pad_w, zero_point: int) -> np.ndarray:
+    if pad_h == (0, 0) and pad_w == (0, 0):
+        return x
+    return np.pad(x, ((0, 0), pad_h, pad_w, (0, 0)), constant_values=zero_point)
+
+
+def conv2d_int(
+    x_q: np.ndarray,
+    w_q: np.ndarray,
+    bias_q: np.ndarray,
+    in_params: QuantParams,
+    w_params: QuantParams,
+    out_params: QuantParams,
+    stride: int = 1,
+    padding: str = "same",
+    activation: Optional[str] = None,
+) -> np.ndarray:
+    """Quantized 2-D convolution.
+
+    Parameters
+    ----------
+    x_q: (N, H, W, C) integer input.
+    w_q: (KH, KW, C, OC) integer weights (per-channel symmetric over OC).
+    bias_q: (OC,) int32 bias, pre-scaled by ``in_scale * w_scale``.
+    """
+    kh, kw = w_q.shape[:2]
+    pad_h, pad_w = resolve_padding(x_q.shape[1], x_q.shape[2], kh, kw, stride, padding)
+    padded = _pad_quantized(x_q, pad_h, pad_w, in_params.zero_point)
+    patches = extract_patches(padded, kh, kw, stride).astype(np.int64)
+    patches -= in_params.zero_point
+    acc = np.einsum("nxyckl,klcf->nxyf", patches, w_q.astype(np.int64), optimize=True)
+    acc += bias_q.astype(np.int64)
+    effective_scale = in_params.scale[0] * w_params.scale
+    out = requantize(acc, effective_scale, float(out_params.scale[0]), out_params.zero_point,
+                     bits=out_params.bits)
+    lo, hi = _activation_bounds(activation, out_params)
+    return np.clip(out, lo, hi).astype(out.dtype)
+
+
+def depthwise_conv2d_int(
+    x_q: np.ndarray,
+    w_q: np.ndarray,
+    bias_q: np.ndarray,
+    in_params: QuantParams,
+    w_params: QuantParams,
+    out_params: QuantParams,
+    stride: int = 1,
+    padding: str = "same",
+    activation: Optional[str] = None,
+) -> np.ndarray:
+    """Quantized depthwise convolution; weights are (KH, KW, C)."""
+    kh, kw = w_q.shape[:2]
+    pad_h, pad_w = resolve_padding(x_q.shape[1], x_q.shape[2], kh, kw, stride, padding)
+    padded = _pad_quantized(x_q, pad_h, pad_w, in_params.zero_point)
+    patches = extract_patches(padded, kh, kw, stride).astype(np.int64)
+    patches -= in_params.zero_point
+    acc = np.einsum("nxyckl,klc->nxyc", patches, w_q.astype(np.int64), optimize=True)
+    acc += bias_q.astype(np.int64)
+    effective_scale = in_params.scale[0] * w_params.scale
+    out = requantize(acc, effective_scale, float(out_params.scale[0]), out_params.zero_point,
+                     bits=out_params.bits)
+    lo, hi = _activation_bounds(activation, out_params)
+    return np.clip(out, lo, hi).astype(out.dtype)
+
+
+def dense_int(
+    x_q: np.ndarray,
+    w_q: np.ndarray,
+    bias_q: np.ndarray,
+    in_params: QuantParams,
+    w_params: QuantParams,
+    out_params: QuantParams,
+    activation: Optional[str] = None,
+) -> np.ndarray:
+    """Quantized fully connected layer; weights are (IN, OUT)."""
+    x64 = x_q.astype(np.int64) - in_params.zero_point
+    acc = x64 @ w_q.astype(np.int64) + bias_q.astype(np.int64)
+    effective_scale = in_params.scale[0] * w_params.scale
+    out = requantize(acc, effective_scale, float(out_params.scale[0]), out_params.zero_point,
+                     bits=out_params.bits)
+    lo, hi = _activation_bounds(activation, out_params)
+    return np.clip(out, lo, hi).astype(out.dtype)
+
+
+def avg_pool_int(
+    x_q: np.ndarray, pool: int, stride: int, padding: str, params: QuantParams
+) -> np.ndarray:
+    """Quantized average pooling (same params in and out, as in TFLite)."""
+    pad_h, pad_w = resolve_padding(x_q.shape[1], x_q.shape[2], pool, pool, stride, padding)
+    padded = _pad_quantized(x_q, pad_h, pad_w, params.zero_point)
+    patches = extract_patches(padded, pool, pool, stride).astype(np.int64)
+    total = patches.sum(axis=(-2, -1))
+    count = pool * pool
+    avg = np.where(total >= 0, (total + count // 2) // count, -((-total + count // 2) // count))
+    return np.clip(avg, params.qmin, params.qmax).astype(x_q.dtype)
+
+
+def global_avg_pool_int(x_q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantized global average pooling → (N, C)."""
+    total = x_q.astype(np.int64).sum(axis=(1, 2))
+    count = x_q.shape[1] * x_q.shape[2]
+    avg = np.where(total >= 0, (total + count // 2) // count, -((-total + count // 2) // count))
+    return np.clip(avg, params.qmin, params.qmax).astype(x_q.dtype)
+
+
+def max_pool_int(x_q: np.ndarray, pool: int, stride: int, padding: str, params: QuantParams) -> np.ndarray:
+    """Quantized max pooling (no requantization needed)."""
+    pad_h, pad_w = resolve_padding(x_q.shape[1], x_q.shape[2], pool, pool, stride, padding)
+    padded = _pad_quantized(x_q, pad_h, pad_w, params.qmin)
+    patches = extract_patches(padded, pool, pool, stride)
+    return patches.max(axis=(-2, -1)).astype(x_q.dtype)
+
+
+def add_int(
+    a_q: np.ndarray,
+    b_q: np.ndarray,
+    a_params: QuantParams,
+    b_params: QuantParams,
+    out_params: QuantParams,
+    activation: Optional[str] = None,
+) -> np.ndarray:
+    """Quantized elementwise add with independent input scales.
+
+    Uses the float-rescale formulation (TFLite reference semantics) and
+    clamps to the fused activation range.
+    """
+    a_real = (a_q.astype(np.float64) - a_params.zero_point) * a_params.scale[0]
+    b_real = (b_q.astype(np.float64) - b_params.zero_point) * b_params.scale[0]
+    out = np.round((a_real + b_real) / out_params.scale[0]) + out_params.zero_point
+    lo, hi = _activation_bounds(activation, out_params)
+    return np.clip(out, lo, hi).astype(np.int8 if out_params.bits <= 8 else np.int16)
+
+
+def softmax_int(x_q: np.ndarray, in_params: QuantParams) -> np.ndarray:
+    """Quantized softmax with the fixed TFLite output params (1/256, -128).
+
+    Computed through a dequantize → float softmax → requantize reference
+    path, which is within 1 LSB of the device LUT implementation.
+    """
+    real = (x_q.astype(np.float64) - in_params.zero_point) * in_params.scale[0]
+    shifted = real - real.max(axis=-1, keepdims=True)
+    probs = np.exp(shifted)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    q = np.round(probs / (1.0 / 256.0)) - 128
+    return np.clip(q, -128, 127).astype(np.int8)

@@ -1,0 +1,93 @@
+"""Mixed-precision quantization policies (paper §6.3 future work).
+
+The paper suggests that the 4-bit KWS MicroNet "can be further improved by
+selectively quantizing lightweight depthwise layers to 8-bits, while
+quantizing remaining memory- and latency-heavy pointwise and standard
+convolutional layers to 4-bits" (following Rusci et al. 2020 and Gope et
+al. 2020). This module implements that policy machinery: a
+:class:`BitPolicy` assigns per-operator weight/activation widths, and
+:func:`assign_bits` lowers a policy onto a concrete graph's tensors for use
+by the quantizing exporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import QuantizationError
+from repro.runtime.graph import Graph
+
+_VALID_BITS = (4, 8)
+
+
+@dataclass(frozen=True)
+class BitPolicy:
+    """Per-operator-kind bit-width assignment.
+
+    Attributes
+    ----------
+    default_weight_bits / default_activation_bits:
+        Applied to operators without a kind-specific override.
+    weight_overrides / activation_overrides:
+        Maps from op kind (e.g. ``"depthwise_conv2d"``) to bit width.
+    """
+
+    name: str = "uniform-8"
+    default_weight_bits: int = 8
+    default_activation_bits: int = 8
+    weight_overrides: Dict[str, int] = field(default_factory=dict)
+    activation_overrides: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for bits in (
+            self.default_weight_bits,
+            self.default_activation_bits,
+            *self.weight_overrides.values(),
+            *self.activation_overrides.values(),
+        ):
+            if bits not in _VALID_BITS:
+                raise QuantizationError(f"unsupported bit width {bits} in policy {self.name}")
+
+    def weight_bits(self, op_kind: str) -> int:
+        return self.weight_overrides.get(op_kind, self.default_weight_bits)
+
+    def activation_bits(self, op_kind: str) -> int:
+        return self.activation_overrides.get(op_kind, self.default_activation_bits)
+
+
+#: Plain policies for reference.
+UNIFORM_INT8 = BitPolicy(name="uniform-8", default_weight_bits=8, default_activation_bits=8)
+UNIFORM_INT4 = BitPolicy(name="uniform-4", default_weight_bits=4, default_activation_bits=4)
+
+#: The paper's §6.3 suggestion: keep the (parameter-light, quantization-
+#: sensitive) depthwise layers at 8 bits; push the heavy pointwise/standard
+#: convs and dense layers to 4 bits. Activations stay at 8 bits.
+MICRONET_MIXED = BitPolicy(
+    name="mixed-dw8-pw4",
+    default_weight_bits=4,
+    default_activation_bits=8,
+    weight_overrides={"depthwise_conv2d": 8},
+)
+
+
+def assign_bits(graph: Graph, policy: BitPolicy) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Lower a policy to per-tensor widths for one graph.
+
+    Returns (weight_bits_by_tensor, activation_bits_by_tensor). Weight
+    widths come from the op consuming the weight; activation widths from
+    the op producing the activation. The graph input inherits the first
+    op's activation width so the boundary quantization is consistent.
+    """
+    weight_bits: Dict[str, int] = {}
+    act_bits: Dict[str, int] = {}
+    for op in graph.ops:
+        if op.kind in ("conv2d", "depthwise_conv2d", "dense") and len(op.inputs) > 1:
+            weight_bits[op.inputs[1]] = policy.weight_bits(op.kind)
+        for out in op.outputs:
+            act_bits[out] = policy.activation_bits(op.kind)
+    if graph.ops:
+        first = graph.ops[0]
+        for name in graph.inputs:
+            act_bits[name] = policy.activation_bits(first.kind)
+    return weight_bits, act_bits

@@ -1,0 +1,183 @@
+"""Quantization parameters and fixed-point requantization arithmetic.
+
+The requantization path mirrors TFLite/CMSIS-NN: a real-valued multiplier
+``M ∈ (0, 1)`` is decomposed into a 31-bit integer mantissa and a shift, and
+applied with 64-bit integer arithmetic and round-half-away-from-zero. This is
+the arithmetic an MCU actually executes, so quantized outputs here are
+bit-comparable to a device run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+def qrange(bits: int) -> Tuple[int, int]:
+    """Signed integer range for a bit width (e.g. 8 → (-128, 127))."""
+    if bits < 2 or bits > 32:
+        raise QuantizationError(f"unsupported bit width {bits}")
+    return -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization parameters: ``real = scale * (q - zero_point)``.
+
+    ``scale`` is a scalar for per-tensor quantization or a 1-D array for
+    per-channel (last axis) quantization; per-channel zero points are 0.
+    """
+
+    scale: np.ndarray
+    zero_point: int
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        # Scales round-trip through float32: model files store float32
+        # scales (as TFLite flatbuffers do), so keeping float32 precision
+        # in memory makes serialization bit-exact.
+        scale32 = np.atleast_1d(np.asarray(self.scale, dtype=np.float32))
+        object.__setattr__(self, "scale", scale32.astype(np.float64))
+        if np.any(self.scale <= 0):
+            raise QuantizationError("quantization scale must be positive")
+        qmin, qmax = qrange(self.bits)
+        if not (qmin <= self.zero_point <= qmax):
+            raise QuantizationError(
+                f"zero point {self.zero_point} outside [{qmin}, {qmax}] for {self.bits}-bit"
+            )
+
+    @property
+    def per_channel(self) -> bool:
+        return self.scale.size > 1
+
+    @property
+    def qmin(self) -> int:
+        return qrange(self.bits)[0]
+
+    @property
+    def qmax(self) -> int:
+        return qrange(self.bits)[1]
+
+
+def affine_params_from_range(
+    low: float, high: float, bits: int = 8
+) -> QuantParams:
+    """Asymmetric (activation) parameters covering [low, high].
+
+    The range is nudged to include zero exactly, as TFLite requires, so that
+    zero padding is representable without error.
+    """
+    low = min(float(low), 0.0)
+    high = max(float(high), 0.0)
+    qmin, qmax = qrange(bits)
+    if high == low:
+        high = low + 1e-6
+    scale = (high - low) / (qmax - qmin)
+    zero_point = int(round(qmin - low / scale))
+    zero_point = max(qmin, min(qmax, zero_point))
+    return QuantParams(scale=np.array([scale]), zero_point=zero_point, bits=bits)
+
+
+def symmetric_params_from_absmax(absmax: np.ndarray, bits: int = 8) -> QuantParams:
+    """Symmetric (weight) parameters from per-channel absolute maxima."""
+    absmax = np.atleast_1d(np.asarray(absmax, dtype=np.float64))
+    absmax = np.maximum(absmax, 1e-8)
+    _, qmax = qrange(bits)
+    return QuantParams(scale=absmax / qmax, zero_point=0, bits=bits)
+
+
+def quantize(values: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Real values → integer grid (stored in the smallest numpy int type)."""
+    scale = params.scale if params.scale.size == 1 else params.scale
+    q = np.round(np.asarray(values, dtype=np.float64) / scale) + params.zero_point
+    q = np.clip(q, params.qmin, params.qmax)
+    dtype = np.int8 if params.bits <= 8 else np.int16 if params.bits <= 16 else np.int32
+    return q.astype(dtype)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Integer grid → real values (float32)."""
+    scale = params.scale if params.scale.size == 1 else params.scale
+    return ((np.asarray(q, dtype=np.float64) - params.zero_point) * scale).astype(np.float32)
+
+
+def quantize_multiplier(real_multiplier: float) -> Tuple[int, int]:
+    """Decompose a positive real multiplier into (mantissa_q31, shift).
+
+    ``real ≈ mantissa * 2^(shift - 31)`` with mantissa in [2^30, 2^31).
+    This matches TFLite's ``QuantizeMultiplier``.
+    """
+    if real_multiplier <= 0:
+        raise QuantizationError("requantization multiplier must be positive")
+    mantissa, exponent = np.frexp(real_multiplier)
+    mantissa_q31 = int(round(mantissa * (1 << 31)))
+    if mantissa_q31 == (1 << 31):  # rounding overflow: 0.5 → 1.0
+        mantissa_q31 //= 2
+        exponent += 1
+    return mantissa_q31, int(exponent)
+
+
+def multiply_by_quantized_multiplier(
+    acc: np.ndarray, mantissa_q31: int, shift: int
+) -> np.ndarray:
+    """Apply a fixed-point multiplier to int32 accumulators (vectorized).
+
+    Equivalent to TFLite's ``MultiplyByQuantizedMultiplier``: a saturating
+    Q31 multiply with round-half-away-from-zero, then an arithmetic shift.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    product = acc * mantissa_q31
+    # Q31 high multiply with round-half-away-from-zero. The nudged value is
+    # divided by 2^31 truncating toward zero (numpy's >> floors, so shift
+    # magnitudes and restore the sign), matching TFLite's
+    # SaturatingRoundingDoublingHighMul.
+    nudge = np.where(product >= 0, 1 << 30, 1 - (1 << 30))
+    nudged = product + nudge
+    high = np.where(nudged >= 0, nudged >> 31, -((-nudged) >> 31))
+    right_shift = -shift
+    if right_shift > 0:
+        rounding = np.int64(1) << (right_shift - 1)
+        high = np.where(
+            high >= 0,
+            (high + rounding) >> right_shift,
+            -((-high + rounding) >> right_shift),
+        )
+    elif right_shift < 0:
+        high = high << (-right_shift)
+    return high.astype(np.int64)
+
+
+def requantize(
+    acc: np.ndarray,
+    input_scale: np.ndarray,
+    output_scale: float,
+    output_zero_point: int,
+    bits: int = 8,
+) -> np.ndarray:
+    """int32 accumulators → int8/int4 outputs via fixed-point multipliers.
+
+    ``input_scale`` may be per-channel (last axis of ``acc``).
+    """
+    input_scale = np.atleast_1d(np.asarray(input_scale, dtype=np.float64))
+    out = np.empty(acc.shape, dtype=np.int64)
+    flat_scales = input_scale / float(output_scale)
+    if flat_scales.size == 1:
+        mantissa, shift = quantize_multiplier(float(flat_scales[0]))
+        out = multiply_by_quantized_multiplier(acc, mantissa, shift)
+    else:
+        if acc.shape[-1] != flat_scales.size:
+            raise QuantizationError(
+                f"per-channel scale count {flat_scales.size} != channels {acc.shape[-1]}"
+            )
+        out = np.empty(acc.shape, dtype=np.int64)
+        for c in range(flat_scales.size):  # channel loop is O(channels), cheap
+            mantissa, shift = quantize_multiplier(float(flat_scales[c]))
+            out[..., c] = multiply_by_quantized_multiplier(acc[..., c], mantissa, shift)
+    qmin, qmax = qrange(bits)
+    out = np.clip(out + output_zero_point, qmin, qmax)
+    dtype = np.int8 if bits <= 8 else np.int16
+    return out.astype(dtype)

@@ -1,0 +1,46 @@
+"""A TFLM-style inference runtime, simulated.
+
+The paper deploys models with TensorFlow Lite for Microcontrollers: an
+interpreter walks a serialized graph, activations live in a single SRAM
+arena laid out by a greedy memory planner, weights and the graph definition
+live in eFlash, and the runtime itself costs ~4 KB of SRAM and ~37 KB of
+flash. This package reproduces that stack:
+
+* :mod:`repro.runtime.graph` — the operator graph IR;
+* :mod:`repro.runtime.planner` — tensor lifetimes + greedy arena planning;
+* :mod:`repro.runtime.serializer` — the "microbuffer" model format (the
+  flatbuffer analogue whose byte size is the model's flash footprint);
+* :mod:`repro.runtime.interpreter` — executes int8 (or float) graphs with
+  the quantized reference kernels;
+* :mod:`repro.runtime.reporting` — the recording-API memory breakdown
+  (paper Figure 2);
+* :mod:`repro.runtime.deploy` — fits a model against a device's SRAM/flash
+  and attaches modeled latency/energy.
+"""
+
+from repro.runtime.graph import Graph, OpNode, TensorSpec
+from repro.runtime.planner import ArenaPlan, plan_arena, tensor_lifetimes
+from repro.runtime.serializer import serialize, deserialize, model_size_bytes
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.reporting import MemoryReport, memory_report, RUNTIME_SRAM_OVERHEAD, RUNTIME_CODE_FLASH
+from repro.runtime.deploy import DeploymentReport, check_deployable, deployment_report
+
+__all__ = [
+    "Graph",
+    "OpNode",
+    "TensorSpec",
+    "ArenaPlan",
+    "plan_arena",
+    "tensor_lifetimes",
+    "serialize",
+    "deserialize",
+    "model_size_bytes",
+    "Interpreter",
+    "MemoryReport",
+    "memory_report",
+    "RUNTIME_SRAM_OVERHEAD",
+    "RUNTIME_CODE_FLASH",
+    "DeploymentReport",
+    "check_deployable",
+    "deployment_report",
+]

@@ -1,0 +1,145 @@
+"""Code-generation deployment — the uTensor/tinyEngine-style alternative.
+
+The paper (§2) contrasts two MCU deployment styles: the TFLM *interpreter*
+(portable; pays a per-op dispatch cost, ~4 KB interpreter SRAM, persistent
+buffers, and stores the graph definition in flash) and *code generation*
+(emits C directly; loses portability, saves the overheads). MicroNets use
+TFLM; MCUNet uses a code generator, which is why the paper cannot compare
+against it directly.
+
+This module implements the code-generation path over the same graph IR, so
+the trade-off can be measured instead of argued:
+
+* :func:`generate_c_source` — emit compilable-style C for a graph: weight
+  arrays, an arena, and a ``net_invoke()`` calling CMSIS-NN-style kernels
+  with compile-time constants;
+* :func:`codegen_memory_report` — the memory map of the generated build
+  (no interpreter state, no persistent structs, no serialized graph);
+* :func:`codegen_latency` — latency without the per-op dispatch cost.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.hw.devices import MCUDevice
+from repro.hw.latency import DISPATCH_CYCLES, LatencyModel
+from repro.runtime.graph import Graph, OpNode
+from repro.runtime.planner import plan_arena
+from repro.runtime.reporting import KiB, MemoryReport
+
+#: Flash cost of the statically linked kernel library (smaller than TFLM's
+#: full runtime: no interpreter, no flatbuffer parser, no op resolver).
+CODEGEN_KERNEL_LIBRARY_FLASH = 18 * KiB
+#: Generated glue code per operator call site (arguments are immediates).
+CODEGEN_PER_OP_FLASH = 160
+#: Static SRAM owned by the generated code (arena pointer bookkeeping).
+CODEGEN_RUNTIME_SRAM = 512
+
+_KERNEL_NAMES = {
+    "conv2d": "arm_convolve_s8",
+    "depthwise_conv2d": "arm_depthwise_conv_s8",
+    "dense": "arm_fully_connected_s8",
+    "avg_pool": "arm_avgpool_s8",
+    "max_pool": "arm_max_pool_s8",
+    "global_avg_pool": "arm_avgpool_s8",
+    "add": "arm_elementwise_add_s8",
+    "softmax": "arm_softmax_s8",
+    "reshape": "memcpy",
+}
+
+
+def _c_identifier(name: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in name)
+
+
+def _weight_array(name: str, data: np.ndarray) -> str:
+    flat = np.asarray(data).reshape(-1)
+    ctype = "int32_t" if flat.dtype == np.int32 else "int8_t"
+    values = ", ".join(str(int(v)) for v in flat[:16])
+    suffix = ", ..." if flat.size > 16 else ""
+    return (
+        f"static const {ctype} {_c_identifier(name)}[{flat.size}] = "
+        f"{{{values}{suffix}}};  /* {flat.size} elements */"
+    )
+
+
+def _op_call(graph: Graph, op: OpNode, plan) -> str:
+    kernel = _KERNEL_NAMES[op.kind]
+    args: List[str] = []
+    for t in op.inputs:
+        spec = graph.tensors[t]
+        if spec.kind in ("weight", "bias"):
+            args.append(_c_identifier(t))
+        else:
+            args.append(f"arena + {plan.offset_of(t)}")
+    for t in op.outputs:
+        args.append(f"arena + {plan.offset_of(t)}")
+    attrs = ", ".join(f"{k}={v}" for k, v in sorted(op.attrs.items()) if v is not None)
+    comment = f"  /* {op.kind}: {attrs} */" if attrs else ""
+    return f"    {kernel}({', '.join(args)});{comment}"
+
+
+def generate_c_source(graph: Graph) -> str:
+    """Emit C-style source for a quantized graph.
+
+    The output is a faithful sketch of what tinyEngine/uTensor-style
+    generators produce: const weight arrays (flash), a static arena (SRAM)
+    with planner-assigned offsets, and a straight-line ``net_invoke``.
+    """
+    graph.validate()
+    plan = plan_arena(graph)
+    lines = [
+        f"/* Auto-generated from model '{graph.name}' — do not edit. */",
+        "#include <stdint.h>",
+        '#include "cmsis_nn_kernels.h"',
+        "",
+        f"static int8_t arena[{plan.arena_bytes}];",
+        "",
+    ]
+    for spec in graph.weight_tensors:
+        lines.append(_weight_array(spec.name, spec.data))
+    lines += [
+        "",
+        "void net_invoke(const int8_t *input, int8_t *output) {",
+        f"    /* input  -> arena + {plan.offset_of(graph.inputs[0])} */",
+    ]
+    for op in graph.ops:
+        lines.append(_op_call(graph, op, plan))
+    lines += [
+        f"    /* output <- arena + {plan.offset_of(graph.outputs[0])} */",
+        "}",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def codegen_memory_report(graph: Graph) -> MemoryReport:
+    """Memory map of the code-generated build.
+
+    Differences vs the interpreter: no 4 KB interpreter SRAM and no
+    persistent buffers (quantization constants become flash immediates);
+    flash holds raw weights plus generated call sites instead of a
+    serialized flatbuffer and the full runtime.
+    """
+    plan = plan_arena(graph)
+    weight_bytes = sum(t.size_bytes for t in graph.weight_tensors)
+    return MemoryReport(
+        model=graph.name,
+        arena_bytes=plan.arena_bytes,
+        persistent_bytes=0,
+        runtime_sram_bytes=CODEGEN_RUNTIME_SRAM,
+        model_flash_bytes=weight_bytes + CODEGEN_PER_OP_FLASH * len(graph.ops),
+        code_flash_bytes=CODEGEN_KERNEL_LIBRARY_FLASH,
+    )
+
+
+def codegen_latency(graph: Graph, device: MCUDevice) -> float:
+    """Latency of the generated build: compute only, no dispatch cost."""
+    model = LatencyModel(device)
+    workload = graph.to_workload()
+    interpreter_latency = model.model_latency(workload)
+    dispatch = DISPATCH_CYCLES * len(workload.layers) / device.clock_hz
+    return interpreter_latency - dispatch

@@ -1,0 +1,93 @@
+"""Deployability checking and full deployment reports.
+
+Combines the runtime memory map with the hardware latency/energy models to
+answer the question every row of the paper's Table 4 answers: does this
+model fit on this MCU, and if so how fast does it run and how much energy
+does one inference take?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import DeploymentError
+from repro.hw.devices import DEVICES, MCUDevice
+from repro.hw.energy import EnergyModel
+from repro.hw.latency import LatencyModel
+from repro.runtime.graph import Graph
+from repro.runtime.reporting import MemoryReport, memory_report
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """Result of deploying one model graph to one device."""
+
+    model: str
+    device: str
+    fits_sram: bool
+    fits_flash: bool
+    memory: MemoryReport
+    latency_s: Optional[float]
+    energy_j: Optional[float]
+    sram_margin_bytes: int
+    flash_margin_bytes: int
+
+    @property
+    def deployable(self) -> bool:
+        return self.fits_sram and self.fits_flash
+
+
+def check_deployable(graph: Graph, device: MCUDevice) -> bool:
+    """Quick SRAM+flash fit check."""
+    report = memory_report(graph)
+    return report.total_sram <= device.sram_bytes and report.total_flash <= device.eflash_bytes
+
+
+def deployment_report(graph: Graph, device: MCUDevice) -> DeploymentReport:
+    """Full deployment report: fit, memory map, latency and energy.
+
+    Latency/energy are reported only for deployable models (the paper's
+    Table 4 marks undeployable combinations with a dash).
+    """
+    memory = memory_report(graph)
+    fits_sram = memory.total_sram <= device.sram_bytes
+    fits_flash = memory.total_flash <= device.eflash_bytes
+    latency_s = None
+    energy_j = None
+    if fits_sram and fits_flash:
+        workload = graph.to_workload()
+        latency_model = LatencyModel(device)
+        latency_s = latency_model.model_latency(workload)
+        energy_j = EnergyModel(device, latency_model).energy(workload).energy_j
+    return DeploymentReport(
+        model=graph.name,
+        device=device.name,
+        fits_sram=fits_sram,
+        fits_flash=fits_flash,
+        memory=memory,
+        latency_s=latency_s,
+        energy_j=energy_j,
+        sram_margin_bytes=device.sram_bytes - memory.total_sram,
+        flash_margin_bytes=device.eflash_bytes - memory.total_flash,
+    )
+
+
+def deployment_matrix(
+    graph: Graph, devices: Optional[Iterable[MCUDevice]] = None
+) -> Dict[str, DeploymentReport]:
+    """Deployment reports across all (or given) devices."""
+    devices = list(devices) if devices is not None else list(DEVICES.values())
+    return {device.name: deployment_report(graph, device) for device in devices}
+
+
+def require_deployable(graph: Graph, device: MCUDevice) -> DeploymentReport:
+    """Like :func:`deployment_report` but raises if the model does not fit."""
+    report = deployment_report(graph, device)
+    if not report.deployable:
+        raise DeploymentError(
+            f"{graph.name} does not fit {device.name}: "
+            f"SRAM {report.memory.total_sram} / {device.sram_bytes}, "
+            f"flash {report.memory.total_flash} / {device.eflash_bytes}"
+        )
+    return report

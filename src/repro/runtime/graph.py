@@ -1,0 +1,239 @@
+"""Operator-graph intermediate representation.
+
+A :class:`Graph` is a flat list of :class:`OpNode`s over named
+:class:`TensorSpec`s — the same structure a TFLite flatbuffer encodes. Ops
+are stored in execution order; :meth:`Graph.validate` checks the order is a
+correct topological schedule (using networkx for cycle detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import GraphError
+from repro.hw.workload import LayerWorkload, ModelWorkload
+from repro.quantization.params import QuantParams
+
+DTYPE_BYTES = {"int8": 1, "int16": 2, "int32": 4, "float32": 4, "int4": 0.5}
+
+
+def _attr_pair(op: "OpNode", base: str, default: Tuple[int, int]) -> Tuple[int, int]:
+    """Read an (h, w) attribute stored as ``<base>_h`` / ``<base>_w``."""
+    if f"{base}_h" in op.attrs:
+        h = int(op.attrs[f"{base}_h"])
+        return (h, int(op.attrs.get(f"{base}_w", h)))
+    if base in op.attrs:
+        v = int(op.attrs[base])
+        return (v, v)
+    return default
+
+#: Operator kinds the interpreter implements.
+OP_KINDS = (
+    "conv2d",
+    "depthwise_conv2d",
+    "dense",
+    "avg_pool",
+    "max_pool",
+    "global_avg_pool",
+    "add",
+    "softmax",
+    "reshape",
+)
+
+
+@dataclass
+class TensorSpec:
+    """One tensor in the graph (batch dimension excluded).
+
+    ``kind`` distinguishes SRAM residents (``input``/``activation``/
+    ``output``) from flash residents (``weight``/``bias``).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "int8"
+    kind: str = "activation"
+    data: Optional[np.ndarray] = None
+    quant: Optional[QuantParams] = None
+
+    @property
+    def elements(self) -> int:
+        out = 1
+        for d in self.shape:
+            out *= int(d)
+        return out
+
+    @property
+    def size_bytes(self) -> int:
+        if self.dtype not in DTYPE_BYTES:
+            raise GraphError(f"tensor {self.name}: unknown dtype {self.dtype}")
+        return int(np.ceil(self.elements * DTYPE_BYTES[self.dtype]))
+
+
+@dataclass
+class OpNode:
+    """One operator: kind, operand tensor names, and attributes."""
+
+    kind: str
+    name: str
+    inputs: List[str]
+    outputs: List[str]
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise GraphError(f"op {self.name}: unknown kind {self.kind}")
+
+
+@dataclass
+class Graph:
+    """An executable model graph.
+
+    Attributes
+    ----------
+    name: model name.
+    tensors: all tensors by name.
+    ops: operators in execution order.
+    inputs / outputs: names of the graph boundary tensors.
+    """
+
+    name: str
+    tensors: Dict[str, TensorSpec] = field(default_factory=dict)
+    ops: List[OpNode] = field(default_factory=list)
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add_tensor(self, spec: TensorSpec) -> TensorSpec:
+        if spec.name in self.tensors:
+            raise GraphError(f"duplicate tensor name {spec.name!r}")
+        self.tensors[spec.name] = spec
+        return spec
+
+    def add_op(self, op: OpNode) -> OpNode:
+        for t in op.inputs + op.outputs:
+            if t not in self.tensors:
+                raise GraphError(f"op {op.name}: unknown tensor {t!r}")
+        self.ops.append(op)
+        return op
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the graph is well-formed and in topological order."""
+        if not self.ops:
+            raise GraphError(f"graph {self.name}: no operators")
+        for t in self.inputs + self.outputs:
+            if t not in self.tensors:
+                raise GraphError(f"graph boundary tensor {t!r} missing")
+
+        producers: Dict[str, int] = {}
+        for idx, op in enumerate(self.ops):
+            for out in op.outputs:
+                if out in producers:
+                    raise GraphError(f"tensor {out!r} produced twice")
+                producers[out] = idx
+
+        defined = set(self.inputs) | {
+            name for name, spec in self.tensors.items() if spec.kind in ("weight", "bias")
+        }
+        for op in self.ops:
+            for t in op.inputs:
+                if t not in defined:
+                    raise GraphError(
+                        f"op {op.name}: input {t!r} used before it is produced"
+                    )
+            defined.update(op.outputs)
+        for t in self.outputs:
+            if t not in defined:
+                raise GraphError(f"graph output {t!r} is never produced")
+
+        # Cycle check on the dataflow graph.
+        dag = nx.DiGraph()
+        dag.add_nodes_from(range(len(self.ops)))
+        for idx, op in enumerate(self.ops):
+            for t in op.inputs:
+                if t in producers:
+                    dag.add_edge(producers[t], idx)
+        if not nx.is_directed_acyclic_graph(dag):
+            raise GraphError(f"graph {self.name}: dataflow contains a cycle")
+
+    # ------------------------------------------------------------------
+    @property
+    def weight_tensors(self) -> List[TensorSpec]:
+        return [t for t in self.tensors.values() if t.kind in ("weight", "bias")]
+
+    @property
+    def activation_tensors(self) -> List[TensorSpec]:
+        return [
+            t
+            for t in self.tensors.values()
+            if t.kind in ("input", "activation", "output")
+        ]
+
+    def num_params(self) -> int:
+        return sum(t.elements for t in self.weight_tensors)
+
+    def op_kinds(self) -> List[str]:
+        return sorted({op.kind for op in self.ops})
+
+    # ------------------------------------------------------------------
+    def to_workload(self) -> ModelWorkload:
+        """Lower the graph to hardware-model layer workloads."""
+        model = ModelWorkload(name=self.name)
+        for op in self.ops:
+            workload = self._op_workload(op)
+            if workload is not None:
+                model.append(workload)
+        return model
+
+    def _op_workload(self, op: OpNode) -> Optional[LayerWorkload]:
+        if op.kind == "conv2d":
+            x = self.tensors[op.inputs[0]]
+            w = self.tensors[op.inputs[1]]
+            return LayerWorkload.conv2d(
+                op.name,
+                x.shape,
+                w.shape[-1],
+                kernel=_attr_pair(op, "kernel", default=(w.shape[0], w.shape[1])),
+                stride=_attr_pair(op, "stride", default=(1, 1)),
+                padding=str(op.attrs.get("padding", "same")),
+            )
+        if op.kind == "depthwise_conv2d":
+            x = self.tensors[op.inputs[0]]
+            w = self.tensors[op.inputs[1]]
+            return LayerWorkload.depthwise_conv2d(
+                op.name,
+                x.shape,
+                kernel=_attr_pair(op, "kernel", default=(w.shape[0], w.shape[1])),
+                stride=_attr_pair(op, "stride", default=(1, 1)),
+                padding=str(op.attrs.get("padding", "same")),
+            )
+        if op.kind == "dense":
+            w = self.tensors[op.inputs[1]]
+            return LayerWorkload.dense(op.name, w.shape[0], w.shape[1])
+        if op.kind in ("avg_pool", "max_pool"):
+            x = self.tensors[op.inputs[0]]
+            return LayerWorkload.pool(
+                op.name,
+                x.shape,
+                pool=int(op.attrs["pool"]),
+                stride=int(op.attrs.get("stride", op.attrs["pool"])),
+                kind=op.kind,
+                padding=str(op.attrs.get("padding", "valid")),
+            )
+        if op.kind == "global_avg_pool":
+            x = self.tensors[op.inputs[0]]
+            return LayerWorkload.global_avg_pool(op.name, x.shape)
+        if op.kind == "add":
+            x = self.tensors[op.inputs[0]]
+            return LayerWorkload.add(op.name, x.shape)
+        if op.kind == "softmax":
+            x = self.tensors[op.inputs[0]]
+            return LayerWorkload.softmax(op.name, x.elements)
+        if op.kind == "reshape":
+            return None
+        raise GraphError(f"op {op.name}: no workload lowering for kind {op.kind}")

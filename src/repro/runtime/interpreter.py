@@ -1,0 +1,212 @@
+"""Graph interpreter — the TFLM ``MicroInterpreter`` analogue.
+
+Executes a :class:`~repro.runtime.graph.Graph` op by op in schedule order.
+Two execution modes are supported, chosen per-graph by the activation dtype:
+
+* **int8/int4**: full integer inference with the CMSIS-NN-style reference
+  kernels in :mod:`repro.quantization.kernels` (int32 accumulate, fixed
+  point requantization). Float inputs are quantized at the graph boundary
+  and outputs are dequantized back, as an application would do on device.
+* **float32**: plain float kernels, used to measure the accuracy cost of
+  quantization.
+
+The interpreter also exposes the recording-API style accounting TFLM
+provides (arena size, per-tensor allocations) via :meth:`Interpreter.plan`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.quantization import kernels as qk
+from repro.quantization.params import dequantize, quantize
+from repro.runtime.graph import Graph, OpNode
+from repro.runtime.planner import ArenaPlan, plan_arena
+from repro.tensor import conv as fconv
+
+
+class Interpreter:
+    """Executes a validated graph.
+
+    Parameters
+    ----------
+    graph:
+        The model; :meth:`Graph.validate` is called on construction.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        graph.validate()
+        self.graph = graph
+        self._plan: Optional[ArenaPlan] = None
+
+    # ------------------------------------------------------------------
+    def plan(self) -> ArenaPlan:
+        """Arena plan for this graph (cached)."""
+        if self._plan is None:
+            self._plan = plan_arena(self.graph)
+        return self._plan
+
+    @property
+    def is_quantized(self) -> bool:
+        return all(
+            self.graph.tensors[t].dtype in ("int8", "int4", "int16")
+            for t in self.graph.inputs
+        )
+
+    # ------------------------------------------------------------------
+    def invoke(self, batch: np.ndarray) -> np.ndarray:
+        """Run one batch through the graph.
+
+        ``batch`` is float32 of shape (N, *input_shape); the result is
+        float32 logits/probabilities of shape (N, *output_shape).
+        """
+        if len(self.graph.inputs) != 1 or len(self.graph.outputs) != 1:
+            raise GraphError("invoke() supports single-input single-output graphs")
+        in_name = self.graph.inputs[0]
+        in_spec = self.graph.tensors[in_name]
+        batch = np.asarray(batch, dtype=np.float32)
+        expected = (batch.shape[0],) + tuple(in_spec.shape)
+        if batch.shape != expected:
+            raise GraphError(f"input shape {batch.shape} != expected {expected}")
+
+        values: Dict[str, np.ndarray] = {}
+        if self.is_quantized:
+            values[in_name] = quantize(batch, in_spec.quant)
+        else:
+            values[in_name] = batch
+
+        for op in self.graph.ops:
+            self._execute(op, values)
+
+        out_name = self.graph.outputs[0]
+        out = values[out_name]
+        out_spec = self.graph.tensors[out_name]
+        if out_spec.dtype != "float32" and out_spec.quant is not None:
+            return dequantize(out, out_spec.quant)
+        return np.asarray(out, dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    def _execute(self, op: OpNode, values: Dict[str, np.ndarray]) -> None:
+        tensors = self.graph.tensors
+        out_name = op.outputs[0]
+        out_spec = tensors[out_name]
+        quantized = out_spec.dtype in ("int8", "int4", "int16")
+
+        if op.kind in ("conv2d", "depthwise_conv2d", "dense"):
+            x = values[op.inputs[0]]
+            w_spec = tensors[op.inputs[1]]
+            b_spec = tensors[op.inputs[2]] if len(op.inputs) > 2 else None
+            activation = op.attrs.get("activation")
+            stride = _op_stride(op)
+            padding = str(op.attrs.get("padding", "same"))
+            in_spec = tensors[op.inputs[0]]
+            if quantized:
+                kernel_fn = {
+                    "conv2d": qk.conv2d_int,
+                    "depthwise_conv2d": qk.depthwise_conv2d_int,
+                    "dense": qk.dense_int,
+                }[op.kind]
+                bias = (
+                    b_spec.data
+                    if b_spec is not None
+                    else np.zeros(out_spec.shape[-1], dtype=np.int32)
+                )
+                if op.kind == "dense":
+                    values[out_name] = kernel_fn(
+                        x, w_spec.data, bias, in_spec.quant, w_spec.quant, out_spec.quant,
+                        activation=activation,
+                    )
+                else:
+                    values[out_name] = kernel_fn(
+                        x, w_spec.data, bias, in_spec.quant, w_spec.quant, out_spec.quant,
+                        stride=stride, padding=padding, activation=activation,
+                    )
+            else:
+                weight = w_spec.data.astype(np.float32)
+                bias = b_spec.data.astype(np.float32) if b_spec is not None else 0.0
+                if op.kind == "conv2d":
+                    out, _ = fconv.conv2d_forward(x, weight, stride, padding)
+                elif op.kind == "depthwise_conv2d":
+                    out, _ = fconv.depthwise_conv2d_forward(x, weight, stride, padding)
+                else:
+                    out = x @ weight
+                out = out + bias
+                values[out_name] = _float_activation(out, activation)
+            return
+
+        if op.kind in ("avg_pool", "max_pool"):
+            x = values[op.inputs[0]]
+            pool = int(op.attrs["pool"])
+            stride = int(op.attrs.get("stride", pool))
+            padding = str(op.attrs.get("padding", "valid"))
+            if quantized:
+                fn = qk.avg_pool_int if op.kind == "avg_pool" else qk.max_pool_int
+                values[out_name] = fn(x, pool, stride, padding, out_spec.quant)
+            else:
+                if op.kind == "avg_pool":
+                    values[out_name] = fconv.avg_pool2d_forward(x, pool, stride, padding)
+                else:
+                    values[out_name], _ = fconv.max_pool2d_forward(x, pool, stride, padding)
+            return
+
+        if op.kind == "global_avg_pool":
+            x = values[op.inputs[0]]
+            if quantized:
+                values[out_name] = qk.global_avg_pool_int(x, out_spec.quant)
+            else:
+                values[out_name] = x.mean(axis=(1, 2))
+            return
+
+        if op.kind == "add":
+            a = values[op.inputs[0]]
+            b = values[op.inputs[1]]
+            activation = op.attrs.get("activation")
+            if quantized:
+                values[out_name] = qk.add_int(
+                    a,
+                    b,
+                    tensors[op.inputs[0]].quant,
+                    tensors[op.inputs[1]].quant,
+                    out_spec.quant,
+                    activation=activation,
+                )
+            else:
+                values[out_name] = _float_activation(a + b, activation)
+            return
+
+        if op.kind == "softmax":
+            x = values[op.inputs[0]]
+            if quantized:
+                values[out_name] = qk.softmax_int(x, tensors[op.inputs[0]].quant)
+            else:
+                shifted = x - x.max(axis=-1, keepdims=True)
+                e = np.exp(shifted)
+                values[out_name] = e / e.sum(axis=-1, keepdims=True)
+            return
+
+        if op.kind == "reshape":
+            x = values[op.inputs[0]]
+            values[out_name] = x.reshape((x.shape[0],) + tuple(out_spec.shape))
+            return
+
+        raise GraphError(f"op {op.name}: interpreter has no kernel for kind {op.kind}")
+
+
+def _op_stride(op: OpNode):
+    """Read an op's stride attribute, supporting asymmetric (h, w) strides."""
+    if "stride_h" in op.attrs:
+        return (int(op.attrs["stride_h"]), int(op.attrs.get("stride_w", op.attrs["stride_h"])))
+    return int(op.attrs.get("stride", 1))
+
+
+def _float_activation(x: np.ndarray, activation: Optional[str]) -> np.ndarray:
+    if activation is None:
+        return x.astype(np.float32)
+    if activation == "relu":
+        return np.maximum(x, 0.0).astype(np.float32)
+    if activation == "relu6":
+        return np.clip(x, 0.0, 6.0).astype(np.float32)
+    raise GraphError(f"unknown activation {activation!r}")

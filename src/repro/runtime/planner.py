@@ -1,0 +1,124 @@
+"""Activation-arena memory planning.
+
+TFLM allocates every non-constant tensor from a single SRAM arena. Offsets
+are assigned by a greedy best-fit planner over tensor lifetimes: tensors are
+visited largest-first and placed at the lowest offset that does not overlap
+any already-placed tensor whose lifetime intersects. This is the same
+strategy as TFLM's ``GreedyMemoryPlanner`` and is what produces the
+"activations" block of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import GraphError
+from repro.runtime.graph import Graph
+
+#: Arena allocations are aligned, as on device (TFLM uses 16-byte alignment).
+ARENA_ALIGNMENT = 16
+
+
+def _align(size: int) -> int:
+    return (size + ARENA_ALIGNMENT - 1) // ARENA_ALIGNMENT * ARENA_ALIGNMENT
+
+
+def tensor_lifetimes(graph: Graph) -> Dict[str, Tuple[int, int]]:
+    """Compute [first, last] op index during which each SRAM tensor is live.
+
+    Graph inputs are live from before the first op; graph outputs stay live
+    through the last op (they must survive for the application to read).
+    """
+    lifetimes: Dict[str, Tuple[int, int]] = {}
+    for name in graph.inputs:
+        lifetimes[name] = (0, 0)
+    for idx, op in enumerate(graph.ops):
+        for t in op.inputs:
+            spec = graph.tensors[t]
+            if spec.kind in ("weight", "bias"):
+                continue
+            if t not in lifetimes:
+                raise GraphError(f"op {op.name}: input {t!r} has no lifetime (never produced)")
+            lifetimes[t] = (lifetimes[t][0], idx)
+        for t in op.outputs:
+            lifetimes[t] = (idx, idx)
+    last = len(graph.ops) - 1
+    for name in graph.outputs:
+        start, _ = lifetimes[name]
+        lifetimes[name] = (start, last)
+    return lifetimes
+
+
+@dataclass
+class Allocation:
+    """One tensor's placement in the arena."""
+
+    tensor: str
+    offset: int
+    size: int
+    first_use: int
+    last_use: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+@dataclass
+class ArenaPlan:
+    """Result of arena planning."""
+
+    allocations: List[Allocation] = field(default_factory=list)
+
+    @property
+    def arena_bytes(self) -> int:
+        return max((a.end for a in self.allocations), default=0)
+
+    def offset_of(self, tensor: str) -> int:
+        for a in self.allocations:
+            if a.tensor == tensor:
+                return a.offset
+        raise KeyError(tensor)
+
+    def verify(self) -> None:
+        """Assert no two temporally-overlapping tensors overlap in space."""
+        for i, a in enumerate(self.allocations):
+            for b in self.allocations[i + 1 :]:
+                time_overlap = not (a.last_use < b.first_use or b.last_use < a.first_use)
+                space_overlap = not (a.end <= b.offset or b.end <= a.offset)
+                if time_overlap and space_overlap:
+                    raise GraphError(
+                        f"arena overlap: {a.tensor} [{a.offset},{a.end}) and "
+                        f"{b.tensor} [{b.offset},{b.end}) are simultaneously live"
+                    )
+
+
+def plan_arena(graph: Graph) -> ArenaPlan:
+    """Greedy best-fit arena planning over tensor lifetimes."""
+    lifetimes = tensor_lifetimes(graph)
+    requests = []
+    for name, (first, last) in lifetimes.items():
+        spec = graph.tensors[name]
+        requests.append((name, _align(spec.size_bytes), first, last))
+    # Largest first; ties broken by earlier first-use for determinism.
+    requests.sort(key=lambda r: (-r[1], r[2], r[0]))
+
+    plan = ArenaPlan()
+    for name, size, first, last in requests:
+        conflicts = [
+            a
+            for a in plan.allocations
+            if not (a.last_use < first or last < a.first_use)
+        ]
+        conflicts.sort(key=lambda a: a.offset)
+        offset = 0
+        for alloc in conflicts:
+            if offset + size <= alloc.offset:
+                break
+            offset = max(offset, alloc.end)
+        plan.allocations.append(
+            Allocation(tensor=name, offset=offset, size=size, first_use=first, last_use=last)
+        )
+    plan.verify()
+    return plan

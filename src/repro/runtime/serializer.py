@@ -1,0 +1,260 @@
+"""The "microbuffer" model format — our TFLite-flatbuffer analogue.
+
+A model is serialized to real bytes: header, tensor table (with quantization
+parameters and weight blobs, 4-bit weights packed two-per-byte), and op
+table. The byte length of the serialized model **is** the flash footprint
+reported everywhere in this reproduction, just as the paper reports the size
+of the ``.tflite`` flatbuffer.
+
+The format round-trips: :func:`deserialize` reconstructs an equivalent
+:class:`~repro.runtime.graph.Graph`, which the test-suite exercises.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.quantization.int4 import pack_int4, unpack_int4
+from repro.quantization.params import QuantParams
+from repro.runtime.graph import Graph, OpNode, TensorSpec
+
+MAGIC = b"MBUF"
+VERSION = 1
+
+_DTYPE_CODES = {"int8": 0, "int16": 1, "int32": 2, "float32": 3, "int4": 4}
+_DTYPE_NAMES = {v: k for k, v in _DTYPE_CODES.items()}
+_KIND_CODES = {"input": 0, "activation": 1, "output": 2, "weight": 3, "bias": 4}
+_KIND_NAMES = {v: k for k, v in _KIND_CODES.items()}
+_OP_CODES = {
+    "conv2d": 0,
+    "depthwise_conv2d": 1,
+    "dense": 2,
+    "avg_pool": 3,
+    "max_pool": 4,
+    "global_avg_pool": 5,
+    "add": 6,
+    "softmax": 7,
+    "reshape": 8,
+}
+_OP_NAMES = {v: k for k, v in _OP_CODES.items()}
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _unpack_str(buf: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from("<H", buf, offset)
+    offset += 2
+    value = buf[offset : offset + length].decode("utf-8")
+    return value, offset + length
+
+
+def _pack_tensor(spec: TensorSpec) -> bytes:
+    parts = [_pack_str(spec.name)]
+    parts.append(struct.pack("<BB", _DTYPE_CODES[spec.dtype], _KIND_CODES[spec.kind]))
+    parts.append(struct.pack("<B", len(spec.shape)))
+    parts.append(struct.pack(f"<{len(spec.shape)}I", *spec.shape))
+    if spec.quant is not None:
+        scales = np.asarray(spec.quant.scale, dtype=np.float32)
+        parts.append(struct.pack("<B", 1))
+        parts.append(struct.pack("<I", scales.size))
+        parts.append(scales.tobytes())
+        parts.append(struct.pack("<iB", spec.quant.zero_point, spec.quant.bits))
+    else:
+        parts.append(struct.pack("<B", 0))
+    if spec.data is not None:
+        blob = _encode_data(spec)
+        parts.append(struct.pack("<BI", 1, len(blob)))
+        parts.append(blob)
+    else:
+        parts.append(struct.pack("<B", 0))
+    return b"".join(parts)
+
+
+def _encode_data(spec: TensorSpec) -> bytes:
+    data = spec.data
+    if spec.dtype == "int4":
+        return pack_int4(data).tobytes()
+    if spec.dtype == "int8":
+        return data.astype(np.int8).tobytes()
+    if spec.dtype == "int16":
+        return data.astype(np.int16).tobytes()
+    if spec.dtype == "int32":
+        return data.astype(np.int32).tobytes()
+    if spec.dtype == "float32":
+        return data.astype(np.float32).tobytes()
+    raise GraphError(f"tensor {spec.name}: cannot serialize dtype {spec.dtype}")
+
+
+def _decode_data(blob: bytes, dtype: str, shape: Tuple[int, ...]) -> np.ndarray:
+    count = int(np.prod(shape)) if shape else 1
+    if dtype == "int4":
+        return unpack_int4(np.frombuffer(blob, dtype=np.uint8), count).reshape(shape)
+    np_dtype = {"int8": np.int8, "int16": np.int16, "int32": np.int32, "float32": np.float32}[
+        dtype
+    ]
+    return np.frombuffer(blob, dtype=np_dtype).reshape(shape).copy()
+
+
+def _unpack_tensor(buf: bytes, offset: int) -> Tuple[TensorSpec, int]:
+    name, offset = _unpack_str(buf, offset)
+    dtype_code, kind_code = struct.unpack_from("<BB", buf, offset)
+    offset += 2
+    (ndim,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    shape = struct.unpack_from(f"<{ndim}I", buf, offset)
+    offset += 4 * ndim
+    (has_quant,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    quant: Optional[QuantParams] = None
+    if has_quant:
+        (n_scales,) = struct.unpack_from("<I", buf, offset)
+        offset += 4
+        scales = np.frombuffer(buf, dtype=np.float32, count=n_scales, offset=offset).copy()
+        offset += 4 * n_scales
+        zero_point, bits = struct.unpack_from("<iB", buf, offset)
+        offset += 5
+        quant = QuantParams(scale=scales.astype(np.float64), zero_point=zero_point, bits=bits)
+    (has_data,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    data = None
+    dtype = _DTYPE_NAMES[dtype_code]
+    if has_data:
+        (blob_len,) = struct.unpack_from("<I", buf, offset)
+        offset += 4
+        data = _decode_data(buf[offset : offset + blob_len], dtype, tuple(shape))
+        offset += blob_len
+    spec = TensorSpec(
+        name=name,
+        shape=tuple(int(d) for d in shape),
+        dtype=dtype,
+        kind=_KIND_NAMES[kind_code],
+        data=data,
+        quant=quant,
+    )
+    return spec, offset
+
+
+def _pack_attr_value(value) -> bytes:
+    if isinstance(value, bool):
+        return struct.pack("<Bi", 0, int(value))
+    if isinstance(value, (int, np.integer)):
+        return struct.pack("<Bi", 0, int(value))
+    if isinstance(value, float):
+        return struct.pack("<Bf", 1, value)
+    if isinstance(value, str):
+        return struct.pack("<B", 2) + _pack_str(value)
+    raise GraphError(f"cannot serialize op attribute of type {type(value).__name__}")
+
+
+def _unpack_attr_value(buf: bytes, offset: int):
+    (code,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    if code == 0:
+        (value,) = struct.unpack_from("<i", buf, offset)
+        return int(value), offset + 4
+    if code == 1:
+        (value,) = struct.unpack_from("<f", buf, offset)
+        return float(value), offset + 4
+    value, offset = _unpack_str(buf, offset)
+    return value, offset
+
+
+def _pack_op(op: OpNode) -> bytes:
+    parts = [struct.pack("<B", _OP_CODES[op.kind]), _pack_str(op.name)]
+    parts.append(struct.pack("<B", len(op.inputs)))
+    parts.extend(_pack_str(t) for t in op.inputs)
+    parts.append(struct.pack("<B", len(op.outputs)))
+    parts.extend(_pack_str(t) for t in op.outputs)
+    attrs = {k: v for k, v in op.attrs.items() if v is not None}
+    parts.append(struct.pack("<B", len(attrs)))
+    for key, value in sorted(attrs.items()):
+        parts.append(_pack_str(key))
+        parts.append(_pack_attr_value(value))
+    return b"".join(parts)
+
+
+def _unpack_op(buf: bytes, offset: int) -> Tuple[OpNode, int]:
+    (kind_code,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    name, offset = _unpack_str(buf, offset)
+    (n_in,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    inputs: List[str] = []
+    for _ in range(n_in):
+        t, offset = _unpack_str(buf, offset)
+        inputs.append(t)
+    (n_out,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    outputs: List[str] = []
+    for _ in range(n_out):
+        t, offset = _unpack_str(buf, offset)
+        outputs.append(t)
+    (n_attrs,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    attrs: Dict[str, object] = {}
+    for _ in range(n_attrs):
+        key, offset = _unpack_str(buf, offset)
+        value, offset = _unpack_attr_value(buf, offset)
+        attrs[key] = value
+    return OpNode(kind=_OP_NAMES[kind_code], name=name, inputs=inputs, outputs=outputs, attrs=attrs), offset
+
+
+def serialize(graph: Graph) -> bytes:
+    """Serialize a graph (with weights) to model-file bytes."""
+    parts = [MAGIC, struct.pack("<H", VERSION), _pack_str(graph.name)]
+    parts.append(struct.pack("<II", len(graph.tensors), len(graph.ops)))
+    parts.append(struct.pack("<B", len(graph.inputs)))
+    parts.extend(_pack_str(t) for t in graph.inputs)
+    parts.append(struct.pack("<B", len(graph.outputs)))
+    parts.extend(_pack_str(t) for t in graph.outputs)
+    for spec in graph.tensors.values():
+        parts.append(_pack_tensor(spec))
+    for op in graph.ops:
+        parts.append(_pack_op(op))
+    return b"".join(parts)
+
+
+def deserialize(buf: bytes) -> Graph:
+    """Reconstruct a graph from model-file bytes."""
+    if buf[:4] != MAGIC:
+        raise GraphError("not a microbuffer model (bad magic)")
+    offset = 4
+    (version,) = struct.unpack_from("<H", buf, offset)
+    offset += 2
+    if version != VERSION:
+        raise GraphError(f"unsupported microbuffer version {version}")
+    name, offset = _unpack_str(buf, offset)
+    n_tensors, n_ops = struct.unpack_from("<II", buf, offset)
+    offset += 8
+    (n_in,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    inputs: List[str] = []
+    for _ in range(n_in):
+        t, offset = _unpack_str(buf, offset)
+        inputs.append(t)
+    (n_out,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    outputs: List[str] = []
+    for _ in range(n_out):
+        t, offset = _unpack_str(buf, offset)
+        outputs.append(t)
+    graph = Graph(name=name, inputs=inputs, outputs=outputs)
+    for _ in range(n_tensors):
+        spec, offset = _unpack_tensor(buf, offset)
+        graph.add_tensor(spec)
+    for _ in range(n_ops):
+        op, offset = _unpack_op(buf, offset)
+        graph.add_op(op)
+    return graph
+
+
+def model_size_bytes(graph: Graph) -> int:
+    """Flash footprint of the serialized model."""
+    return len(serialize(graph))

@@ -1,0 +1,86 @@
+"""ASCII visualization of memory maps and arena allocation.
+
+Terminal-renderable versions of the paper's Figure 2 (SRAM/eFlash
+occupancy bars) and the arena planner's placement (offset × time), for
+debugging why a model misses a board's budget.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hw.devices import MCUDevice
+from repro.runtime.graph import Graph
+from repro.runtime.planner import plan_arena
+from repro.runtime.reporting import memory_report
+
+BAR_WIDTH = 56
+
+
+def _bar(segments: List[tuple], total: float, width: int = BAR_WIDTH) -> str:
+    """Render labeled segments as a proportional character bar."""
+    out = []
+    used = 0
+    for label, size in segments:
+        chars = max(1, int(round(width * size / total))) if size > 0 else 0
+        used += chars
+        out.append(label[0].upper() * chars)
+    free = max(0, width - used)
+    out.append("." * free)
+    return "[" + "".join(out)[:width] + "]"
+
+
+def render_memory_map(graph: Graph, device: MCUDevice) -> str:
+    """Figure-2-style occupancy bars for one model on one device."""
+    report = memory_report(graph)
+    lines = [f"memory map: {graph.name} on {device.name}"]
+
+    sram = list(report.sram_breakdown().items())
+    lines.append(
+        f"SRAM  {report.total_sram / 1024:7.1f} / {device.sram_bytes / 1024:.0f} KB  "
+        + _bar(sram, device.sram_bytes)
+    )
+    for label, size in sram:
+        lines.append(f"      {label[0].upper()} = {label}: {size / 1024:.1f} KB")
+
+    flash = list(report.flash_breakdown().items())
+    lines.append(
+        f"FLASH {report.total_flash / 1024:7.1f} / {device.eflash_bytes / 1024:.0f} KB  "
+        + _bar(flash, device.eflash_bytes)
+    )
+    for label, size in flash:
+        lines.append(f"      {label[0].upper()} = {label}: {size / 1024:.1f} KB")
+
+    verdict = (
+        "fits"
+        if report.total_sram <= device.sram_bytes and report.total_flash <= device.eflash_bytes
+        else "DOES NOT FIT"
+    )
+    lines.append(f"verdict: {verdict}")
+    return "\n".join(lines)
+
+
+def render_arena_timeline(graph: Graph, width: int = 48) -> str:
+    """Arena occupancy over the op schedule: one row per allocation.
+
+    Rows are sorted by offset; columns are op indices; a filled cell means
+    the tensor is live during that op. Reading down a column shows which
+    buffers coexist — the planner's packing at a glance.
+    """
+    plan = plan_arena(graph)
+    num_ops = len(graph.ops)
+    scale = max(1, -(-num_ops // width))
+    lines = [f"arena timeline: {graph.name} "
+             f"({plan.arena_bytes / 1024:.1f} KB arena, {num_ops} ops, "
+             f"1 column = {scale} op{'s' if scale > 1 else ''})"]
+    for alloc in sorted(plan.allocations, key=lambda a: a.offset):
+        cells = []
+        for column in range(-(-num_ops // scale)):
+            lo, hi = column * scale, (column + 1) * scale - 1
+            live = not (alloc.last_use < lo or hi < alloc.first_use)
+            cells.append("#" if live else " ")
+        lines.append(
+            f"{alloc.offset / 1024:7.1f}K +{alloc.size / 1024:6.1f}K |{''.join(cells)}| "
+            f"{alloc.tensor[:28]}"
+        )
+    return "\n".join(lines)

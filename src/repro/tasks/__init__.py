@@ -1,0 +1,23 @@
+"""End-to-end task pipelines for the three TinyMLPerf benchmarks.
+
+Each task module wires a synthetic dataset, a training recipe modeled on
+the paper's (§5.2), int8 (or int4) deployment export, and the task metric:
+
+* :mod:`repro.tasks.vww` — visual wake words, top-1 accuracy;
+* :mod:`repro.tasks.kws` — keyword spotting, top-1 accuracy over 12 classes;
+* :mod:`repro.tasks.ad` — anomaly detection, ROC-AUC of the self-supervised
+  machine-ID confidence score.
+"""
+
+from repro.tasks.common import TrainConfig, TaskResult, train_classifier, evaluate_graph
+from repro.tasks import vww, kws, ad
+
+__all__ = [
+    "TrainConfig",
+    "TaskResult",
+    "train_classifier",
+    "evaluate_graph",
+    "vww",
+    "kws",
+    "ad",
+]

@@ -1,0 +1,168 @@
+"""Anomaly detection task pipeline (paper §4.3, §5.2.3, §6.4).
+
+The paper reformulates unsupervised anomaly detection as self-supervised
+machine-ID classification: a classifier trained to tell the four slide-rail
+machines apart on *normal* audio only. At test time, the anomaly score of a
+clip is the **negative softmax confidence** assigned to the clip's true
+machine ID — an anomalous machine no longer sounds like itself, so the
+classifier's confidence drops. AUC is computed from that score.
+
+The auto-encoder baselines (Table 3) score by reconstruction error instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.mimii import ADDataset, make_ad_dataset
+from repro.models.spec import ArchSpec, build_module, export_graph
+from repro.nn import Adam, mse_loss, roc_auc
+from repro.nn.schedules import CosineDecay
+from repro.runtime.graph import Graph
+from repro.tasks.common import TaskResult, TrainConfig, evaluate_graph, predict, train_classifier
+from repro.tensor import Tensor, no_grad
+from repro.utils.rng import RngLike, new_rng, spawn_rng
+from repro.utils.scale import Scale, resolve_scale
+
+#: MIMII slide-rail scale: ~2,370 normal train clips × ~25 patches each.
+PAPER_TRAIN_SIZE = 8_000
+PAPER_TEST_SIZE = 2_000
+PAPER_EPOCHS = 50
+
+#: Spectrogram-stride between successive inputs (paper: 32 frames × 20 ms).
+INPUT_STRIDE_S = 0.640
+
+
+def default_config(scale: Optional[Scale] = None) -> TrainConfig:
+    """AD recipe: KWS hyperparameters + mixup 0.3, 50 epochs (§5.2.3)."""
+    scale = scale or resolve_scale()
+    return TrainConfig(
+        epochs=scale.epochs(PAPER_EPOCHS),
+        batch_size=32,
+        lr_max=0.01,
+        lr_min=0.00001,
+        weight_decay=0.001,
+        optimizer="adam",
+        mixup_alpha=0.3,
+        qat_bits=8,
+    )
+
+
+def make_datasets(
+    scale: Optional[Scale] = None, rng: RngLike = 0
+) -> Tuple[ADDataset, ADDataset]:
+    scale = scale or resolve_scale()
+    rng = new_rng(rng)
+    return make_ad_dataset(
+        max(480, scale.dataset(PAPER_TRAIN_SIZE)),
+        max(240, scale.dataset(PAPER_TEST_SIZE)),
+        rng=rng,
+    )
+
+
+def anomaly_scores(probabilities: np.ndarray, machine_ids: np.ndarray) -> np.ndarray:
+    """Negative own-ID softmax confidence (higher ⇒ more anomalous)."""
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.min() < 0 or probs.max() > 1.0 + 1e-3:
+        # Logits were passed; convert.
+        shifted = probs - probs.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=-1, keepdims=True)
+    own = probs[np.arange(len(machine_ids)), machine_ids]
+    return -own
+
+
+def run(
+    arch: ArchSpec,
+    scale: Optional[Scale] = None,
+    rng: RngLike = 0,
+    config: Optional[TrainConfig] = None,
+) -> TaskResult:
+    """Self-supervised AD: train machine-ID classifier, report AUC."""
+    scale = scale or resolve_scale()
+    rng = new_rng(rng)
+    train, test = make_datasets(scale, spawn_rng(rng, "data"))
+    config = config or default_config(scale)
+    module = train_classifier(
+        arch,
+        train.patches,
+        train.machine_ids,
+        config,
+        rng=spawn_rng(rng, "train"),
+        num_classes=4,
+    )
+    float_scores = anomaly_scores(predict(module, test.patches), test.machine_ids)
+    float_auc = roc_auc(float_scores, test.anomaly)
+
+    graph = export_graph(arch, module, calibration=train.patches[:128], bits=8)
+    quant_scores = anomaly_scores(evaluate_graph(graph, test.patches), test.machine_ids)
+    quant_auc = roc_auc(quant_scores, test.anomaly)
+    return TaskResult(
+        name=arch.name, float_metric=float_auc, quant_metric=quant_auc, graph=graph
+    )
+
+
+def run_autoencoder(
+    arch: ArchSpec,
+    scale: Optional[Scale] = None,
+    rng: RngLike = 0,
+    epochs: Optional[int] = None,
+) -> TaskResult:
+    """The FC auto-encoder baseline: reconstruction-error anomaly score.
+
+    The AE consumes flattened spectrogram features; we feed it the same
+    32×32 patches flattened and tiled/truncated to its input width.
+    """
+    scale = scale or resolve_scale()
+    rng = new_rng(rng)
+    train, test = make_datasets(scale, spawn_rng(rng, "data"))
+    input_dim = arch.input_shape[0]
+
+    def to_vectors(patches: np.ndarray) -> np.ndarray:
+        flat = patches.reshape(len(patches), -1)
+        if flat.shape[1] >= input_dim:
+            return flat[:, :input_dim]
+        reps = -(-input_dim // flat.shape[1])
+        return np.tile(flat, (1, reps))[:, :input_dim]
+
+    x_train = to_vectors(train.patches)
+    x_test = to_vectors(test.patches)
+
+    module = build_module(arch, rng=spawn_rng(rng, "init"), qat_bits=None)
+    epochs = epochs if epochs is not None else max(2, scale.epochs(PAPER_EPOCHS))
+    batch_size = 32
+    steps = max(1, len(x_train) // batch_size)
+    opt = Adam(module.parameters(), schedule=CosineDecay(0.001, 1e-5, epochs * steps))
+    module.train()
+    order_rng = spawn_rng(rng, "batches")
+    for _ in range(epochs):
+        order = order_rng.permutation(len(x_train))
+        for step in range(steps):
+            idx = order[step * batch_size : (step + 1) * batch_size]
+            loss = mse_loss(module(Tensor(x_train[idx])), x_train[idx])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    module.eval()
+
+    def reconstruction_error(module_out: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return ((module_out - x) ** 2).mean(axis=1)
+
+    with no_grad():
+        recon_float = module(Tensor(x_test)).data
+    float_auc = roc_auc(reconstruction_error(recon_float, x_test), test.anomaly)
+
+    graph = export_graph(arch, module, calibration=x_train[:128], bits=8)
+    recon_quant = evaluate_graph(graph, x_test)
+    quant_auc = roc_auc(reconstruction_error(recon_quant, x_test), test.anomaly)
+    return TaskResult(
+        name=arch.name, float_metric=float_auc, quant_metric=quant_auc, graph=graph
+    )
+
+
+def uptime_percent(latency_s: float, stride_s: float = INPUT_STRIDE_S) -> float:
+    """The paper's Uptime metric: latency / input stride, as a percentage."""
+    return 100.0 * latency_s / stride_s

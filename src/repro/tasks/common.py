@@ -1,0 +1,150 @@
+"""Shared training loop and evaluation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.models.spec import ArchSpec, SpecModel, build_module, export_graph
+from repro.nn import SGD, Adam, accuracy, cross_entropy, mixup
+from repro.nn.losses import distillation_loss
+from repro.nn.schedules import CosineDecay
+from repro.runtime.graph import Graph
+from repro.runtime.interpreter import Interpreter
+from repro.tensor import Tensor, no_grad
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass
+class TrainConfig:
+    """Training recipe knobs (defaults follow the paper's KWS recipe)."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr_max: float = 0.01
+    lr_min: float = 0.00001
+    weight_decay: float = 0.001
+    optimizer: str = "adam"
+    label_smoothing: float = 0.0
+    mixup_alpha: float = 0.0
+    qat_bits: Optional[int] = 8
+    distill_alpha: float = 0.0
+    distill_temperature: float = 4.0
+
+
+@dataclass
+class TaskResult:
+    """Outcome of training + deploying one model on one task."""
+
+    name: str
+    float_metric: float
+    quant_metric: float
+    graph: Graph
+    history: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def metric(self) -> float:
+        """The deployed (quantized) metric — what the paper reports."""
+        return self.quant_metric
+
+
+def train_classifier(
+    arch: ArchSpec,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    config: TrainConfig,
+    rng: RngLike = 0,
+    num_classes: Optional[int] = None,
+    teacher_logits: Optional[np.ndarray] = None,
+) -> SpecModel:
+    """Train a classifier from an architecture spec.
+
+    Implements the paper's recipe structure: cosine learning-rate decay,
+    weight decay, optional mixup (AD) and knowledge distillation (VWW
+    fine-tuning), and fake-quant QAT when ``config.qat_bits`` is set.
+    """
+    rng = new_rng(rng)
+    if num_classes is None:
+        num_classes = int(y_train.max()) + 1
+    module = build_module(arch, rng=rng, qat_bits=config.qat_bits)
+    steps_per_epoch = max(1, len(x_train) // config.batch_size)
+    total_steps = config.epochs * steps_per_epoch
+    schedule = CosineDecay(config.lr_max, config.lr_min, total_steps)
+    params = module.parameters()
+    if config.optimizer == "adam":
+        opt = Adam(params, schedule=schedule, weight_decay=config.weight_decay)
+    else:
+        opt = SGD(params, schedule=schedule, momentum=0.9, weight_decay=config.weight_decay)
+
+    module.train()
+    for _ in range(config.epochs):
+        order = rng.permutation(len(x_train))
+        for step in range(steps_per_epoch):
+            idx = order[step * config.batch_size : (step + 1) * config.batch_size]
+            xb, yb = x_train[idx], y_train[idx]
+            soft_labels = None
+            if config.mixup_alpha > 0:
+                xb, soft_labels = mixup(xb, yb, num_classes, config.mixup_alpha, rng)
+            logits = module(Tensor(xb))
+            if teacher_logits is not None and config.distill_alpha > 0:
+                loss = distillation_loss(
+                    logits,
+                    teacher_logits[idx],
+                    yb,
+                    alpha=config.distill_alpha,
+                    temperature=config.distill_temperature,
+                )
+            else:
+                loss = cross_entropy(
+                    logits, yb, label_smoothing=config.label_smoothing, soft_labels=soft_labels
+                )
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    module.eval()
+    return module
+
+
+def predict(module: SpecModel, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
+    """Batched float inference with a trained module."""
+    outputs = []
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            outputs.append(module(Tensor(x[start : start + batch_size])).data)
+    return np.concatenate(outputs, axis=0)
+
+
+def evaluate_graph(graph: Graph, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
+    """Batched inference through the deployment interpreter."""
+    interp = Interpreter(graph)
+    outputs = []
+    for start in range(0, len(x), batch_size):
+        outputs.append(interp.invoke(x[start : start + batch_size]))
+    return np.concatenate(outputs, axis=0)
+
+
+def train_and_deploy(
+    arch: ArchSpec,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    config: TrainConfig,
+    rng: RngLike = 0,
+    bits: int = 8,
+    teacher_logits: Optional[np.ndarray] = None,
+) -> TaskResult:
+    """Full classification pipeline: train, export int-N, measure both."""
+    rng = new_rng(rng)
+    module = train_classifier(
+        arch, x_train, y_train, config, rng=rng, teacher_logits=teacher_logits
+    )
+    float_acc = accuracy(predict(module, x_test), y_test)
+    calibration = x_train[: min(len(x_train), 128)]
+    graph = export_graph(arch, module, calibration=calibration, bits=bits)
+    quant_acc = accuracy(evaluate_graph(graph, x_test), y_test)
+    return TaskResult(
+        name=arch.name, float_metric=float_acc, quant_metric=quant_acc, graph=graph
+    )

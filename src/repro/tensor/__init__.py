@@ -1,0 +1,20 @@
+"""A small reverse-mode automatic differentiation engine over numpy.
+
+The engine provides exactly what the rest of the library needs to train
+convolutional networks and run differentiable architecture search:
+
+* :class:`~repro.tensor.tensor.Tensor` — an ndarray wrapper that records the
+  computation graph and supports ``backward()``.
+* :mod:`repro.tensor.functional` — differentiable operations (convolutions,
+  pooling, softmax, padding, ...), all vectorized with numpy.
+
+Design notes
+------------
+Data layout is **NHWC** throughout (matching TFLM), and all floating point
+data is ``float32``. Gradients are accumulated in ``float32`` as well.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+
+__all__ = ["Tensor", "functional", "no_grad", "is_grad_enabled"]

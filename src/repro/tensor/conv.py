@@ -1,0 +1,241 @@
+"""Vectorized numpy convolution primitives (forward and backward).
+
+These helpers operate on raw ndarrays in **NHWC** layout; the differentiable
+wrappers live in :mod:`repro.tensor.functional`. The implementation extracts
+sliding windows with ``numpy.lib.stride_tricks.sliding_window_view`` (zero
+copy) and reduces with ``einsum``, so no Python loop ever runs over pixels —
+only the tiny KH×KW loop in the input-gradient scatter.
+
+Padding follows TensorFlow semantics (``"same"``/``"valid"``), including the
+asymmetric padding TF applies for even kernel/stride combinations, so output
+shapes match what TFLM would produce on device.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+def as_pair(value: IntOrPair) -> Tuple[int, int]:
+    """Normalize an int-or-(h, w) parameter to an (h, w) tuple."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ShapeError(f"expected (h, w) pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def same_padding(size: int, kernel: int, stride: int) -> Tuple[int, int]:
+    """TF-style SAME padding (before, after) for one spatial dimension."""
+    out_size = -(-size // stride)  # ceil division
+    total = max((out_size - 1) * stride + kernel - size, 0)
+    before = total // 2
+    return before, total - before
+
+
+def resolve_padding(
+    height: int, width: int, kh: int, kw: int, stride: IntOrPair, padding: str
+) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    """Return ((top, bottom), (left, right)) pixel padding."""
+    sh, sw = as_pair(stride)
+    if padding == "same":
+        return same_padding(height, kh, sh), same_padding(width, kw, sw)
+    if padding == "valid":
+        return (0, 0), (0, 0)
+    raise ShapeError(f"unknown padding mode {padding!r}; expected 'same' or 'valid'")
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: str) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    if padding == "same":
+        return -(-size // stride)
+    if padding == "valid":
+        return (size - kernel) // stride + 1
+    raise ShapeError(f"unknown padding mode {padding!r}")
+
+
+def _pad_input(x: np.ndarray, pad_h: Tuple[int, int], pad_w: Tuple[int, int]) -> np.ndarray:
+    if pad_h == (0, 0) and pad_w == (0, 0):
+        return x
+    return np.pad(x, ((0, 0), pad_h, pad_w, (0, 0)))
+
+
+def extract_patches(x_padded: np.ndarray, kh: int, kw: int, stride: IntOrPair) -> np.ndarray:
+    """Return a strided view of shape (N, OH, OW, C, KH, KW)."""
+    sh, sw = as_pair(stride)
+    windows = np.lib.stride_tricks.sliding_window_view(x_padded, (kh, kw), axis=(1, 2))
+    return windows[:, ::sh, ::sw]
+
+
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, stride: IntOrPair, padding: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Standard 2-D convolution.
+
+    Parameters
+    ----------
+    x: (N, H, W, C) input.
+    weight: (KH, KW, C, OC) filters.
+
+    Returns
+    -------
+    (output, patches) where patches is cached for the backward pass.
+    """
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ShapeError(f"conv2d expects 4-D input/weight, got {x.shape} / {weight.shape}")
+    if x.shape[3] != weight.shape[2]:
+        raise ShapeError(
+            f"conv2d channel mismatch: input has {x.shape[3]} channels, "
+            f"weight expects {weight.shape[2]}"
+        )
+    kh, kw = weight.shape[:2]
+    pad_h, pad_w = resolve_padding(x.shape[1], x.shape[2], kh, kw, stride, padding)
+    patches = extract_patches(_pad_input(x, pad_h, pad_w), kh, kw, stride)
+    out = np.einsum("nxyckl,klcf->nxyf", patches, weight, optimize=True)
+    return np.ascontiguousarray(out, dtype=np.float32), patches
+
+
+def conv2d_backward_weight(patches: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """Gradient of a conv2d with respect to its (KH, KW, C, OC) weight."""
+    return np.einsum("nxyckl,nxyf->klcf", patches, grad_out, optimize=True).astype(np.float32)
+
+
+def conv2d_backward_input(
+    grad_out: np.ndarray,
+    weight: np.ndarray,
+    input_shape: Tuple[int, ...],
+    stride: IntOrPair,
+    padding: str,
+) -> np.ndarray:
+    """Gradient of a conv2d with respect to its (N, H, W, C) input."""
+    kh, kw = weight.shape[:2]
+    n, h, w, c = input_shape
+    sh, sw = as_pair(stride)
+    pad_h, pad_w = resolve_padding(h, w, kh, kw, stride, padding)
+    padded = np.zeros((n, h + sum(pad_h), w + sum(pad_w), c), dtype=np.float32)
+    oh, ow = grad_out.shape[1], grad_out.shape[2]
+    for i in range(kh):
+        for j in range(kw):
+            contribution = np.einsum("nxyf,cf->nxyc", grad_out, weight[i, j], optimize=True)
+            padded[:, i : i + sh * oh : sh, j : j + sw * ow : sw, :] += contribution
+    return padded[:, pad_h[0] : pad_h[0] + h, pad_w[0] : pad_w[0] + w, :]
+
+
+def depthwise_conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, stride: IntOrPair, padding: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Depthwise 2-D convolution with channel multiplier 1.
+
+    Parameters
+    ----------
+    x: (N, H, W, C) input.
+    weight: (KH, KW, C) one filter per channel.
+    """
+    if weight.ndim != 3:
+        raise ShapeError(f"depthwise weight must be (KH, KW, C), got {weight.shape}")
+    if x.shape[3] != weight.shape[2]:
+        raise ShapeError(
+            f"depthwise channel mismatch: input {x.shape[3]} vs weight {weight.shape[2]}"
+        )
+    kh, kw = weight.shape[:2]
+    pad_h, pad_w = resolve_padding(x.shape[1], x.shape[2], kh, kw, stride, padding)
+    patches = extract_patches(_pad_input(x, pad_h, pad_w), kh, kw, stride)
+    out = np.einsum("nxyckl,klc->nxyc", patches, weight, optimize=True)
+    return np.ascontiguousarray(out, dtype=np.float32), patches
+
+
+def depthwise_conv2d_backward_weight(patches: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    return np.einsum("nxyckl,nxyc->klc", patches, grad_out, optimize=True).astype(np.float32)
+
+
+def depthwise_conv2d_backward_input(
+    grad_out: np.ndarray,
+    weight: np.ndarray,
+    input_shape: Tuple[int, ...],
+    stride: IntOrPair,
+    padding: str,
+) -> np.ndarray:
+    kh, kw = weight.shape[:2]
+    n, h, w, c = input_shape
+    sh, sw = as_pair(stride)
+    pad_h, pad_w = resolve_padding(h, w, kh, kw, stride, padding)
+    padded = np.zeros((n, h + sum(pad_h), w + sum(pad_w), c), dtype=np.float32)
+    oh, ow = grad_out.shape[1], grad_out.shape[2]
+    for i in range(kh):
+        for j in range(kw):
+            contribution = grad_out * weight[i, j][None, None, None, :]
+            padded[:, i : i + sh * oh : sh, j : j + sw * ow : sw, :] += contribution
+    return padded[:, pad_h[0] : pad_h[0] + h, pad_w[0] : pad_w[0] + w, :]
+
+
+def avg_pool2d_forward(
+    x: np.ndarray, pool: int, stride: int, padding: str
+) -> np.ndarray:
+    pad_h, pad_w = resolve_padding(x.shape[1], x.shape[2], pool, pool, stride, padding)
+    patches = extract_patches(_pad_input(x, pad_h, pad_w), pool, pool, stride)
+    return patches.mean(axis=(-2, -1)).astype(np.float32)
+
+
+def avg_pool2d_backward(
+    grad_out: np.ndarray, input_shape: Tuple[int, ...], pool: int, stride: int, padding: str
+) -> np.ndarray:
+    n, h, w, c = input_shape
+    pad_h, pad_w = resolve_padding(h, w, pool, pool, stride, padding)
+    padded = np.zeros((n, h + sum(pad_h), w + sum(pad_w), c), dtype=np.float32)
+    oh, ow = grad_out.shape[1], grad_out.shape[2]
+    share = grad_out / float(pool * pool)
+    for i in range(pool):
+        for j in range(pool):
+            padded[:, i : i + stride * oh : stride, j : j + stride * ow : stride, :] += share
+    return padded[:, pad_h[0] : pad_h[0] + h, pad_w[0] : pad_w[0] + w, :]
+
+
+def max_pool2d_forward(
+    x: np.ndarray, pool: int, stride: int, padding: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling; returns (output, tie-normalized argmax mask patches)."""
+    pad_h, pad_w = resolve_padding(x.shape[1], x.shape[2], pool, pool, stride, padding)
+    padded = _pad_input(x, pad_h, pad_w)
+    if sum(pad_h) or sum(pad_w):
+        # Padding for max pooling must not win the max.
+        padded = padded.copy()
+        if pad_h[0]:
+            padded[:, : pad_h[0]] = -np.inf
+        if pad_h[1]:
+            padded[:, -pad_h[1] :] = -np.inf
+        if pad_w[0]:
+            padded[:, :, : pad_w[0]] = -np.inf
+        if pad_w[1]:
+            padded[:, :, -pad_w[1] :] = -np.inf
+    patches = extract_patches(padded, pool, pool, stride)
+    out = patches.max(axis=(-2, -1))
+    mask = (patches == out[..., None, None]).astype(np.float32)
+    mask /= np.maximum(mask.sum(axis=(-2, -1), keepdims=True), 1.0)
+    return out.astype(np.float32), mask
+
+
+def max_pool2d_backward(
+    grad_out: np.ndarray,
+    mask: np.ndarray,
+    input_shape: Tuple[int, ...],
+    pool: int,
+    stride: int,
+    padding: str,
+) -> np.ndarray:
+    n, h, w, c = input_shape
+    pad_h, pad_w = resolve_padding(h, w, pool, pool, stride, padding)
+    padded = np.zeros((n, h + sum(pad_h), w + sum(pad_w), c), dtype=np.float32)
+    oh, ow = grad_out.shape[1], grad_out.shape[2]
+    for i in range(pool):
+        for j in range(pool):
+            padded[:, i : i + stride * oh : stride, j : j + stride * ow : stride, :] += (
+                grad_out * mask[..., i, j]
+            )
+    return padded[:, pad_h[0] : pad_h[0] + h, pad_w[0] : pad_w[0] + w, :]

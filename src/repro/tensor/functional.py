@@ -1,0 +1,167 @@
+"""Differentiable functional operations built on :class:`repro.tensor.Tensor`.
+
+Everything here returns graph-recording tensors; the heavy numerics live in
+:mod:`repro.tensor.conv`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor import conv as C
+from repro.tensor.tensor import Tensor
+
+
+def conv2d(x: Tensor, weight: Tensor, stride: int = 1, padding: str = "same") -> Tensor:
+    """2-D convolution, NHWC input, (KH, KW, C, OC) weight."""
+    out_data, patches = C.conv2d_forward(x.data, weight.data, stride, padding)
+    input_shape = x.shape
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate(C.conv2d_backward_weight(patches, grad))
+        if x.requires_grad:
+            x._accumulate(
+                C.conv2d_backward_input(grad, weight.data, input_shape, stride, padding)
+            )
+
+    return Tensor._make(out_data, (x, weight), backward_fn)
+
+
+def depthwise_conv2d(
+    x: Tensor, weight: Tensor, stride: int = 1, padding: str = "same"
+) -> Tensor:
+    """Depthwise 2-D convolution, NHWC input, (KH, KW, C) weight."""
+    out_data, patches = C.depthwise_conv2d_forward(x.data, weight.data, stride, padding)
+    input_shape = x.shape
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate(C.depthwise_conv2d_backward_weight(patches, grad))
+        if x.requires_grad:
+            x._accumulate(
+                C.depthwise_conv2d_backward_input(grad, weight.data, input_shape, stride, padding)
+            )
+
+    return Tensor._make(out_data, (x, weight), backward_fn)
+
+
+def dense(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Fully connected layer: ``x @ weight + bias`` with (IN, OUT) weight."""
+    out = x.matmul(weight)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def bias_add(x: Tensor, bias: Tensor) -> Tensor:
+    """Add a per-channel bias to an NHWC activation."""
+    return x + bias
+
+
+def avg_pool2d(x: Tensor, pool: int, stride: Optional[int] = None, padding: str = "valid") -> Tensor:
+    stride = stride if stride is not None else pool
+    out_data = C.avg_pool2d_forward(x.data, pool, stride, padding)
+    input_shape = x.shape
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(C.avg_pool2d_backward(grad, input_shape, pool, stride, padding))
+
+    return Tensor._make(out_data, (x,), backward_fn)
+
+
+def max_pool2d(x: Tensor, pool: int, stride: Optional[int] = None, padding: str = "valid") -> Tensor:
+    stride = stride if stride is not None else pool
+    out_data, mask = C.max_pool2d_forward(x.data, pool, stride, padding)
+    input_shape = x.shape
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(C.max_pool2d_backward(grad, mask, input_shape, pool, stride, padding))
+
+    return Tensor._make(out_data, (x,), backward_fn)
+
+
+def global_avg_pool(x: Tensor) -> Tensor:
+    """Average over the spatial axes of an NHWC tensor → (N, C)."""
+    if x.ndim != 4:
+        raise ShapeError(f"global_avg_pool expects NHWC input, got {x.shape}")
+    return x.mean(axis=(1, 2))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float32) / keep
+    return x * Tensor(mask)
+
+
+def pad2d(x: Tensor, pad: Tuple[int, int, int, int]) -> Tensor:
+    """Zero-pad an NHWC tensor: (top, bottom, left, right)."""
+    top, bottom, left, right = pad
+    out_data = np.pad(x.data, ((0, 0), (top, bottom), (left, right), (0, 0)))
+
+    def backward_fn(grad: np.ndarray) -> None:
+        h, w = x.shape[1], x.shape[2]
+        x._accumulate(grad[:, top : top + h, left : left + w, :])
+
+    return Tensor._make(out_data, (x,), backward_fn)
+
+
+def resize_bilinear(x: Tensor, out_h: int, out_w: int) -> Tensor:
+    """Differentiable bilinear resize (align_corners=False, TF convention)."""
+    n, h, w, c = x.shape
+    scale_h, scale_w = h / out_h, w / out_w
+    ys = (np.arange(out_h, dtype=np.float32) + 0.5) * scale_h - 0.5
+    xs = (np.arange(out_w, dtype=np.float32) + 0.5) * scale_w - 0.5
+    ys = np.clip(ys, 0, h - 1)
+    xs = np.clip(xs, 0, w - 1)
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0).astype(np.float32)
+    wx = (xs - x0).astype(np.float32)
+
+    wy_grid = wy[:, None, None]
+    wx_grid = wx[None, :, None]
+    weights = [
+        (y0, x0, (1 - wy_grid) * (1 - wx_grid)),
+        (y0, x1, (1 - wy_grid) * wx_grid),
+        (y1, x0, wy_grid * (1 - wx_grid)),
+        (y1, x1, wy_grid * wx_grid),
+    ]
+
+    out_data = np.zeros((n, out_h, out_w, c), dtype=np.float32)
+    for yi, xi, weight in weights:
+        out_data += x.data[:, yi][:, :, xi] * weight
+
+    def backward_fn(grad: np.ndarray) -> None:
+        full = np.zeros(x.shape, dtype=np.float32)
+        for yi, xi, weight in weights:
+            contribution = grad * weight
+            yy = np.repeat(yi, out_w)
+            xx = np.tile(xi, out_h)
+            np.add.at(
+                full,
+                (slice(None), yy, xx),
+                contribution.reshape(n, out_h * out_w, c),
+            )
+        x._accumulate(full)
+
+    return Tensor._make(out_data, (x,), backward_fn)

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG plumbing and scale configuration."""
+
+from repro.utils.rng import new_rng, spawn_rng
+from repro.utils.scale import Scale, resolve_scale
+
+__all__ = ["new_rng", "spawn_rng", "Scale", "resolve_scale"]

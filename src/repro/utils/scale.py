@@ -1,0 +1,55 @@
+"""Experiment scale control.
+
+The paper trains on GPUs for hundreds of epochs; this reproduction runs on a
+CPU with numpy kernels. Every experiment therefore accepts a
+:class:`Scale` that trades fidelity for runtime:
+
+* ``ci`` (default) — small synthetic datasets, few epochs; minutes per bench.
+* ``paper`` — larger datasets/epochs approximating the paper's regime.
+
+Select globally with the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Multipliers applied to dataset sizes, training epochs, sample counts."""
+
+    name: str
+    dataset_factor: float
+    epoch_factor: float
+    sample_factor: float
+
+    def samples(self, paper_count: int, floor: int = 8) -> int:
+        """Scale a paper-level sample count down to this scale."""
+        return max(floor, int(round(paper_count * self.sample_factor)))
+
+    def epochs(self, paper_count: int, floor: int = 1) -> int:
+        return max(floor, int(round(paper_count * self.epoch_factor)))
+
+    def dataset(self, paper_count: int, floor: int = 16) -> int:
+        return max(floor, int(round(paper_count * self.dataset_factor)))
+
+
+CI = Scale(name="ci", dataset_factor=0.0085, epoch_factor=0.05, sample_factor=0.1)
+PAPER = Scale(name="paper", dataset_factor=0.1, epoch_factor=0.2, sample_factor=1.0)
+
+_SCALES = {"ci": CI, "paper": PAPER}
+
+
+def resolve_scale(name: Optional[str] = None) -> Scale:
+    """Resolve a scale by name, falling back to ``$REPRO_SCALE`` then ``ci``."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "ci")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ReproError(f"unknown scale {name!r}; expected one of {sorted(_SCALES)}") from None

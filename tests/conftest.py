@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.spec import (
+    ArchSpec,
+    ConvSpec,
+    DenseSpec,
+    DWConvSpec,
+    GlobalPoolSpec,
+    ResidualSpec,
+    build_module,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_arch() -> ArchSpec:
+    """A minimal but representative architecture: conv, residuals, dense."""
+    return ArchSpec(
+        name="tiny",
+        input_shape=(12, 12, 1),
+        layers=(
+            ConvSpec(8, kernel=3, stride=2),
+            ResidualSpec(
+                body=(DWConvSpec(kernel=3, stride=1), ConvSpec(8, kernel=1)),
+                shortcut="identity",
+                activation="relu",
+            ),
+            ResidualSpec(
+                body=(DWConvSpec(kernel=3, stride=2), ConvSpec(8, kernel=1)),
+                shortcut="avgpool",
+                activation="relu",
+            ),
+            GlobalPoolSpec(),
+            DenseSpec(4),
+        ),
+    )
+
+
+@pytest.fixture
+def tiny_module(tiny_arch):
+    module = build_module(tiny_arch, rng=7)
+    module.eval()
+    return module
+
+
+@pytest.fixture
+def tiny_batch(rng) -> np.ndarray:
+    return rng.normal(size=(4, 12, 12, 1)).astype(np.float32)
+
+
+def numeric_gradient(f, array: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central finite differences of scalar f with respect to ``array``."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = f()
+        flat[i] = original - eps
+        lo = f()
+        flat[i] = original
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad

@@ -1,0 +1,158 @@
+"""Audio front end: framing, mel filterbanks, MFCC, resizing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import (
+    AD_FEATURE_CONFIG,
+    KWS_FEATURE_CONFIG,
+    bilinear_downsample,
+    frame_signal,
+    hann_window,
+    hz_to_mel,
+    log_mel_spectrogram,
+    mel_filterbank,
+    mel_to_hz,
+    mfcc,
+    power_spectrum,
+)
+from repro.errors import DatasetError
+
+
+class TestFraming:
+    def test_kws_yields_49_frames(self):
+        signal = np.zeros(8000, dtype=np.float32)  # 1s @ 8kHz
+        frames = frame_signal(
+            signal, KWS_FEATURE_CONFIG.frame_length, KWS_FEATURE_CONFIG.hop_length
+        )
+        assert frames.shape == (49, 320)
+
+    def test_frame_contents(self):
+        signal = np.arange(10, dtype=np.float32)
+        frames = frame_signal(signal, 4, 2)
+        assert np.array_equal(frames[0], [0, 1, 2, 3])
+        assert np.array_equal(frames[1], [2, 3, 4, 5])
+
+    def test_short_signal_rejected(self):
+        with pytest.raises(DatasetError):
+            frame_signal(np.zeros(3, dtype=np.float32), 10, 5)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(DatasetError):
+            frame_signal(np.zeros((2, 100), dtype=np.float32), 10, 5)
+
+    def test_bad_hop_rejected(self):
+        with pytest.raises(DatasetError):
+            frame_signal(np.zeros(100, dtype=np.float32), 10, 0)
+
+    @given(n=st.integers(100, 2000), frame=st.integers(10, 80), hop=st.integers(5, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_frame_count_formula(self, n, frame, hop):
+        if n < frame:
+            return
+        frames = frame_signal(np.zeros(n, dtype=np.float32), frame, hop)
+        assert frames.shape == (1 + (n - frame) // hop, frame)
+
+
+class TestWindowAndSpectrum:
+    def test_hann_endpoints(self):
+        window = hann_window(64)
+        assert window[0] == pytest.approx(0.0, abs=1e-6)
+        assert window.max() <= 1.0
+
+    def test_pure_tone_peak_bin(self):
+        sr, n_fft = 8000, 512
+        t = np.arange(sr) / sr
+        tone = np.sin(2 * np.pi * 1000.0 * t).astype(np.float32)
+        frames = frame_signal(tone, 512, 512)
+        spectrum = power_spectrum(frames, n_fft)
+        peak_bin = spectrum.mean(axis=0).argmax()
+        expected_bin = round(1000.0 * n_fft / sr)
+        assert abs(int(peak_bin) - expected_bin) <= 1
+
+    def test_spectrum_nonnegative(self, rng):
+        frames = rng.normal(size=(4, 128)).astype(np.float32)
+        assert (power_spectrum(frames, 128) >= 0).all()
+
+
+class TestMel:
+    def test_mel_inverse(self):
+        freqs = np.array([100.0, 440.0, 3999.0])
+        assert np.allclose(mel_to_hz(hz_to_mel(freqs)), freqs, rtol=1e-9)
+
+    def test_mel_monotone(self):
+        freqs = np.linspace(10, 4000, 64)
+        mels = hz_to_mel(freqs)
+        assert (np.diff(mels) > 0).all()
+
+    def test_filterbank_shape(self):
+        bank = mel_filterbank(40, 512, 8000)
+        assert bank.shape == (257, 40)
+        assert (bank >= 0).all()
+        assert (bank <= 1.0 + 1e-6).all()
+
+    def test_filters_cover_band(self):
+        bank = mel_filterbank(40, 512, 8000)
+        # Every filter must have nonzero mass.
+        assert (bank.sum(axis=0) > 0).all()
+
+    def test_interior_partition_of_unity(self):
+        bank = mel_filterbank(40, 512, 8000)
+        interior = bank.sum(axis=1)[20:230]
+        assert (interior > 0.5).all()
+        assert (interior < 1.5).all()
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(DatasetError):
+            mel_filterbank(1, 512, 8000)
+        with pytest.raises(DatasetError):
+            mel_filterbank(10, 512, 8000, fmin=5000, fmax=4000)
+
+
+class TestFeatures:
+    def test_mfcc_shape(self, rng):
+        signal = rng.normal(size=8000).astype(np.float32)
+        feats = mfcc(signal, KWS_FEATURE_CONFIG)
+        assert feats.shape == (49, 10)
+        assert np.isfinite(feats).all()
+
+    def test_log_mel_shape(self, rng):
+        signal = rng.normal(size=int(8000 * 2.2)).astype(np.float32)
+        feats = log_mel_spectrogram(signal, AD_FEATURE_CONFIG)
+        assert feats.shape[1] == 64
+        assert feats.shape[0] >= 64
+
+    def test_silence_hits_log_floor(self):
+        signal = np.zeros(8000, dtype=np.float32)
+        feats = log_mel_spectrogram(signal, KWS_FEATURE_CONFIG)
+        assert np.isfinite(feats).all()
+        assert feats.max() <= np.log(1e-5)
+
+    def test_louder_signal_higher_energy(self, rng):
+        quiet = rng.normal(size=8000).astype(np.float32) * 0.01
+        loud = quiet * 100
+        assert (
+            log_mel_spectrogram(loud, KWS_FEATURE_CONFIG).mean()
+            > log_mel_spectrogram(quiet, KWS_FEATURE_CONFIG).mean()
+        )
+
+
+class TestBilinearDownsample:
+    def test_shape(self, rng):
+        img = rng.normal(size=(64, 64)).astype(np.float32)
+        assert bilinear_downsample(img, 32, 32).shape == (32, 32)
+
+    @given(value=st.floats(-5, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_preserved(self, value):
+        img = np.full((16, 16), value, dtype=np.float32)
+        out = bilinear_downsample(img, 8, 8)
+        assert np.allclose(out, value, atol=1e-4)
+
+    def test_range_preserved(self, rng):
+        img = rng.uniform(0, 1, size=(32, 32)).astype(np.float32)
+        out = bilinear_downsample(img, 16, 16)
+        assert out.min() >= img.min() - 1e-5
+        assert out.max() <= img.max() + 1e-5

@@ -1,0 +1,43 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, HEAVY, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+        assert "[heavy]" in out
+
+    def test_run_table1(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "STM32F446RE" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_run_no_save(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["run", "table1", "--no-save"]) == 0
+        assert not (tmp_path / "table1.txt").exists()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_scale_flag(self, capsys):
+        assert main(["run", "table1", "--scale", "ci", "--no-save"]) == 0
+
+    def test_registry_modules_importable(self):
+        import importlib
+
+        for module_name in EXPERIMENTS.values():
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "run")
+
+    def test_heavy_subset_of_registry(self):
+        assert HEAVY <= set(EXPERIMENTS)

@@ -1,0 +1,143 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_ad_dataset, make_kws_dataset, make_vww_dataset
+from repro.datasets.mimii import NUM_MACHINES, _machine_signature
+from repro.datasets.speech_commands import (
+    KWS_CLASSES,
+    SILENCE_INDEX,
+    UNKNOWN_INDEX,
+    _word_recipe,
+)
+from repro.datasets.vww import MIN_PERSON_AREA_FRACTION
+from repro.errors import DatasetError
+
+
+class TestVWW:
+    def test_shapes_and_range(self):
+        data = make_vww_dataset(32, image_size=40, rng=0)
+        assert data.images.shape == (32, 40, 40, 1)
+        assert data.images.min() >= 0.0 and data.images.max() <= 1.0
+        assert len(data) == 32
+
+    def test_balanced(self):
+        data = make_vww_dataset(64, image_size=32, rng=0)
+        assert data.labels.sum() == 32
+
+    def test_deterministic(self):
+        a = make_vww_dataset(16, image_size=32, rng=42)
+        b = make_vww_dataset(16, image_size=32, rng=42)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_vww_dataset(16, image_size=32, rng=1)
+        b = make_vww_dataset(16, image_size=32, rng=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(DatasetError):
+            make_vww_dataset(1)
+
+    def test_positives_have_more_structure(self):
+        """Person pixels shift the intensity distribution of positives."""
+        data = make_vww_dataset(128, image_size=32, rng=3)
+        pos = data.images[data.labels == 1]
+        neg = data.images[data.labels == 0]
+        # Variance within positive images should exceed negatives on average
+        # (the articulated figure adds contrast mass).
+        assert pos.var(axis=(1, 2, 3)).mean() > neg.var(axis=(1, 2, 3)).mean() * 0.9
+
+    def test_min_area_constant_sane(self):
+        assert MIN_PERSON_AREA_FRACTION == 0.005
+
+
+class TestKWS:
+    def test_shapes(self):
+        data = make_kws_dataset(48, rng=0)
+        assert data.features.shape == (48, 49, 10, 1)
+        assert len(KWS_CLASSES) == 12
+
+    def test_class_balance(self):
+        data = make_kws_dataset(120, rng=0)
+        counts = np.bincount(data.labels, minlength=12)
+        assert counts.min() == counts.max() == 10
+
+    def test_standardized(self):
+        data = make_kws_dataset(96, rng=0)
+        assert abs(data.features.mean()) < 0.05
+        assert abs(data.features.std() - 1.0) < 0.05
+
+    def test_deterministic(self):
+        a = make_kws_dataset(24, rng=9)
+        b = make_kws_dataset(24, rng=9)
+        assert np.array_equal(a.features, b.features)
+
+    def test_word_recipes_distinct_and_stable(self):
+        assert _word_recipe(0) == _word_recipe(0)
+        assert _word_recipe(0) != _word_recipe(1)
+
+    def test_silence_lower_energy_prestandardization(self):
+        # Generate raw and compare per-class variance of features: silence
+        # clips should have markedly less spectral structure.
+        data = make_kws_dataset(120, rng=1)
+        silence_var = data.features[data.labels == SILENCE_INDEX].var()
+        keyword_var = data.features[data.labels == 0].var()
+        assert silence_var < keyword_var
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(DatasetError):
+            make_kws_dataset(5)
+
+    def test_unknown_class_present(self):
+        data = make_kws_dataset(24, rng=0)
+        assert (data.labels == UNKNOWN_INDEX).sum() == 2
+
+
+class TestMIMII:
+    def test_shapes_and_split_semantics(self):
+        train, test = make_ad_dataset(32, 32, rng=0)
+        assert train.patches.shape == (32, 32, 32, 1)
+        assert test.patches.shape == (32, 32, 32, 1)
+        assert train.anomaly.max() == 0  # train is all-normal
+        assert 0 < test.anomaly.mean() < 1
+
+    def test_machine_ids_balanced(self):
+        train, _ = make_ad_dataset(40, 8, rng=0)
+        counts = np.bincount(train.machine_ids, minlength=NUM_MACHINES)
+        assert counts.min() == counts.max() == 10
+
+    def test_train_standardized(self):
+        train, _ = make_ad_dataset(64, 16, rng=0)
+        assert abs(train.patches.mean()) < 0.05
+        assert abs(train.patches.std() - 1.0) < 0.05
+
+    def test_deterministic(self):
+        a_train, a_test = make_ad_dataset(16, 16, rng=5)
+        b_train, b_test = make_ad_dataset(16, 16, rng=5)
+        assert np.array_equal(a_train.patches, b_train.patches)
+        assert np.array_equal(a_test.anomaly, b_test.anomaly)
+
+    def test_machine_signatures_distinct(self):
+        bases = [_machine_signature(i)[0] for i in range(NUM_MACHINES)]
+        assert len(set(np.round(bases, 3))) == NUM_MACHINES
+
+    def test_machines_separable(self):
+        """Different machines should produce visibly different patches."""
+        train, _ = make_ad_dataset(80, 8, rng=2)
+        means = [
+            train.patches[train.machine_ids == m].mean(axis=0)
+            for m in range(NUM_MACHINES)
+        ]
+        # Pairwise distance between machine-mean patches is non-trivial.
+        d01 = np.abs(means[0] - means[1]).mean()
+        within = train.patches[train.machine_ids == 0].std(axis=0).mean()
+        assert d01 > 0.25 * within
+
+    def test_anomalies_differ_from_normals(self):
+        _, test = make_ad_dataset(16, 120, rng=3)
+        normal = test.patches[test.anomaly == 0]
+        abnormal = test.patches[test.anomaly == 1]
+        assert not np.allclose(normal.mean(axis=0), abnormal.mean(axis=0), atol=0.01)

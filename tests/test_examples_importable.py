@@ -1,0 +1,67 @@
+"""Examples are runnable artifacts: importable, with main() entry points.
+
+Full example executions train models (minutes); these tests verify the
+cheap structural contract — every example compiles, exposes ``main`` and
+guards execution behind ``__main__`` — plus smoke-run the training-free
+ones.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+ALL_EXAMPLES = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+#: Examples that run in seconds (no model training).
+FAST_EXAMPLES = ["profile_model.py", "hardware_characterization.py"]
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleStructure:
+    def test_expected_examples_present(self):
+        required = {
+            "quickstart.py",
+            "dnas_search.py",
+            "anomaly_detection.py",
+            "visual_wake_words.py",
+            "hardware_characterization.py",
+            "streaming_kws.py",
+            "profile_model.py",
+        }
+        assert required <= set(ALL_EXAMPLES)
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_importable_with_main(self, name):
+        module = _load(name)
+        assert callable(getattr(module, "main", None)), f"{name} lacks main()"
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_has_module_docstring(self, name):
+        module = _load(name)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+
+class TestFastExamplesRun:
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_runs_clean(self, name):
+        result = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+            capture_output=True,
+            text=True,
+            timeout=420,
+        )
+        assert result.returncode == 0, result.stderr[-800:]
+        assert len(result.stdout) > 100

@@ -1,0 +1,100 @@
+"""Experiment infrastructure and the cheap (no-training) experiments."""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentResult, format_table, save_result
+from repro.experiments import (
+    ablations,
+    fig2_memory_map,
+    fig3_layer_latency,
+    fig4_model_latency,
+    fig5_energy,
+    fig9_power_trace,
+    table1_devices,
+    table4_full_results,
+)
+from repro.utils.scale import CI
+
+
+class TestResultContainer:
+    def test_add_and_query(self):
+        result = ExperimentResult("t", "title", columns=["a", "b"])
+        result.add_row(a=1, b="x")
+        result.add_row(a=2, b="y")
+        assert result.column("a") == [1, 2]
+        assert result.row_by("b", "y")["a"] == 2
+        assert result.row_by("b", "zzz") is None
+
+    def test_format_table_renders(self):
+        result = ExperimentResult("t", "title", columns=["name", "value"])
+        result.add_row(name="alpha", value=1234.5)
+        result.add_row(name="beta", value=None)
+        result.note("a note")
+        text = format_table(result)
+        assert "alpha" in text and "1,234" in text
+        assert "-" in text  # None renders as dash
+        assert "note: a note" in text
+
+    def test_save_result(self, tmp_path):
+        result = ExperimentResult("unit_test_exp", "title", columns=["a"])
+        result.add_row(a=1)
+        path = save_result(result, str(tmp_path))
+        assert os.path.exists(path)
+        assert "unit_test_exp" in open(path).read()
+
+
+class TestCheapExperiments:
+    def test_table1(self):
+        result = table1_devices.run(CI)
+        assert len(result.rows) == 3
+        assert result.column("sram_kb") == [128.0, 320.0, 512.0]
+
+    def test_fig2(self):
+        result = fig2_memory_map.run(CI)
+        sram_rows = [r for r in result.rows if r["memory"] == "SRAM"]
+        assert {r["section"] for r in sram_rows} == {
+            "activations", "persistent_buffers", "runtime", "free",
+        }
+        total_pct = sum(r["percent_of_device"] for r in sram_rows)
+        assert total_pct == pytest.approx(100.0, abs=0.1)
+
+    def test_fig3(self):
+        result = fig3_layer_latency.run(CI)
+        rates = {r["kind"]: r["median_mops_per_s"] for r in result.rows if r["median_mops_per_s"]}
+        assert rates["depthwise_conv2d"] < rates["conv2d"]
+
+    def test_fig4(self):
+        result = fig4_model_latency.run(CI)
+        assert all(r["r_squared"] > 0.9 for r in result.rows)
+        assert any("r^2" in note for note in result.notes)
+
+    def test_fig5(self):
+        result = fig5_energy.run(CI)
+        assert all(r["power_cv"] < 0.02 for r in result.rows)
+
+    def test_fig9(self):
+        result = fig9_power_trace.run(CI)
+        assert len(result.rows) == 4
+        assert any("lower average power" in note for note in result.notes)
+
+    def test_table4(self):
+        result = table4_full_results.run(CI)
+        assert len(result.rows) >= 15
+        kws_l = result.row_by("model", "MicroNet-KWS-L")
+        assert kws_l["lat_s"] is None and kws_l["lat_m"] is not None
+
+    def test_ablation_proxy(self):
+        result = ablations.run_proxy(CI)
+        assert result.rows[0]["linear_fit_r2"] > result.rows[1]["linear_fit_r2"]
+
+    def test_ablation_memory(self):
+        result = ablations.run_memory_model(CI)
+        for row in result.rows:
+            assert abs(row["eq3_err_pct"]) < abs(row["sum_err_pct"])
+
+    def test_ablation_channels(self):
+        result = ablations.run_channel_multiple(CI)
+        penalties = {r["channels"]: r["penalty_vs_div4"] for r in result.rows}
+        assert penalties[138] > penalties[140]

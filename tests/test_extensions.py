@@ -1,0 +1,232 @@
+"""Extensions: mixed precision, codegen backend, calibration, streaming."""
+
+import numpy as np
+import pytest
+
+from repro.audio.features import KWS_FEATURE_CONFIG, mfcc
+from repro.audio.streaming import StreamingDetector, StreamingFeatureExtractor
+from repro.errors import DatasetError, QuantizationError, ReproError
+from repro.hw.calibration import (
+    Measurement,
+    fit_latency_model,
+    measure_with_model,
+    validate_round_trip,
+)
+from repro.hw.devices import MEDIUM
+from repro.hw.latency import LatencyModel
+from repro.hw.workload import LayerWorkload
+from repro.models.micronets import micronet_kws_s
+from repro.models.spec import export_float_graph, export_graph, quantize_graph
+from repro.quantization.mixed import (
+    MICRONET_MIXED,
+    UNIFORM_INT4,
+    UNIFORM_INT8,
+    BitPolicy,
+    assign_bits,
+)
+from repro.runtime import Interpreter, model_size_bytes
+from repro.runtime.codegen import codegen_latency, codegen_memory_report, generate_c_source
+from repro.runtime.reporting import memory_report
+
+
+# ----------------------------------------------------------------------
+# Mixed precision
+# ----------------------------------------------------------------------
+class TestBitPolicy:
+    def test_defaults_and_overrides(self):
+        assert MICRONET_MIXED.weight_bits("depthwise_conv2d") == 8
+        assert MICRONET_MIXED.weight_bits("conv2d") == 4
+        assert MICRONET_MIXED.activation_bits("conv2d") == 8
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(QuantizationError):
+            BitPolicy(name="bad", default_weight_bits=3)
+
+    def test_assign_bits_covers_graph(self, tiny_arch):
+        graph = export_float_graph(tiny_arch)
+        weight_map, act_map = assign_bits(graph, MICRONET_MIXED)
+        weight_tensors = {t.name for t in graph.weight_tensors if t.kind == "weight"}
+        assert set(weight_map) == weight_tensors
+        for name in graph.inputs:
+            assert name in act_map
+
+    def test_mixed_export_runs(self, tiny_arch, tiny_module, tiny_batch):
+        graph = export_graph(
+            tiny_arch, tiny_module, calibration=tiny_batch, bit_policy=MICRONET_MIXED
+        )
+        graph.validate()
+        out = Interpreter(graph).invoke(tiny_batch)
+        assert np.isfinite(out).all()
+        dtypes = {
+            graph.tensors[op.inputs[1]].dtype
+            for op in graph.ops
+            if op.kind in ("conv2d", "depthwise_conv2d", "dense")
+        }
+        assert dtypes == {"int4", "int8"}  # genuinely mixed
+
+    def test_mixed_size_between_uniform(self, tiny_arch, tiny_module, tiny_batch):
+        float_graph = export_float_graph(tiny_arch, tiny_module)
+        sizes = {}
+        for policy in (UNIFORM_INT8, UNIFORM_INT4, MICRONET_MIXED):
+            wm, am = assign_bits(float_graph, policy)
+            g = quantize_graph(
+                float_graph, calibration=tiny_batch,
+                bits=policy.default_activation_bits,
+                weight_bits=policy.default_weight_bits,
+                weight_bits_map=wm, activation_bits_map=am,
+            )
+            sizes[policy.name] = model_size_bytes(g)
+        assert sizes["uniform-4"] <= sizes["mixed-dw8-pw4"] <= sizes["uniform-8"]
+
+
+# ----------------------------------------------------------------------
+# Codegen backend
+# ----------------------------------------------------------------------
+class TestCodegen:
+    @pytest.fixture(scope="class")
+    def kws_graph(self):
+        return export_graph(micronet_kws_s(), bits=8)
+
+    def test_source_structure(self, kws_graph):
+        source = generate_c_source(kws_graph)
+        assert "net_invoke" in source
+        assert "static int8_t arena[" in source
+        assert "arm_convolve_s8" in source
+        assert "arm_depthwise_conv_s8" in source
+        assert source.count(";") > len(kws_graph.ops)
+
+    def test_codegen_saves_sram(self, kws_graph):
+        interp = memory_report(kws_graph)
+        gen = codegen_memory_report(kws_graph)
+        assert gen.total_sram < interp.total_sram
+        assert gen.persistent_bytes == 0
+        assert gen.arena_bytes == interp.arena_bytes  # same planner
+
+    def test_codegen_saves_flash(self, kws_graph):
+        interp = memory_report(kws_graph)
+        gen = codegen_memory_report(kws_graph)
+        assert gen.total_flash < interp.total_flash
+
+    def test_codegen_latency_strictly_lower(self, kws_graph):
+        interp_latency = LatencyModel(MEDIUM).model_latency(kws_graph.to_workload())
+        gen_latency = codegen_latency(kws_graph, MEDIUM)
+        assert 0 < gen_latency < interp_latency
+
+
+# ----------------------------------------------------------------------
+# Latency-model calibration
+# ----------------------------------------------------------------------
+class TestCalibration:
+    def _corpus(self):
+        layers = []
+        for channels in (16, 32, 64, 96):
+            layers.append(LayerWorkload.conv2d(f"c{channels}", (12, 12, channels), channels, 3))
+            layers.append(LayerWorkload.depthwise_conv2d(f"d{channels}", (12, 12, channels), 3))
+            layers.append(LayerWorkload.dense(f"f{channels}", channels * 8, channels))
+        return layers
+
+    def test_round_trip_recovers_model(self):
+        result, max_error = validate_round_trip(self._corpus(), MEDIUM)
+        assert max_error < 0.35  # kernel/channel factors fold into per-kind cost
+        assert result.r_squared > 0.99
+
+    def test_fitted_ordering_matches_design(self):
+        result, _ = validate_round_trip(self._corpus(), MEDIUM)
+        assert result.cycles_per_op["depthwise_conv2d"] > result.cycles_per_op["conv2d"]
+
+    def test_requires_enough_measurements(self):
+        layer = LayerWorkload.dense("f", 8, 4)
+        with pytest.raises(ReproError):
+            fit_latency_model([Measurement(layer, 0.1)], MEDIUM)
+
+    def test_rank_deficient_rejected(self):
+        layer = LayerWorkload.dense("f", 8, 4)
+        same = [Measurement(layer, 0.1)] * 5  # one kind, one size
+        with pytest.raises(ReproError):
+            fit_latency_model(same, MEDIUM)
+
+    def test_measure_with_model_deterministic(self):
+        corpus = self._corpus()
+        a = measure_with_model(corpus, MEDIUM)
+        b = measure_with_model(corpus, MEDIUM)
+        assert all(x.seconds == y.seconds for x, y in zip(a, b))
+
+
+# ----------------------------------------------------------------------
+# Streaming front end
+# ----------------------------------------------------------------------
+class TestStreamingExtractor:
+    def test_matches_batch_mfcc(self, rng):
+        signal = rng.normal(size=8000).astype(np.float32)
+        batch = mfcc(signal, KWS_FEATURE_CONFIG)
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=49)
+        # Push in awkward chunk sizes.
+        cursor = 0
+        for chunk in (100, 733, 2048, 4000, 1119):
+            extractor.push(signal[cursor : cursor + chunk])
+            cursor += chunk
+        extractor.push(signal[cursor:])
+        assert extractor.ready
+        window = extractor.window()[:, :, 0]
+        assert window.shape == batch.shape
+        assert np.abs(window - batch).max() < 1e-4
+
+    def test_frame_accounting(self):
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=10)
+        produced = extractor.push(np.zeros(KWS_FEATURE_CONFIG.frame_length, np.float32))
+        assert produced == 1
+        produced = extractor.push(np.zeros(KWS_FEATURE_CONFIG.hop_length, np.float32))
+        assert produced == 1
+
+    def test_window_before_ready_raises(self):
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=49)
+        with pytest.raises(DatasetError):
+            extractor.window()
+
+    def test_reset(self):
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=2)
+        extractor.push(np.zeros(8000, np.float32))
+        extractor.reset()
+        assert not extractor.ready
+        assert extractor.total_frames == 0
+
+    def test_sliding_window_keeps_latest(self, rng):
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=3)
+        extractor.push(rng.normal(size=8000).astype(np.float32))
+        first = extractor.window().copy()
+        extractor.push(rng.normal(size=1000).astype(np.float32))
+        assert not np.array_equal(first, extractor.window())
+
+
+class TestStreamingDetector:
+    def test_fires_on_confident_keyword(self):
+        detector = StreamingDetector(num_classes=3, smoothing_windows=2, threshold=0.6)
+        fired = detector.update(np.array([0.9, 0.05, 0.05]))
+        assert fired == 0
+
+    def test_refractory_period(self):
+        detector = StreamingDetector(
+            num_classes=2, smoothing_windows=1, threshold=0.5, refractory_windows=3
+        )
+        assert detector.update(np.array([0.9, 0.1])) == 0
+        for _ in range(3):
+            assert detector.update(np.array([0.9, 0.1])) is None
+        assert detector.update(np.array([0.9, 0.1])) == 0
+
+    def test_ignores_silence_class(self):
+        detector = StreamingDetector(
+            num_classes=3, smoothing_windows=1, threshold=0.5, ignore_classes={2}
+        )
+        assert detector.update(np.array([0.1, 0.1, 0.8])) is None
+
+    def test_smoothing_suppresses_single_spike(self):
+        detector = StreamingDetector(num_classes=2, smoothing_windows=4, threshold=0.6)
+        detector.update(np.array([0.0, 1.0]))
+        detector.update(np.array([1.0, 0.0]))  # single spike for class 0
+        fired = detector.update(np.array([0.0, 1.0]))
+        assert fired in (None, 1)
+
+    def test_shape_checked(self):
+        detector = StreamingDetector(num_classes=3)
+        with pytest.raises(DatasetError):
+            detector.update(np.array([0.5, 0.5]))

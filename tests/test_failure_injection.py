@@ -1,0 +1,113 @@
+"""Failure injection: corrupted models, hostile inputs, broken graphs.
+
+A deployment stack must fail loudly and precisely, not produce garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, GraphError, ReproError, ShapeError
+from repro.models import spec as S
+from repro.models.spec import ArchSpec, ConvSpec, DenseSpec, GlobalPoolSpec
+from repro.runtime import Interpreter, deserialize, serialize
+from repro.runtime.graph import Graph, OpNode, TensorSpec
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    arch = ArchSpec(
+        "fi", (8, 8, 1), (ConvSpec(4, 3, stride=2), GlobalPoolSpec(), DenseSpec(2))
+    )
+    return S.export_graph(arch, bits=8)
+
+
+class TestCorruptedModelFiles:
+    def test_truncated_file(self, small_graph):
+        buf = serialize(small_graph)
+        with pytest.raises(Exception):
+            deserialize(buf[: len(buf) // 2])
+
+    def test_wrong_magic(self, small_graph):
+        buf = bytearray(serialize(small_graph))
+        buf[:4] = b"LITE"
+        with pytest.raises(GraphError):
+            deserialize(bytes(buf))
+
+    def test_wrong_version(self, small_graph):
+        buf = bytearray(serialize(small_graph))
+        buf[4] = 99
+        with pytest.raises(GraphError):
+            deserialize(bytes(buf))
+
+    def test_empty_buffer(self):
+        with pytest.raises(Exception):
+            deserialize(b"")
+
+
+class TestHostileInputs:
+    def test_nan_input_does_not_crash_quantized(self, small_graph):
+        x = np.full((1, 8, 8, 1), np.nan, dtype=np.float32)
+        # Quantization clips NaN deterministically rather than crashing.
+        out = Interpreter(small_graph).invoke(np.nan_to_num(x))
+        assert np.isfinite(out).all()
+
+    def test_extreme_values_saturate(self, small_graph):
+        x = np.full((1, 8, 8, 1), 1e9, dtype=np.float32)
+        out = Interpreter(small_graph).invoke(x)
+        assert np.isfinite(out).all()
+
+    def test_wrong_rank_rejected(self, small_graph):
+        with pytest.raises(GraphError):
+            Interpreter(small_graph).invoke(np.zeros((8, 8, 1), np.float32))
+
+    def test_empty_batch_ok(self, small_graph):
+        out = Interpreter(small_graph).invoke(np.zeros((0, 8, 8, 1), np.float32))
+        assert out.shape[0] == 0
+
+
+class TestBrokenGraphs:
+    def test_multi_output_invoke_rejected(self, small_graph):
+        broken = deserialize(serialize(small_graph))
+        broken.outputs = broken.outputs * 2
+        with pytest.raises(GraphError):
+            Interpreter(broken).invoke(np.zeros((1, 8, 8, 1), np.float32))
+
+    def test_missing_kernel_kind(self):
+        g = Graph(name="g")
+        g.add_tensor(TensorSpec("input", (4,), dtype="float32", kind="input"))
+        g.add_tensor(TensorSpec("out", (4,), dtype="float32", kind="output"))
+        op = OpNode(kind="softmax", name="sm", inputs=["input"], outputs=["out"])
+        op.kind = "unknown_kind"  # bypass the constructor check
+        g.ops.append(op)
+        g.inputs, g.outputs = ["input"], ["out"]
+        interp = Interpreter.__new__(Interpreter)
+        interp.graph = g
+        interp._plan = None
+        with pytest.raises(GraphError):
+            interp._execute(op, {"input": np.zeros((1, 4), np.float32)})
+
+    def test_bad_dtype_size(self):
+        spec = TensorSpec("t", (4,), dtype="float64")
+        with pytest.raises(GraphError):
+            _ = spec.size_bytes
+
+
+class TestBadSpecs:
+    def test_negative_dropout_is_noop(self, rng):
+        from repro.tensor import functional as F
+        from repro.tensor import Tensor
+
+        x = Tensor(rng.normal(size=(4, 4)).astype(np.float32))
+        out = F.dropout(x, rate=-1.0, rng=rng, training=True)
+        assert np.array_equal(out.data, x.data)
+
+    def test_dense_after_spatial_without_flatten(self):
+        arch = ArchSpec("bad", (8, 8, 1), (ConvSpec(4, 3), DenseSpec(2)))
+        module = S.build_module(arch, rng=0)
+        with pytest.raises(ShapeError):
+            module(__import__("repro.tensor", fromlist=["Tensor"]).Tensor(
+                np.zeros((1, 8, 8, 1), np.float32)))
+
+    def test_dataset_error_is_repro_error(self):
+        assert issubclass(DatasetError, ReproError)
+        assert issubclass(GraphError, ReproError)

@@ -1,0 +1,102 @@
+"""Fake-quant QAT nodes: STE gradients, range tracking, LSQ."""
+
+import numpy as np
+
+from repro.quantization.fake_quant import FakeQuant, LearnedFakeQuant
+from repro.tensor import Tensor
+
+
+class TestFakeQuant:
+    def test_identity_before_first_observation(self):
+        fq = FakeQuant(bits=8)
+        fq.eval()
+        x = Tensor(np.array([1.0, 2.0], dtype=np.float32))
+        assert np.array_equal(fq(x).data, x.data)
+
+    def test_quantizes_to_grid(self, rng):
+        fq = FakeQuant(bits=8)
+        x = Tensor(rng.uniform(-1, 1, size=256).astype(np.float32))
+        out = fq(x)
+        scale = fq.quant_params().scale[0]
+        steps = out.data / scale
+        assert np.allclose(steps, np.round(steps), atol=1e-3)
+
+    def test_quantization_error_bounded(self, rng):
+        fq = FakeQuant(bits=8)
+        x = Tensor(rng.uniform(-1, 1, size=512).astype(np.float32))
+        out = fq(x)
+        assert np.abs(out.data - x.data).max() <= fq.quant_params().scale[0]
+
+    def test_ste_gradient_inside_range(self, rng):
+        fq = FakeQuant(bits=8)
+        warm = Tensor(rng.uniform(-1, 1, size=64).astype(np.float32))
+        fq(warm)
+        x = Tensor(np.array([0.0, 0.5], dtype=np.float32), requires_grad=True)
+        fq(x).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_ste_gradient_blocked_outside_range(self, rng):
+        fq = FakeQuant(bits=8)
+        fq.observe(np.array([-1.0, 1.0], dtype=np.float32))
+        fq.eval()
+        x = Tensor(np.array([100.0], dtype=np.float32), requires_grad=True)
+        fq(x).sum().backward()
+        assert np.allclose(x.grad, 0.0)
+
+    def test_ema_range_tracking(self):
+        fq = FakeQuant(bits=8, momentum=0.5)
+        fq.observe(np.array([0.0, 1.0], dtype=np.float32))
+        fq.observe(np.array([0.0, 3.0], dtype=np.float32))
+        assert 1.0 < fq.high < 3.0
+
+    def test_symmetric_mode(self):
+        fq = FakeQuant(bits=8, symmetric=True)
+        fq.observe(np.array([-0.5, 2.0], dtype=np.float32))
+        assert fq.low == -fq.high
+
+    def test_eval_does_not_update_ranges(self):
+        fq = FakeQuant(bits=8)
+        fq.observe(np.array([-1.0, 1.0], dtype=np.float32))
+        fq.eval()
+        fq(Tensor(np.array([100.0], dtype=np.float32)))
+        assert fq.high < 2.0
+
+    def test_4bit_coarser_than_8bit(self, rng):
+        data = rng.uniform(-1, 1, size=256).astype(np.float32)
+        errors = {}
+        for bits in (4, 8):
+            fq = FakeQuant(bits=bits)
+            out = fq(Tensor(data))
+            errors[bits] = np.abs(out.data - data).mean()
+        assert errors[4] > errors[8]
+
+
+class TestLearnedFakeQuant:
+    def test_scale_initialized_from_data(self, rng):
+        fq = LearnedFakeQuant(bits=8)
+        fq(Tensor(rng.normal(size=256).astype(np.float32)))
+        assert fq.scale.data[0] > 0
+
+    def test_gradient_flows_to_scale(self, rng):
+        fq = LearnedFakeQuant(bits=8)
+        x = Tensor(rng.normal(size=64).astype(np.float32), requires_grad=True)
+        (fq(x) ** 2).sum().backward()
+        assert fq.scale.grad is not None
+        assert x.grad is not None
+
+    def test_scale_learns_to_cover_range(self, rng):
+        """With gradient steps on a wide input the scale should grow."""
+        from repro.nn import SGD
+
+        fq = LearnedFakeQuant(bits=4, init_scale=0.001)
+        fq._initialized = True  # force the deliberately-too-small scale
+        data = rng.normal(size=512).astype(np.float32) * 4.0
+        opt = SGD([fq.scale], lr=0.05, momentum=0.0)
+        initial = float(fq.scale.data[0])
+        for _ in range(100):
+            x = Tensor(data)
+            loss = ((fq(x) - Tensor(data)) ** 2).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(fq.scale.data[0]) > initial

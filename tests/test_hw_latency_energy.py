@@ -1,0 +1,186 @@
+"""Hardware latency/energy model behaviour (the §3 mechanisms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeploymentError
+from repro.hw import (
+    DEVICES,
+    LARGE,
+    MEDIUM,
+    SMALL,
+    EnergyModel,
+    LatencyModel,
+    get_device,
+    synthesize_trace,
+)
+from repro.hw.characterize import (
+    channel_sweep_conv,
+    random_layer_corpus,
+    sample_models,
+)
+from repro.hw.latency import fit_linear_latency
+from repro.hw.workload import LayerWorkload, ModelWorkload
+
+
+class TestDevices:
+    def test_registry_complete(self):
+        assert set(DEVICES) == {"STM32F446RE", "STM32F746ZG", "STM32F767ZI"}
+
+    def test_aliases(self):
+        assert get_device("S") is SMALL
+        assert get_device("medium") is MEDIUM
+        assert get_device("STM32F767ZI") is LARGE
+
+    def test_unknown_device(self):
+        with pytest.raises(DeploymentError):
+            get_device("ESP32")
+
+    def test_size_classes(self):
+        assert SMALL.size_class == "S"
+        assert MEDIUM.size_class == "M"
+        assert LARGE.size_class == "L"
+
+    def test_table1_figures(self):
+        assert SMALL.sram_bytes == 128 * 1024
+        assert MEDIUM.eflash_bytes == 1024 * 1024
+        assert LARGE.price_usd == 8.0
+
+
+class TestLatencyModel:
+    def test_deterministic(self):
+        layer = LayerWorkload.conv2d("c", (14, 14, 32), 32, 3)
+        model = LatencyModel(MEDIUM)
+        assert model.layer_latency(layer).seconds == model.layer_latency(layer).seconds
+
+    def test_more_ops_more_latency_same_layer_type(self):
+        model = LatencyModel(MEDIUM)
+        small = LayerWorkload.conv2d("a", (14, 14, 16), 16, 3)
+        large = LayerWorkload.conv2d("b", (14, 14, 64), 64, 3)
+        assert model.layer_latency(large).seconds > model.layer_latency(small).seconds
+
+    def test_m7_faster_than_m4(self):
+        layer = LayerWorkload.conv2d("c", (14, 14, 32), 32, 3)
+        s = LatencyModel(SMALL).layer_latency(layer).seconds
+        m = LatencyModel(MEDIUM).layer_latency(layer).seconds
+        assert 1.8 < s / m < 2.3  # paper: ~2x
+
+    def test_channel_div4_fast_path(self):
+        model = LatencyModel(LARGE)
+        t138 = model.layer_latency(channel_sweep_conv(138)).seconds
+        t140 = model.layer_latency(channel_sweep_conv(140)).seconds
+        assert t138 > t140  # despite fewer ops!
+        assert 1.4 < t138 / t140 < 2.1
+
+    def test_depthwise_slower_per_op_than_conv(self):
+        model = LatencyModel(MEDIUM)
+        conv = LayerWorkload.conv2d("c", (14, 14, 32), 32, 3)
+        dw = LayerWorkload.depthwise_conv2d("d", (14, 14, 32), 3)
+        conv_rate = model.layer_latency(conv).ops_per_second
+        dw_rate = model.layer_latency(dw).ops_per_second
+        assert conv_rate > dw_rate
+
+    def test_spread_disabled_removes_jitter(self):
+        model = LatencyModel(MEDIUM, spread=False)
+        # Without spread, two convs with identical ops/kind cost the same
+        # per op (up to channel penalties).
+        a = LayerWorkload.conv2d("a", (16, 16, 16), 32, 3)
+        b = LayerWorkload.conv2d("b", (8, 8, 64), 32, 3)
+        rate_a = model.layer_latency(a).seconds / a.ops
+        rate_b = model.layer_latency(b).seconds / b.ops
+        assert rate_a == pytest.approx(rate_b, rel=0.05)
+
+    def test_model_latency_is_sum(self):
+        model = LatencyModel(MEDIUM)
+        workload = ModelWorkload(name="m")
+        layers = [
+            LayerWorkload.conv2d("a", (8, 8, 4), 8, 3),
+            LayerWorkload.dense("b", 8, 4),
+        ]
+        for layer in layers:
+            workload.append(layer)
+        total = model.model_latency(workload)
+        parts = sum(model.layer_latency(l).seconds for l in layers)
+        assert total == pytest.approx(parts)
+
+    def test_whole_model_linearity(self):
+        model = LatencyModel(MEDIUM)
+        models = sample_models("kws", 150, rng=5)
+        fit = fit_linear_latency(models, model)
+        assert 0.95 < fit.r_squared <= 1.0
+
+    def test_backbone_slopes_differ(self):
+        model = LatencyModel(MEDIUM)
+        kws = fit_linear_latency(sample_models("kws", 60, rng=5), model)
+        cifar = fit_linear_latency(sample_models("cifar10", 60, rng=5), model)
+        assert kws.throughput_mops > cifar.throughput_mops
+
+    def test_fit_requires_two_models(self):
+        with pytest.raises(ValueError):
+            fit_linear_latency([sample_models("kws", 1, rng=0)[0]], LatencyModel(MEDIUM))
+
+
+class TestEnergyModel:
+    def test_power_nearly_constant(self):
+        em = EnergyModel(MEDIUM)
+        models = sample_models("cifar10", 120, rng=3)
+        powers = np.array([em.power(m) for m in models])
+        cv = powers.std() / powers.mean()
+        assert 0.003 < cv < 0.012  # paper: 0.00731
+
+    def test_energy_is_power_times_latency(self):
+        em = EnergyModel(MEDIUM)
+        model = sample_models("kws", 1, rng=0)[0]
+        report = em.energy(model)
+        assert report.energy_j == pytest.approx(report.latency_s * report.power_w)
+        assert report.energy_mj == pytest.approx(report.energy_j * 1e3)
+
+    def test_small_device_lower_energy(self):
+        model = sample_models("cifar10", 1, rng=1)[0]
+        e_small = EnergyModel(SMALL).energy(model).energy_j
+        e_medium = EnergyModel(MEDIUM).energy(model).energy_j
+        assert e_small < e_medium
+
+    def test_duty_cycle_bounds(self):
+        em = EnergyModel(SMALL)
+        model = sample_models("kws", 1, rng=2)[0]
+        avg = em.duty_cycled_average_power(model, period_s=10.0)
+        assert SMALL.sleep_power_w < avg < SMALL.active_power_w * 1.05
+
+    def test_duty_cycle_saturates_at_active_power(self):
+        em = EnergyModel(SMALL)
+        model = sample_models("cifar10", 1, rng=2)[0]
+        avg = em.duty_cycled_average_power(model, period_s=1e-9)
+        assert avg == pytest.approx(em.power(model))
+
+
+class TestPowerTrace:
+    def test_average_power_consistent(self):
+        model = sample_models("kws", 1, rng=4)[0]
+        trace = synthesize_trace(model, SMALL, period_s=1.0)
+        em = EnergyModel(SMALL)
+        analytic = em.duty_cycled_average_power(model, period_s=1.0)
+        assert trace.average_power_w == pytest.approx(analytic, rel=0.08)
+
+    def test_active_longer_on_small_device(self):
+        model = sample_models("kws", 1, rng=4)[0]
+        t_small = synthesize_trace(model, SMALL)
+        t_medium = synthesize_trace(model, MEDIUM)
+        assert t_small.latency_s > t_medium.latency_s
+        assert t_small.peak_current_a < t_medium.peak_current_a
+
+    def test_trace_shapes(self):
+        model = sample_models("kws", 1, rng=4)[0]
+        trace = synthesize_trace(model, MEDIUM, period_s=0.5, sample_rate_hz=1000)
+        assert trace.time_s.shape == trace.current_a.shape
+        assert trace.period_s == 0.5
+
+    @given(period=st.floats(0.3, 3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_longer_period_lower_average_power(self, period):
+        model = sample_models("kws", 1, rng=4)[0]
+        short = synthesize_trace(model, SMALL, period_s=period)
+        long = synthesize_trace(model, SMALL, period_s=period * 2)
+        assert long.average_power_w <= short.average_power_w * 1.02

@@ -1,0 +1,95 @@
+"""Layer/model workload op accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.hw.workload import LayerWorkload, ModelWorkload
+
+
+class TestLayerWorkload:
+    def test_conv2d_macs(self):
+        layer = LayerWorkload.conv2d("c", (8, 8, 3), 16, kernel=3, stride=1)
+        assert layer.macs == 8 * 8 * 9 * 3 * 16
+        assert layer.ops == 2 * layer.macs
+        assert layer.params == 9 * 3 * 16 + 16
+        assert layer.output_shape == (8, 8, 16)
+
+    def test_conv2d_stride_2(self):
+        layer = LayerWorkload.conv2d("c", (9, 9, 1), 4, kernel=3, stride=2)
+        assert layer.output_shape == (5, 5, 4)
+
+    def test_conv2d_asymmetric(self):
+        layer = LayerWorkload.conv2d("c", (49, 10, 1), 64, kernel=(10, 4), stride=(2, 1))
+        assert layer.output_shape == (25, 10, 64)
+        assert layer.macs == 25 * 10 * 10 * 4 * 1 * 64
+        assert layer.kernel == (10, 4)
+
+    def test_depthwise(self):
+        layer = LayerWorkload.depthwise_conv2d("d", (10, 10, 8), kernel=3, stride=1)
+        assert layer.macs == 10 * 10 * 9 * 8
+        assert layer.params == 9 * 8 + 8
+
+    def test_dense(self):
+        layer = LayerWorkload.dense("f", 100, 10)
+        assert layer.macs == 1000
+        assert layer.params == 1010
+
+    def test_pool_has_no_params(self):
+        layer = LayerWorkload.pool("p", (8, 8, 4), pool=2)
+        assert layer.params == 0
+        assert layer.macs == 0
+        assert layer.extra_ops > 0
+        assert layer.output_shape == (4, 4, 4)
+
+    def test_global_pool_and_add_and_softmax(self):
+        gap = LayerWorkload.global_avg_pool("g", (4, 4, 8))
+        assert gap.output_shape == (8,)
+        add = LayerWorkload.add("a", (4, 4, 8))
+        assert add.ops == 4 * 4 * 8
+        sm = LayerWorkload.softmax("s", 12)
+        assert sm.ops == 48
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ShapeError):
+            LayerWorkload(kind="lstm", name="x", input_shape=(1,), output_shape=(1,))
+
+    @given(
+        size=st.integers(4, 32),
+        cin=st.integers(1, 32),
+        cout=st.integers(1, 32),
+        kernel=st.sampled_from([1, 3, 5]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conv_ops_scale_with_channels(self, size, cin, cout, kernel):
+        layer = LayerWorkload.conv2d("c", (size, size, cin), cout, kernel)
+        doubled = LayerWorkload.conv2d("c", (size, size, cin), 2 * cout, kernel)
+        assert doubled.macs == 2 * layer.macs
+
+    def test_kernel_area(self):
+        layer = LayerWorkload.conv2d("c", (8, 8, 1), 4, kernel=(10, 4))
+        assert layer.kernel_area == 40
+
+
+class TestModelWorkload:
+    def test_aggregation(self):
+        model = ModelWorkload(name="m")
+        a = LayerWorkload.conv2d("a", (8, 8, 1), 4, 3)
+        b = LayerWorkload.dense("b", 4, 2)
+        model.append(a)
+        model.append(b)
+        assert model.ops == a.ops + b.ops
+        assert model.macs == a.macs + b.macs
+        assert model.params == a.params + b.params
+        assert len(model) == 2
+
+    def test_ops_by_kind(self):
+        model = ModelWorkload(name="m")
+        model.append(LayerWorkload.conv2d("a", (8, 8, 1), 4, 3))
+        model.append(LayerWorkload.conv2d("b", (8, 8, 4), 4, 3))
+        model.append(LayerWorkload.dense("c", 4, 2))
+        by_kind = model.ops_by_kind()
+        assert set(by_kind) == {"conv2d", "dense"}
+        assert by_kind["conv2d"] > by_kind["dense"]

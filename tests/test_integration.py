@@ -1,0 +1,117 @@
+"""End-to-end integration: the full MicroNets pipeline on a tiny problem.
+
+Covers the complete story in one flow: DNAS search → extract → train with
+QAT → quantize + serialize → deserialize → integer inference → deployment
+verdicts — the library's equivalent of flashing a board and running it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.devices import SMALL
+from repro.models.spec import arch_workload, build_module, export_graph
+from repro.nas import DSCNNSupernet, ResourceBudget, SearchConfig, search
+from repro.nn import accuracy
+from repro.runtime import Interpreter, deserialize, serialize
+from repro.runtime.deploy import deployment_report
+from repro.tasks.common import TrainConfig, train_classifier, predict
+
+
+@pytest.fixture(scope="module")
+def tiny_task():
+    """A small 4-class spatial-pattern task, train and test splits."""
+    rng = np.random.default_rng(0)
+
+    def make(n, seed):
+        r = np.random.default_rng(seed)
+        x = r.normal(size=(n, 16, 8, 1)).astype(np.float32) * 0.4
+        y = (np.arange(n) % 4).astype(np.int64)
+        rows = np.arange(16)[:, None]
+        cols = np.arange(8)[None, :]
+        patterns = [
+            ((rows % 2) == 0) * 1.0,
+            ((cols % 2) == 0) * 1.0,
+            (((rows + cols) % 2) == 0) * 1.0,
+            ((rows % 4) < 2) * 1.0,
+        ]
+        for i, label in enumerate(y):
+            x[i, :, :, 0] += patterns[label]
+        return x.astype(np.float32), y
+
+    return make(160, 1), make(80, 2)
+
+
+def test_full_micronets_pipeline(tiny_task):
+    (x_train, y_train), (x_test, y_test) = tiny_task
+
+    # 1. DNAS under a deliberately tight budget.
+    supernet = DSCNNSupernet(
+        input_shape=(16, 8, 1), num_classes=4,
+        stem_options=[8, 16], num_blocks=2, block_options=[8, 16],
+        stem_kernel=(4, 4), stem_stride=(2, 2), rng=0,
+    )
+    budget = ResourceBudget(params=6_000, activation_bytes=4_096, ops=1_000_000)
+    outcome = search(
+        supernet, x_train, y_train, budget,
+        SearchConfig(epochs=4, warmup_epochs=1, batch_size=32), rng=0,
+        arch_name="it-micronet",
+    )
+    arch = outcome.arch
+    workload = arch_workload(arch)
+    assert workload.params <= budget.params * 1.5  # extraction is argmax, allow slack
+
+    # 2. Train the extracted architecture with QAT.
+    config = TrainConfig(epochs=15, batch_size=32, lr_max=0.02, qat_bits=8)
+    module = train_classifier(arch, x_train, y_train, config, rng=3)
+    float_acc = accuracy(predict(module, x_test), y_test)
+    assert float_acc > 0.6  # chance is 0.25
+
+    # 3. Quantize, serialize, round-trip, run integer inference.
+    graph = export_graph(arch, module, calibration=x_train[:64], bits=8)
+    buf = serialize(graph)
+    restored = deserialize(buf)
+    int8_out = Interpreter(restored).invoke(x_test)
+    int8_acc = accuracy(int8_out, y_test)
+    assert int8_acc > float_acc - 0.15  # quantization costs little
+
+    # 4. Deployment: the tiny model must fit the smallest board.
+    report = deployment_report(restored, SMALL)
+    assert report.deployable
+    assert report.latency_s < 0.1  # ~1M ops is fast even on the M4
+    assert report.memory.model_flash_bytes == pytest.approx(len(buf))
+
+
+def test_pipeline_reproducible(tiny_task):
+    """Same seeds → byte-identical serialized models."""
+    (x_train, y_train), _ = tiny_task
+    from repro.models.spec import ArchSpec, ConvSpec, DenseSpec, GlobalPoolSpec
+
+    arch = ArchSpec(
+        "repro-check", (16, 8, 1),
+        (ConvSpec(8, 3, stride=2), GlobalPoolSpec(), DenseSpec(4)),
+    )
+
+    def build_once():
+        config = TrainConfig(epochs=2, batch_size=32, qat_bits=8)
+        module = train_classifier(arch, x_train, y_train, config, rng=42)
+        return serialize(export_graph(arch, module, calibration=x_train[:32], bits=8))
+
+    assert build_once() == build_once()
+
+
+def test_int4_pipeline(tiny_task):
+    """4-bit weights/activations: smaller file, still better than chance."""
+    (x_train, y_train), (x_test, y_test) = tiny_task
+    from repro.models.spec import ArchSpec, ConvSpec, DenseSpec, GlobalPoolSpec
+
+    arch = ArchSpec(
+        "int4-check", (16, 8, 1),
+        (ConvSpec(16, 3, stride=2), ConvSpec(16, 3), GlobalPoolSpec(), DenseSpec(4)),
+    )
+    config = TrainConfig(epochs=15, batch_size=32, lr_max=0.02, qat_bits=4)
+    module = train_classifier(arch, x_train, y_train, config, rng=0)
+    g8 = export_graph(arch, module, calibration=x_train[:64], bits=8)
+    g4 = export_graph(arch, module, calibration=x_train[:64], bits=4)
+    assert len(serialize(g4)) < len(serialize(g8))
+    acc4 = accuracy(Interpreter(g4).invoke(x_test), y_test)
+    assert acc4 > 0.4

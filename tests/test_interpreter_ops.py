@@ -1,0 +1,104 @@
+"""Interpreter kernel coverage: every op kind executes in both modes."""
+
+import numpy as np
+import pytest
+
+from repro.models import spec as S
+from repro.models.spec import (
+    ArchSpec,
+    ConvSpec,
+    DenseSpec,
+    DWConvSpec,
+    FlattenSpec,
+    GlobalPoolSpec,
+    PoolSpec,
+    ResidualSpec,
+)
+from repro.runtime import Interpreter
+from repro.tensor import Tensor
+
+#: One architecture exercising every interpreter op kind.
+FULL_OP_ARCH = ArchSpec(
+    name="all-ops",
+    input_shape=(12, 12, 1),
+    layers=(
+        ConvSpec(8, 3, stride=1),
+        PoolSpec("max", 2, 2),
+        ResidualSpec(
+            body=(DWConvSpec(3, 1), ConvSpec(8, 1)),
+            shortcut="identity",
+            activation="relu",
+        ),
+        PoolSpec("avg", 2, 2),
+        FlattenSpec(),
+        DenseSpec(16, activation="relu"),
+        DenseSpec(4),
+    ),
+    include_softmax=True,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    batch = rng.normal(size=(12, 12, 12, 1)).astype(np.float32)
+    module = S.build_module(FULL_OP_ARCH, rng=1)
+    module.train()
+    module(Tensor(batch))  # move BN stats
+    module.eval()
+    return module, batch
+
+
+class TestAllOpsGraph:
+    def test_float_matches_module(self, trained):
+        module, batch = trained
+        graph = S.export_float_graph(FULL_OP_ARCH, module)
+        assert sorted(graph.op_kinds()) == sorted(
+            ["conv2d", "depthwise_conv2d", "dense", "avg_pool", "max_pool",
+             "global_avg_pool", "add", "softmax", "reshape"]
+        ) or "global_avg_pool" not in graph.op_kinds()
+        out = Interpreter(graph).invoke(batch)
+        logits = module(Tensor(batch)).data  # module stops at logits;
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        expected = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        assert np.abs(out - expected).max() < 1e-3
+
+    def test_float_softmax_normalized(self, trained):
+        module, batch = trained
+        graph = S.export_float_graph(FULL_OP_ARCH, module)
+        out = Interpreter(graph).invoke(batch)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-4)
+
+    def test_int8_probabilities_agree(self, trained):
+        module, batch = trained
+        float_graph = S.export_float_graph(FULL_OP_ARCH, module)
+        q_graph = S.quantize_graph(float_graph, calibration=batch, bits=8)
+        float_out = Interpreter(float_graph).invoke(batch)
+        q_out = Interpreter(q_graph).invoke(batch)
+        # int8 softmax grid is 1/256; argmax agreement is the bar.
+        agreement = (float_out.argmax(1) == q_out.argmax(1)).mean()
+        assert agreement >= 0.7
+
+    def test_int8_output_on_softmax_grid(self, trained):
+        module, batch = trained
+        float_graph = S.export_float_graph(FULL_OP_ARCH, module)
+        q_graph = S.quantize_graph(float_graph, calibration=batch, bits=8)
+        out = Interpreter(q_graph).invoke(batch)
+        assert out.min() >= -1e-6
+        assert out.max() <= 1.0 + 1e-6
+
+    def test_workload_lowering_covers_ops(self):
+        workload = S.arch_workload(FULL_OP_ARCH)
+        kinds = {l.kind for l in workload.layers}
+        assert {"conv2d", "depthwise_conv2d", "dense", "max_pool", "avg_pool",
+                "add", "softmax"} <= kinds
+
+    def test_serializer_roundtrip_all_ops(self, trained):
+        module, batch = trained
+        from repro.runtime import deserialize, serialize
+
+        q_graph = S.export_graph(FULL_OP_ARCH, module, calibration=batch, bits=8)
+        restored = deserialize(serialize(q_graph))
+        a = Interpreter(q_graph).invoke(batch)
+        b = Interpreter(restored).invoke(batch)
+        assert np.array_equal(a, b)

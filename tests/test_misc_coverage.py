@@ -1,0 +1,118 @@
+"""Coverage for small helpers: initializers, report formatting, graph attrs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report import _format_cell, format_table
+from repro.hw.workload import LayerWorkload
+from repro.nn import init
+from repro.runtime.graph import Graph, OpNode, TensorSpec, _attr_pair
+
+
+class TestInitializers:
+    def test_he_normal_scale(self, rng):
+        w = init.he_normal(rng, (1000,), fan_in=50)
+        assert abs(w.std() - np.sqrt(2 / 50)) < 0.02
+        assert w.dtype == np.float32
+
+    def test_he_normal_zero_fan_in_safe(self, rng):
+        w = init.he_normal(rng, (4,), fan_in=0)
+        assert np.isfinite(w).all()
+
+    def test_glorot_uniform_bounds(self, rng):
+        w = init.glorot_uniform(rng, (2000,), fan_in=30, fan_out=10)
+        limit = np.sqrt(6 / 40)
+        assert w.min() >= -limit and w.max() <= limit
+
+    def test_zeros_ones(self):
+        assert init.zeros((3,)).sum() == 0
+        assert init.ones((3,)).sum() == 3
+
+
+class TestReportFormatting:
+    def test_cell_none(self):
+        assert _format_cell(None) == "-"
+
+    def test_cell_small_float(self):
+        assert _format_cell(0.1234) == "0.123"
+
+    def test_cell_medium_float(self):
+        assert _format_cell(42.37) == "42.4"
+
+    def test_cell_large_float(self):
+        assert _format_cell(123456.0) == "123,456"
+
+    def test_cell_zero(self):
+        assert _format_cell(0.0) == "0"
+
+    def test_cell_bool_and_str(self):
+        assert _format_cell(True) == "True"
+        assert _format_cell("abc") == "abc"
+
+    def test_empty_result_renders(self):
+        result = ExperimentResult("e", "empty", columns=["a"])
+        text = format_table(result)
+        assert "empty" in text
+
+
+class TestAttrPair:
+    def _op(self, attrs):
+        return OpNode(kind="conv2d", name="c", inputs=[], outputs=[], attrs=attrs)
+
+    def test_split_attrs(self):
+        op = self._op({"stride_h": 2, "stride_w": 1})
+        assert _attr_pair(op, "stride", (9, 9)) == (2, 1)
+
+    def test_h_only_duplicates(self):
+        op = self._op({"stride_h": 3})
+        assert _attr_pair(op, "stride", (9, 9)) == (3, 3)
+
+    def test_scalar_fallback(self):
+        op = self._op({"stride": 2})
+        assert _attr_pair(op, "stride", (9, 9)) == (2, 2)
+
+    def test_default(self):
+        assert _attr_pair(self._op({}), "stride", (7, 7)) == (7, 7)
+
+
+class TestGraphHelpers:
+    def test_tensor_elements_and_bytes(self):
+        spec = TensorSpec("t", (4, 4, 2), dtype="int8")
+        assert spec.elements == 32
+        assert spec.size_bytes == 32
+        assert TensorSpec("f", (4,), dtype="float32").size_bytes == 16
+        assert TensorSpec("n", (5,), dtype="int4").size_bytes == 3  # ceil(2.5)
+
+    def test_workload_of_pool_graph(self):
+        g = Graph(name="g")
+        g.add_tensor(TensorSpec("input", (8, 8, 2), dtype="float32", kind="input"))
+        g.add_tensor(TensorSpec("out", (4, 4, 2), dtype="float32", kind="output"))
+        g.add_op(OpNode(kind="max_pool", name="p", inputs=["input"], outputs=["out"],
+                        attrs={"pool": 2, "stride": 2, "padding": "valid"}))
+        g.inputs, g.outputs = ["input"], ["out"]
+        workload = g.to_workload()
+        assert workload.layers[0].kind == "max_pool"
+        assert workload.layers[0].output_shape == (4, 4, 2)
+
+    def test_reshape_contributes_no_workload(self):
+        g = Graph(name="g")
+        g.add_tensor(TensorSpec("input", (4, 4, 2), dtype="float32", kind="input"))
+        g.add_tensor(TensorSpec("out", (32,), dtype="float32", kind="output"))
+        g.add_op(OpNode(kind="reshape", name="r", inputs=["input"], outputs=["out"]))
+        g.inputs, g.outputs = ["input"], ["out"]
+        assert len(g.to_workload().layers) == 0
+
+
+class TestWorkloadEdgeCases:
+    def test_valid_padding_shapes(self):
+        layer = LayerWorkload.conv2d("c", (8, 8, 1), 4, kernel=3, stride=1, padding="valid")
+        assert layer.output_shape == (6, 6, 4)
+
+    def test_softmax_ops(self):
+        assert LayerWorkload.softmax("s", 10).ops == 40
+
+    def test_input_output_elements(self):
+        layer = LayerWorkload.dense("d", 16, 4)
+        assert layer.input_elements == 16
+        assert layer.output_elements == 4

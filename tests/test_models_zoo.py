@@ -1,0 +1,172 @@
+"""Model zoo: every architecture builds, exports and lands in its MCU class."""
+
+import numpy as np
+import pytest
+
+from repro.hw.devices import LARGE, MEDIUM, SMALL
+from repro.models import dscnn, external, micronets, mobilenetv2
+from repro.models.autoencoders import fc_autoencoder_baseline, fc_autoencoder_wide
+from repro.models.spec import arch_workload, build_module, export_graph, output_shape
+from repro.runtime import memory_report
+from repro.runtime.deploy import deployment_report
+from repro.tensor import Tensor
+
+ALL_SPECS = [
+    micronets.micronet_kws_s(),
+    micronets.micronet_kws_m(),
+    micronets.micronet_kws_l(),
+    micronets.micronet_kws_s4(),
+    micronets.micronet_vww_s(),
+    micronets.micronet_ad_s(),
+    micronets.micronet_ad_m(),
+    micronets.micronet_ad_l(),
+    dscnn.dscnn_s(),
+    dscnn.dscnn_m(),
+    dscnn.dscnn_l(),
+    mobilenetv2.mbnetv2_kws_s(),
+    mobilenetv2.mbnetv2_kws_m(),
+    fc_autoencoder_baseline(),
+]
+
+
+@pytest.mark.parametrize("arch", ALL_SPECS, ids=lambda a: a.name)
+def test_spec_exports_valid_graph(arch):
+    graph = export_graph(arch, bits=8)
+    graph.validate()
+    assert graph.num_params() == sum(t.elements for t in graph.weight_tensors)
+
+
+@pytest.mark.parametrize(
+    "arch",
+    [micronets.micronet_kws_s(), dscnn.dscnn_s(), micronets.micronet_ad_s()],
+    ids=lambda a: a.name,
+)
+def test_small_specs_build_runnable_modules(arch, rng):
+    module = build_module(arch, rng=0)
+    module.eval()
+    batch = rng.normal(size=(2,) + arch.input_shape).astype(np.float32)
+    out = module(Tensor(batch))
+    assert out.shape == (2,) + output_shape(arch)
+    assert np.isfinite(out.data).all()
+
+
+class TestKWSFamily:
+    def test_classifier_heads(self):
+        for arch in (micronets.micronet_kws_s(), dscnn.dscnn_l()):
+            assert output_shape(arch) == (12,)
+
+    def test_size_ordering(self):
+        sizes = [
+            memory_report(export_graph(a, bits=8)).model_flash_bytes
+            for a in (micronets.micronet_kws_s(), micronets.micronet_kws_m(), micronets.micronet_kws_l())
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_deployability_classes(self):
+        # S and M fit the small board; L needs the medium board.
+        for arch, fits_small in (
+            (micronets.micronet_kws_s(), True),
+            (micronets.micronet_kws_m(), True),
+            (micronets.micronet_kws_l(), False),
+        ):
+            graph = export_graph(arch, bits=8)
+            assert deployment_report(graph, SMALL).deployable == fits_small
+            assert deployment_report(graph, MEDIUM).deployable
+
+    def test_4bit_model_fits_small_despite_size(self):
+        graph = export_graph(micronets.micronet_kws_s4(), bits=4)
+        assert deployment_report(graph, SMALL).deployable
+        # Its parameter count is L-class.
+        assert arch_workload(micronets.micronet_kws_s4()).params > 400_000
+
+    def test_dscnn_matches_hello_edge_scale(self):
+        assert 15_000 < arch_workload(dscnn.dscnn_s()).params < 40_000
+        assert 350_000 < arch_workload(dscnn.dscnn_l()).params < 550_000
+
+
+class TestVWWFamily:
+    def test_binary_heads(self):
+        assert output_shape(micronets.micronet_vww_s()) == (2,)
+        assert output_shape(micronets.micronet_vww_m()) == (2,)
+
+    def test_input_resolutions(self):
+        assert micronets.micronet_vww_s().input_shape == (50, 50, 1)
+        assert micronets.micronet_vww_m().input_shape == (160, 160, 1)
+        assert micronets.micronet_vww_m(input_size=64).input_shape == (64, 64, 1)
+
+    def test_vww_s_fits_small(self):
+        graph = export_graph(micronets.micronet_vww_s(), bits=8)
+        assert deployment_report(graph, SMALL).deployable
+
+    def test_vww_m_fits_medium_not_small(self):
+        graph = export_graph(micronets.micronet_vww_m(), bits=8)
+        assert not deployment_report(graph, SMALL).deployable
+        assert deployment_report(graph, MEDIUM).deployable
+
+    def test_mobilenet_v2_full_backbone(self):
+        arch = mobilenetv2.mobilenet_v2(input_shape=(64, 64, 1), num_classes=2)
+        assert output_shape(arch) == (2,)
+        assert arch_workload(arch).params > 1_000_000
+
+
+class TestADFamily:
+    def test_machine_id_heads(self):
+        for arch in (micronets.micronet_ad_s(), micronets.micronet_ad_m(), micronets.micronet_ad_l()):
+            assert output_shape(arch) == (4,)
+
+    def test_target_board_assignment(self):
+        for arch, device in (
+            (micronets.micronet_ad_s(), SMALL),
+            (micronets.micronet_ad_m(), MEDIUM),
+            (micronets.micronet_ad_l(), LARGE),
+        ):
+            graph = export_graph(arch, bits=8)
+            assert deployment_report(graph, device).deployable, arch.name
+
+    def test_ad_m_does_not_fit_small(self):
+        graph = export_graph(micronets.micronet_ad_m(), bits=8)
+        assert not deployment_report(graph, SMALL).deployable
+
+    def test_ad_l_does_not_fit_medium(self):
+        graph = export_graph(micronets.micronet_ad_l(), bits=8)
+        assert not deployment_report(graph, MEDIUM).deployable
+
+
+class TestAutoencoders:
+    def test_reconstruction_shape(self):
+        arch = fc_autoencoder_baseline()
+        assert output_shape(arch) == (640,)
+
+    def test_baseline_flash_near_paper(self):
+        report = memory_report(export_graph(fc_autoencoder_baseline(), bits=8))
+        assert 240_000 < report.model_flash_bytes < 310_000  # paper: 270KB
+
+    def test_wide_exceeds_every_flash(self):
+        graph = export_graph(fc_autoencoder_wide(), bits=8)
+        for device in (SMALL, MEDIUM, LARGE):
+            assert not deployment_report(graph, device).fits_flash
+
+
+class TestExternalRecords:
+    def test_proxyless_sram_bound(self):
+        fits = external.PROXYLESSNAS_VWW.deployability()
+        assert not fits[SMALL.name]
+        assert not fits[MEDIUM.name]
+        assert fits[LARGE.name]
+
+    def test_msnet_large_only(self):
+        fits = external.MSNET_VWW.deployability()
+        assert not fits[SMALL.name] and fits[LARGE.name]
+
+    def test_tflm_reference_fits_small(self):
+        assert external.TFLM_PERSON_DETECTION.fits(SMALL)
+
+    def test_conv_ae_never_deployable(self):
+        assert not any(external.CONV_AE_AD.deployability().values())
+
+    def test_mbnetv2_ad_large_only(self):
+        fits = external.MBNETV2_05_AD.deployability()
+        assert fits[LARGE.name] and not fits[SMALL.name]
+
+    def test_registry_complete(self):
+        assert len(external.ALL_EXTERNAL) == 5

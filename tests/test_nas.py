@@ -1,0 +1,267 @@
+"""DNAS: decisions, supernets, cost accounting and the search loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SearchError
+from repro.models.spec import arch_workload, export_graph, output_shape
+from repro.nas import (
+    ChoiceDecision,
+    DSCNNSupernet,
+    IBNSupernet,
+    ResourceBudget,
+    SearchConfig,
+    budgets_for_device,
+    gumbel_softmax,
+    search,
+)
+from repro.nas.backbones import micronet_ad_supernet, micronet_kws_supernet, micronet_vww_supernet
+from repro.nas.search import penalty
+from repro.nn.module import Parameter
+from repro.hw.devices import MEDIUM, SMALL
+from repro.tensor import Tensor
+
+
+class TestGumbelSoftmax:
+    def test_sums_to_one(self, rng):
+        logits = Tensor(np.array([0.5, -0.2, 1.0], dtype=np.float32))
+        g = gumbel_softmax(logits, temperature=1.0, rng=rng)
+        assert g.data.sum() == pytest.approx(1.0, abs=1e-5)
+        assert (g.data >= 0).all()
+
+    def test_hard_returns_one_hot(self, rng):
+        logits = Tensor(np.array([0.5, -0.2, 1.0], dtype=np.float32))
+        g = gumbel_softmax(logits, temperature=1.0, rng=rng, hard=True)
+        assert sorted(g.data.tolist()) == [0.0, 0.0, 1.0]
+
+    def test_low_temperature_concentrates(self, rng):
+        logits = Tensor(np.array([2.0, 0.0, -2.0], dtype=np.float32))
+        samples = [
+            gumbel_softmax(logits, temperature=0.05, rng=rng).data.max() for _ in range(20)
+        ]
+        assert np.mean(samples) > 0.95
+
+    def test_rejects_bad_temperature(self, rng):
+        with pytest.raises(SearchError):
+            gumbel_softmax(Tensor(np.zeros(2, np.float32)), temperature=0.0, rng=rng)
+
+    def test_gradient_flows(self, rng):
+        alpha = Parameter(np.zeros(3, dtype=np.float32))
+        g = gumbel_softmax(alpha, temperature=1.0, rng=rng)
+        (g * Tensor(np.array([1.0, 2.0, 3.0], np.float32))).sum().backward()
+        assert alpha.grad is not None and np.abs(alpha.grad).sum() > 0
+
+
+class TestChoiceDecision:
+    def test_expected_value_in_hull(self, rng):
+        decision = ChoiceDecision([16, 32, 64], "d", rng=0)
+        g = decision.sample(1.0, rng)
+        e = decision.expected_value(g).item()
+        assert 16.0 <= e <= 64.0
+
+    def test_width_mask_soft_blend(self, rng):
+        decision = ChoiceDecision([2, 4], "d", rng=0)
+        g = decision.sample(1.0, rng)
+        mask = decision.width_mask(g, 4)
+        # First two channels are enabled by every option.
+        assert mask.data[0] == pytest.approx(1.0, abs=1e-5)
+        assert 0.0 <= mask.data[3] <= 1.0
+
+    def test_mask_rejects_oversized_option(self, rng):
+        decision = ChoiceDecision([4, 8], "d", rng=0)
+        g = decision.sample(1.0, rng)
+        with pytest.raises(SearchError):
+            decision.width_mask(g, 4)
+
+    def test_selected_follows_alpha(self):
+        decision = ChoiceDecision([16, 32, 64], "d", rng=0)
+        decision.alpha.data = np.array([0.0, 5.0, 0.0], dtype=np.float32)
+        assert decision.selected() == 32
+        assert decision.selected_index() == 1
+
+    def test_probabilities_normalized(self):
+        decision = ChoiceDecision([1, 2, 3], "d", rng=0)
+        assert decision.probabilities.sum() == pytest.approx(1.0)
+
+    def test_needs_two_options(self):
+        with pytest.raises(SearchError):
+            ChoiceDecision([4], "d")
+
+
+class TestSupernets:
+    def test_dscnn_forward_and_costs(self, rng):
+        net = DSCNNSupernet(
+            input_shape=(16, 8, 1), num_classes=4,
+            stem_options=[8, 16], num_blocks=2, block_options=[8, 16],
+            stem_kernel=(4, 4), stem_stride=(2, 2), rng=0,
+        )
+        x = Tensor(rng.normal(size=(2, 16, 8, 1)).astype(np.float32))
+        logits, costs = net.forward_search(x, temperature=1.0, rng=rng)
+        assert logits.shape == (2, 4)
+        assert costs.params.item() > 0
+        assert costs.ops.item() > 0
+        assert costs.working_memory.item() > 0
+
+    def test_dscnn_extract_valid_arch(self, rng):
+        net = DSCNNSupernet(
+            input_shape=(16, 8, 1), num_classes=4,
+            stem_options=[8, 16], num_blocks=3, block_options=[8, 16], rng=0,
+            stem_kernel=(4, 4), stem_stride=(2, 2),
+        )
+        arch = net.extract("test-arch")
+        assert output_shape(arch) == (4,)
+        export_graph(arch, bits=8).validate()
+
+    def test_dscnn_skip_removes_block(self, rng):
+        net = DSCNNSupernet(
+            input_shape=(16, 8, 1), num_classes=4,
+            stem_options=[8, 16], num_blocks=3, block_options=[8, 16], rng=0,
+            stem_kernel=(4, 4), stem_stride=(2, 2),
+        )
+        for block in net.blocks:
+            block.skip.alpha.data = np.array([0.0, 5.0], dtype=np.float32)  # skip
+        arch = net.extract("skipped")
+        # Stem + pooling + dense only: no depthwise blocks remain.
+        workload = arch_workload(arch)
+        assert not any(l.kind == "depthwise_conv2d" for l in workload.layers)
+
+    def test_dscnn_mismatched_maxima_rejected(self):
+        with pytest.raises(SearchError):
+            DSCNNSupernet(
+                input_shape=(16, 8, 1), num_classes=4,
+                stem_options=[8], num_blocks=1, block_options=[16], rng=0,
+            )
+
+    def test_ibn_forward_and_extract(self, rng):
+        net = micronet_vww_supernet(input_size=24, rng=0)
+        x = Tensor(rng.normal(size=(2, 24, 24, 1)).astype(np.float32))
+        logits, costs = net.forward_search(x, temperature=1.0, rng=rng)
+        assert logits.shape == (2, 2)
+        arch = net.extract("vww-test")
+        assert output_shape(arch) == (2,)
+        export_graph(arch, bits=8).validate()
+
+    def test_decisions_enumerated(self):
+        net = micronet_kws_supernet(rng=0)
+        decisions = net.decisions()
+        # stem + per-block width + per-(stride-1)-block skip
+        assert len(decisions) == 1 + len(net.blocks) * 2
+
+    def test_backbone_factories(self):
+        assert micronet_ad_supernet(rng=0).blocks[-1].stride == 2
+        assert micronet_kws_supernet(rng=0).stem_kernel == (10, 4)
+
+
+class TestBudgets:
+    def test_budget_scales_with_device(self):
+        small = budgets_for_device(SMALL)
+        medium = budgets_for_device(MEDIUM)
+        assert medium.params > small.params
+        assert medium.activation_bytes > small.activation_bytes
+
+    def test_latency_target_sets_ops(self):
+        budget = budgets_for_device(MEDIUM, latency_target_s=0.1)
+        assert budget.ops is not None and budget.ops > 0
+        assert budgets_for_device(MEDIUM).ops is None
+
+    def test_4bit_doubles_param_budget(self):
+        b8 = budgets_for_device(SMALL, weight_bits=8)
+        b4 = budgets_for_device(SMALL, weight_bits=4)
+        assert b4.params == pytest.approx(2 * b8.params)
+
+    def test_penalty_zero_inside_budget(self, rng):
+        net = DSCNNSupernet(
+            input_shape=(16, 8, 1), num_classes=4,
+            stem_options=[8, 16], num_blocks=1, block_options=[8, 16], rng=0,
+            stem_kernel=(4, 4), stem_stride=(2, 2),
+        )
+        x = Tensor(rng.normal(size=(1, 16, 8, 1)).astype(np.float32))
+        _, costs = net.forward_search(x, 1.0, rng)
+        generous = ResourceBudget(params=1e9, activation_bytes=1e9, ops=1e12)
+        assert penalty(costs, generous, SearchConfig()).item() == pytest.approx(0.0)
+
+    def test_penalty_positive_outside_budget(self, rng):
+        net = DSCNNSupernet(
+            input_shape=(16, 8, 1), num_classes=4,
+            stem_options=[8, 16], num_blocks=1, block_options=[8, 16], rng=0,
+            stem_kernel=(4, 4), stem_stride=(2, 2),
+        )
+        x = Tensor(rng.normal(size=(1, 16, 8, 1)).astype(np.float32))
+        _, costs = net.forward_search(x, 1.0, rng)
+        tight = ResourceBudget(params=1.0, activation_bytes=1.0, ops=1.0)
+        assert penalty(costs, tight, SearchConfig()).item() > 0
+
+
+class TestSearchLoop:
+    @pytest.fixture(scope="class")
+    def tiny_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(96, 16, 8, 1)).astype(np.float32)
+        y = rng.integers(0, 4, size=96)
+        for i, label in enumerate(y):
+            x[i, label * 2 : label * 2 + 3, :, 0] += 2.0
+        return x, y
+
+    def _supernet(self):
+        return DSCNNSupernet(
+            input_shape=(16, 8, 1), num_classes=4,
+            stem_options=[8, 16], num_blocks=2, block_options=[8, 16], rng=0,
+            stem_kernel=(4, 4), stem_stride=(2, 2),
+        )
+
+    def test_search_learns_task(self, tiny_data):
+        x, y = tiny_data
+        budget = ResourceBudget(params=1e7, activation_bytes=1e7)
+        config = SearchConfig(epochs=5, warmup_epochs=1, batch_size=16)
+        outcome = search(self._supernet(), x, y, budget, config, rng=0)
+        assert outcome.history["accuracy"][-1] > 0.5  # chance = 0.25
+
+    def test_tight_budget_yields_smaller_arch(self, tiny_data):
+        x, y = tiny_data
+        config = SearchConfig(epochs=5, warmup_epochs=1, batch_size=16,
+                              lambda_size=20.0, lambda_memory=20.0, lambda_ops=20.0)
+        loose = search(
+            self._supernet(), x, y,
+            ResourceBudget(params=1e7, activation_bytes=1e7), config, rng=0,
+        )
+        tight = search(
+            self._supernet(), x, y,
+            ResourceBudget(params=2500, activation_bytes=1200, ops=300_000), config, rng=0,
+        )
+        loose_params = arch_workload(loose.arch).params
+        tight_params = arch_workload(tight.arch).params
+        assert tight_params <= loose_params
+
+    def test_history_complete(self, tiny_data):
+        x, y = tiny_data
+        outcome = search(
+            self._supernet(), x, y,
+            ResourceBudget(params=1e7, activation_bytes=1e7),
+            SearchConfig(epochs=3, warmup_epochs=1, batch_size=16), rng=0,
+        )
+        for key in ("loss", "accuracy", "params", "ops", "memory", "temperature"):
+            assert len(outcome.history[key]) == 3
+
+    def test_temperature_anneals(self, tiny_data):
+        x, y = tiny_data
+        outcome = search(
+            self._supernet(), x, y,
+            ResourceBudget(params=1e7, activation_bytes=1e7),
+            SearchConfig(epochs=3, warmup_epochs=1, batch_size=16,
+                         temperature_init=5.0, temperature_final=0.5), rng=0,
+        )
+        temps = outcome.history["temperature"]
+        assert temps[0] == pytest.approx(5.0)
+        assert temps[-1] == pytest.approx(0.5)
+
+    def test_meets_reports_budget(self, tiny_data):
+        x, y = tiny_data
+        budget = ResourceBudget(params=1e7, activation_bytes=1e7)
+        outcome = search(
+            self._supernet(), x, y, budget,
+            SearchConfig(epochs=2, warmup_epochs=1, batch_size=16), rng=0,
+        )
+        assert outcome.meets(budget)
+        assert not outcome.meets(ResourceBudget(params=1.0, activation_bytes=1.0))

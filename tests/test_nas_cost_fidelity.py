@@ -1,0 +1,102 @@
+"""Cost-model fidelity: supernet expectations vs real deployment accounting.
+
+The DNAS regularizers only mean something if the supernet's symbolic
+params/ops/memory expectations agree with what the extracted architecture
+actually costs when deployed. These tests pin the decisions to one-hot
+(near-zero temperature, saturated alphas) and compare the supernet's cost
+tensors against ``arch_workload`` / the arena planner on the extraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.spec import arch_workload, export_graph
+from repro.nas import DSCNNSupernet
+from repro.nas.backbones import micronet_vww_supernet
+from repro.runtime import plan_arena
+from repro.tensor import Tensor
+
+
+def _saturate(decision, index: int) -> None:
+    alpha = np.full(len(decision.options), -50.0, dtype=np.float32)
+    alpha[index] = 50.0
+    decision.alpha.data = alpha
+
+
+@pytest.fixture
+def pinned_dscnn():
+    net = DSCNNSupernet(
+        input_shape=(16, 8, 1), num_classes=4,
+        stem_options=[8, 16], num_blocks=2, block_options=[8, 16],
+        stem_kernel=(4, 4), stem_stride=(2, 2), rng=0,
+    )
+    _saturate(net.stem_width, 1)        # 16 channels
+    for block in net.blocks:
+        _saturate(block.width, 0)       # 8 channels
+        if block.skip is not None:
+            _saturate(block.skip, 0)    # use the block
+    return net
+
+
+class TestDSCNNCostFidelity:
+    def _costs(self, net):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(1, 16, 8, 1)).astype(np.float32))
+        _, costs = net.forward_search(x, temperature=1e-4, rng=rng)
+        return costs
+
+    def test_ops_match_extracted_workload(self, pinned_dscnn):
+        costs = self._costs(pinned_dscnn)
+        workload = arch_workload(pinned_dscnn.extract("pinned"))
+        # The supernet counts MAC ops for conv/dw/dense; the workload adds
+        # small non-MAC extras (pooling, dropout-free). Require 10%.
+        mac_ops = 2 * workload.macs
+        assert costs.ops.item() == pytest.approx(mac_ops, rel=0.1)
+
+    def test_params_match_extracted_workload(self, pinned_dscnn):
+        costs = self._costs(pinned_dscnn)
+        workload = arch_workload(pinned_dscnn.extract("pinned"))
+        # Supernet counts conv weights + per-channel bias analogues; the
+        # workload counts folded conv+bias. Same order, within 10%.
+        assert costs.params.item() == pytest.approx(workload.params, rel=0.1)
+
+    def test_memory_tracks_arena(self, pinned_dscnn):
+        costs = self._costs(pinned_dscnn)
+        graph = export_graph(pinned_dscnn.extract("pinned"), bits=8)
+        arena = plan_arena(graph).arena_bytes
+        # eq.(3) (max node inputs+outputs) vs greedy planner: same order of
+        # magnitude and never off by more than ~2x on these shapes.
+        ratio = costs.working_memory.item() / arena
+        assert 0.5 < ratio < 2.0
+
+    def test_skipping_blocks_reduces_every_cost(self, pinned_dscnn):
+        with_blocks = self._costs(pinned_dscnn)
+        ops_with = with_blocks.ops.item()
+        params_with = with_blocks.params.item()
+        for block in pinned_dscnn.blocks:
+            if block.skip is not None:
+                _saturate(block.skip, 1)  # skip everything
+        without = self._costs(pinned_dscnn)
+        assert without.ops.item() < ops_with
+        assert without.params.item() < params_with
+
+    def test_wider_choice_costs_more(self, pinned_dscnn):
+        narrow = self._costs(pinned_dscnn).ops.item()
+        for block in pinned_dscnn.blocks:
+            _saturate(block.width, 1)  # 16 channels
+        wide = self._costs(pinned_dscnn).ops.item()
+        assert wide > narrow
+
+
+class TestIBNCostFidelity:
+    def test_pinned_ibn_ops_match(self):
+        net = micronet_vww_supernet(input_size=24, rng=0)
+        for block in net.blocks:
+            _saturate(block.expand_width, len(block.expand_width.options) - 1)
+            _saturate(block.out_width, len(block.out_width.options) - 1)
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(1, 24, 24, 1)).astype(np.float32))
+        _, costs = net.forward_search(x, temperature=1e-4, rng=rng)
+        workload = arch_workload(net.extract("pinned-ibn"))
+        assert costs.ops.item() == pytest.approx(2 * workload.macs, rel=0.15)
+        assert costs.params.item() == pytest.approx(workload.params, rel=0.15)

@@ -1,0 +1,169 @@
+"""Layer behaviour: shapes, BN statistics/folding, module mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    Sequential,
+)
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class TestConvLayers:
+    def test_conv_shape_same_stride2(self, rng):
+        layer = Conv2D(3, 8, kernel_size=3, stride=2, rng=0)
+        out = layer(Tensor(rng.normal(size=(2, 9, 9, 3))))
+        assert out.shape == (2, 5, 5, 8)
+
+    def test_conv_asymmetric(self, rng):
+        layer = Conv2D(1, 4, kernel_size=(10, 4), stride=(2, 1), rng=0)
+        out = layer(Tensor(rng.normal(size=(1, 49, 10, 1))))
+        assert out.shape == (1, 25, 10, 4)
+
+    def test_conv_no_bias(self):
+        layer = Conv2D(1, 4, use_bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_depthwise_preserves_channels(self, rng):
+        layer = DepthwiseConv2D(6, stride=2, rng=0)
+        out = layer(Tensor(rng.normal(size=(2, 8, 8, 6))))
+        assert out.shape == (2, 4, 4, 6)
+
+    def test_dense_requires_2d(self, rng):
+        layer = Dense(4, 2, rng=0)
+        with pytest.raises(ShapeError):
+            layer(Tensor(rng.normal(size=(2, 2, 2))))
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self, rng):
+        bn = BatchNorm(4)
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(64, 4)))
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-2)
+        assert np.allclose(out.data.std(axis=0), 1.0, atol=5e-2)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm(2, momentum=0.5)
+        for _ in range(20):
+            bn(Tensor(rng.normal(loc=2.0, size=(128, 2))))
+        assert np.allclose(bn.running_mean, 2.0, atol=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm(2, momentum=0.0)
+        bn(Tensor(rng.normal(loc=3.0, scale=2.0, size=(256, 2))))
+        bn.eval()
+        x = rng.normal(loc=3.0, scale=2.0, size=(64, 2)).astype(np.float32)
+        out = bn(Tensor(x)).data
+        expected = (x - bn.running_mean) / np.sqrt(bn.running_var + bn.eps)
+        assert np.allclose(out, expected, atol=1e-4)
+
+    def test_gamma_beta_trainable(self):
+        bn = BatchNorm(3)
+        names = [n for n, _ in bn.named_parameters()]
+        assert "gamma" in names and "beta" in names
+
+
+class TestSimpleLayers:
+    def test_relu_relu6(self):
+        x = Tensor(np.array([-1.0, 3.0, 9.0]))
+        assert np.allclose(ReLU()(x).data, [0, 3, 9])
+        assert np.allclose(ReLU6()(x).data, [0, 3, 6])
+
+    def test_pools(self, rng):
+        x = Tensor(rng.normal(size=(1, 4, 4, 2)))
+        assert AvgPool2D(2)(x).shape == (1, 2, 2, 2)
+        assert MaxPool2D(2)(x).shape == (1, 2, 2, 2)
+        assert GlobalAvgPool()(x).shape == (1, 2)
+
+    def test_flatten(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4, 5)))
+        assert Flatten()(x).shape == (2, 60)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(3,)))
+        assert np.array_equal(Identity()(x).data, x.data)
+
+    def test_dropout_train_vs_eval(self, rng):
+        layer = Dropout(0.5, rng=0)
+        x = Tensor(np.ones((100, 10), dtype=np.float32))
+        train_out = layer(x)
+        assert (train_out.data == 0).any()
+        # Inverted dropout keeps the expectation.
+        assert abs(train_out.data.mean() - 1.0) < 0.2
+        layer.eval()
+        assert np.array_equal(layer(x).data, x.data)
+
+
+class TestModuleMechanics:
+    def test_sequential_runs_in_order(self, rng):
+        net = Sequential(Dense(4, 8, rng=0), ReLU(), Dense(8, 2, rng=1))
+        out = net(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+        assert len(net) == 3
+        assert isinstance(net[1], ReLU)
+
+    def test_named_parameters_paths(self):
+        net = Sequential(Dense(4, 8, rng=0), Dense(8, 2, rng=1))
+        names = {n for n, _ in net.named_parameters()}
+        assert "layers.0.dense.weight" in names or "layers.0.weight" in names
+
+    def test_num_parameters(self):
+        layer = Dense(4, 3, rng=0)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Dropout(0.5), Sequential(Dropout(0.5)))
+        net.eval()
+        assert not net[0].training
+        assert not net[1][0].training
+
+    def test_state_dict_roundtrip(self, rng):
+        net1 = Sequential(Dense(4, 3, rng=0))
+        net2 = Sequential(Dense(4, 3, rng=99))
+        net2.load_state_dict(net1.state_dict())
+        x = Tensor(rng.normal(size=(2, 4)))
+        assert np.allclose(net1(x).data, net2(x).data)
+
+    def test_state_dict_mismatch_raises(self):
+        net = Sequential(Dense(4, 3, rng=0))
+        with pytest.raises(KeyError):
+            net.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_state_dict_shape_mismatch_raises(self):
+        net = Sequential(Dense(4, 3, rng=0))
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_zero_grad_clears(self, rng):
+        net = Sequential(Dense(4, 2, rng=0))
+        net(Tensor(rng.normal(size=(2, 4)))).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_parameter_is_trainable_tensor(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(Tensor(np.zeros(1)))

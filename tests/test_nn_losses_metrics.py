@@ -1,0 +1,167 @@
+"""Losses, metrics and augmentations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import accuracy, cross_entropy, distillation_loss, mixup, mse_loss, roc_auc
+from repro.nn.losses import one_hot
+from repro.tensor import Tensor
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 3)).astype(np.float32)
+        labels = np.array([0, 1, 2, 1])
+        loss = cross_entropy(Tensor(logits), labels).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), labels].mean()
+        assert abs(loss - expected) < 1e-5
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32)
+        loss = cross_entropy(Tensor(logits), np.array([0, 1])).item()
+        assert loss < 1e-4
+
+    def test_label_smoothing_increases_loss_on_confident(self):
+        logits = np.array([[10.0, 0.0]], dtype=np.float32)
+        plain = cross_entropy(Tensor(logits), np.array([0])).item()
+        smoothed = cross_entropy(Tensor(logits), np.array([0]), label_smoothing=0.1).item()
+        assert smoothed > plain
+
+    def test_soft_labels(self):
+        logits = np.zeros((1, 2), dtype=np.float32)
+        soft = np.array([[0.5, 0.5]], dtype=np.float32)
+        loss = cross_entropy(Tensor(logits), None, soft_labels=soft).item()
+        assert abs(loss - np.log(2)) < 1e-5
+
+    def test_soft_label_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((2, 3))), None, soft_labels=np.zeros((2, 2), np.float32))
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 2), dtype=np.float32), requires_grad=True)
+        cross_entropy(logits, np.array([0])).backward()
+        assert logits.grad[0, 0] < 0  # push class-0 logit up
+        assert logits.grad[0, 1] > 0
+
+    def test_one_hot(self):
+        out = one_hot(np.array([1, 0]), 3)
+        assert np.array_equal(out, [[0, 1, 0], [1, 0, 0]])
+
+    def test_one_hot_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestDistillation:
+    def test_matching_teacher_reduces_to_hard_plus_entropy(self, rng):
+        logits = rng.normal(size=(4, 3)).astype(np.float32)
+        labels = np.array([0, 1, 2, 0])
+        # alpha=0 -> pure hard loss.
+        hard_only = distillation_loss(Tensor(logits), logits, labels, alpha=0.0).item()
+        expected = cross_entropy(Tensor(logits), labels).item()
+        assert abs(hard_only - expected) < 1e-5
+
+    def test_teacher_pull(self):
+        student = Tensor(np.zeros((1, 2), dtype=np.float32), requires_grad=True)
+        teacher = np.array([[5.0, -5.0]], dtype=np.float32)
+        distillation_loss(student, teacher, np.array([0]), alpha=1.0).backward()
+        assert student.grad[0, 0] < 0  # teacher prefers class 0 too
+
+
+class TestMSE:
+    def test_zero_for_exact(self, rng):
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        assert mse_loss(Tensor(x), x).item() < 1e-12
+
+    def test_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]], dtype=np.float32))
+        assert abs(mse_loss(pred, np.array([[0.0, 0.0]])).item() - 2.5) < 1e-6
+
+
+class TestAccuracy:
+    def test_basic(self):
+        logits = np.array([[1, 0], [0, 1], [1, 0]], dtype=np.float32)
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_requires_2d(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.zeros(3), np.zeros(3))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == 1.0
+
+    def test_inverted(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.2])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == 0.0
+
+    def test_random_is_half(self, rng):
+        scores = rng.normal(size=2000)
+        labels = rng.integers(0, 2, size=2000)
+        assert abs(roc_auc(scores, labels) - 0.5) < 0.05
+
+    def test_ties_get_half_credit(self):
+        scores = np.array([0.5, 0.5])
+        labels = np.array([0, 1])
+        assert roc_auc(scores, labels) == 0.5
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ShapeError):
+            roc_auc(np.array([0.1, 0.2]), np.array([1, 1]))
+
+    @given(n=st.integers(4, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, n):
+        rng = np.random.default_rng(n)
+        scores = rng.normal(size=n)
+        labels = rng.integers(0, 2, size=n)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        brute = np.mean([
+            1.0 if p > q else 0.5 if p == q else 0.0 for p in pos for q in neg
+        ])
+        assert abs(roc_auc(scores, labels) - brute) < 1e-9
+
+    @given(shift=st.floats(-5, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_shift_invariance(self, shift):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=50)
+        labels = rng.integers(0, 2, size=50)
+        labels[0], labels[1] = 0, 1
+        assert roc_auc(scores, labels) == pytest.approx(roc_auc(scores + shift, labels))
+
+
+class TestMixup:
+    def test_alpha_zero_identity(self, rng):
+        x = rng.normal(size=(6, 3)).astype(np.float32)
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        mixed, targets = mixup(x, labels, 3, alpha=0.0, rng=rng)
+        assert np.array_equal(mixed, x)
+        assert np.array_equal(targets, one_hot(labels, 3))
+
+    def test_targets_sum_to_one(self, rng):
+        x = rng.normal(size=(8, 3)).astype(np.float32)
+        labels = rng.integers(0, 3, size=8)
+        _, targets = mixup(x, labels, 3, alpha=0.3, rng=rng)
+        assert np.allclose(targets.sum(axis=1), 1.0, atol=1e-5)
+
+    @given(alpha=st.floats(0.1, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_mixed_inputs_within_hull(self, alpha):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(10, 4)).astype(np.float32)
+        mixed, _ = mixup(x, rng.integers(0, 2, 10), 2, alpha=alpha, rng=rng)
+        assert mixed.min() >= x.min() - 1e-5
+        assert mixed.max() <= x.max() + 1e-5

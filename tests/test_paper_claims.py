@@ -1,0 +1,148 @@
+"""The paper's headline claims, as one fast executable abstract.
+
+Every test here runs without training (hardware model + deployment stack
+only), so the paper's quantitative skeleton is verified on every test run,
+not just in the benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.characterize import channel_sweep_conv, sample_models
+from repro.hw.devices import LARGE, MEDIUM, SMALL
+from repro.hw.energy import POWER_SIGMA_OVER_MU, EnergyModel
+from repro.hw.latency import LatencyModel, fit_linear_latency
+from repro.models import external, micronets
+from repro.models.spec import arch_workload, export_graph
+from repro.runtime.deploy import deployment_report
+from repro.tasks.ad import uptime_percent
+
+
+class TestSection3Claims:
+    """§3: hardware characterization."""
+
+    def test_claim_model_latency_linear_in_ops(self):
+        """'measured latency for end-to-end models is linear with op count
+        (0.95 < r^2 < 0.99)'"""
+        for backbone in ("cifar10", "kws"):
+            fit = fit_linear_latency(
+                sample_models(backbone, 150, rng=0), LatencyModel(MEDIUM)
+            )
+            assert 0.95 < fit.r_squared < 1.0
+
+    def test_claim_backbones_have_different_slopes(self):
+        """'models sampled from two different backbones results in a
+        different slope' (KWS higher throughput)"""
+        kws = fit_linear_latency(sample_models("kws", 100, rng=1), LatencyModel(MEDIUM))
+        cifar = fit_linear_latency(sample_models("cifar10", 100, rng=1), LatencyModel(MEDIUM))
+        assert kws.throughput_mops > 1.2 * cifar.throughput_mops
+
+    def test_claim_m7_twice_as_fast_as_m4(self):
+        """'approximately twice as fast as the STM32F446RE'"""
+        models = sample_models("kws", 30, rng=2)
+        lm_s, lm_m = LatencyModel(SMALL), LatencyModel(MEDIUM)
+        ratios = [lm_s.model_latency(m) / lm_m.model_latency(m) for m in models]
+        assert 1.8 < np.mean(ratios) < 2.2
+
+    def test_claim_channel_div4_speedup(self):
+        """'increasing channels from 138 to 140 decreases latency'"""
+        lm = LatencyModel(LARGE)
+        assert (
+            lm.layer_latency(channel_sweep_conv(138)).seconds
+            > lm.layer_latency(channel_sweep_conv(140)).seconds
+        )
+
+    def test_claim_power_workload_independent(self):
+        """'little variance in power consumption between models
+        (sigma/mu = 0.00731)'"""
+        em = EnergyModel(MEDIUM)
+        powers = np.array([em.power(m) for m in sample_models("cifar10", 200, rng=3)])
+        assert abs(powers.std() / powers.mean() - POWER_SIGMA_OVER_MU) < 0.004
+
+    def test_claim_small_mcu_lower_energy(self):
+        """'executing the same model on a smaller MCU reduces the total
+        energy consumption despite an increase in latency'"""
+        model = sample_models("cifar10", 1, rng=4)[0]
+        e_small = EnergyModel(SMALL).energy(model)
+        e_medium = EnergyModel(MEDIUM).energy(model)
+        assert e_small.latency_s > e_medium.latency_s
+        assert e_small.energy_j < e_medium.energy_j
+
+
+class TestSection6Claims:
+    """§6: results — deployability skeleton (training-free parts)."""
+
+    def test_claim_kws_micronets_fit_smallest_mcu(self):
+        """'MicroNet small and medium models ... deployable on the smallest
+        MCU'"""
+        for arch in (micronets.micronet_kws_s(), micronets.micronet_kws_m()):
+            graph = export_graph(arch, bits=8)
+            assert deployment_report(graph, SMALL).deployable, arch.name
+
+    def test_claim_kws_large_needs_medium_mcu(self):
+        graph = export_graph(micronets.micronet_kws_l(), bits=8)
+        assert not deployment_report(graph, SMALL).deployable
+        assert deployment_report(graph, MEDIUM).deployable
+
+    def test_claim_kws_fps_targets(self):
+        """'achieving 9.2FPS and 5.4FPS on the medium sized MCU' — require
+        the same regime: S ≥ ~7 FPS, M ≥ ~4 FPS, and S faster than M."""
+        lm = LatencyModel(MEDIUM)
+        lat_s = lm.model_latency(arch_workload(micronets.micronet_kws_s()))
+        lat_m = lm.model_latency(arch_workload(micronets.micronet_kws_m()))
+        assert lat_s < lat_m
+        assert 1.0 / lat_s > 6.5
+        assert 1.0 / lat_m > 4.0
+
+    def test_claim_kws_large_real_time(self):
+        """'for the large model, we target latency of less than one second'"""
+        lm = LatencyModel(MEDIUM)
+        assert lm.model_latency(arch_workload(micronets.micronet_kws_l())) < 1.0
+
+    def test_claim_4bit_model_bigger_but_fits_small(self):
+        """Table 2: the 4-bit model out-sizes the 8-bit M model yet deploys
+        on the small MCU."""
+        s4 = micronets.micronet_kws_s4()
+        m8 = micronets.micronet_kws_m()
+        assert arch_workload(s4).params > 2 * arch_workload(m8).params
+        graph = export_graph(s4, bits=4)
+        assert deployment_report(graph, SMALL).deployable
+
+    def test_claim_proxyless_msnet_sram_bound(self):
+        """'ProxylessNAS ... requires the largest MCU to fit the activations
+        in SRAM. MSNet shows similar characteristics.'"""
+        for ref in (external.PROXYLESSNAS_VWW, external.MSNET_VWW):
+            fits = ref.deployability()
+            assert not fits[SMALL.name]
+            assert fits[LARGE.name]
+
+    def test_claim_vww_m_only_medium_deployable(self):
+        """'our MicroNet model was the only model considered that could be
+        deployed on that [medium] MCU'"""
+        graph = export_graph(micronets.micronet_vww_m(), bits=8)
+        assert deployment_report(graph, MEDIUM).deployable
+        for ref in (external.PROXYLESSNAS_VWW, external.MSNET_VWW):
+            assert not ref.fits(MEDIUM)
+
+    def test_claim_ad_uptime_real_time(self):
+        """Table 3: each MicroNet-AD runs under 100% uptime on its board."""
+        for arch, device in (
+            (micronets.micronet_ad_s(), SMALL),
+            (micronets.micronet_ad_m(), MEDIUM),
+            (micronets.micronet_ad_l(), LARGE),
+        ):
+            latency = LatencyModel(device).model_latency(arch_workload(arch))
+            assert uptime_percent(latency) < 100.0, arch.name
+
+    def test_claim_ad_l_less_than_half_mbnetv2_flash(self):
+        """'requires less than half the Flash size' (AD-L vs MBNETV2-0.5AD)"""
+        graph = export_graph(micronets.micronet_ad_l(), bits=8)
+        report = deployment_report(graph, LARGE)
+        assert report.memory.model_flash_bytes < 0.5 * external.MBNETV2_05_AD.flash_bytes
+
+    def test_claim_tflm_overheads(self):
+        """'just 4KB of SRAM and 37 KB of eFlash' for the runtime."""
+        from repro.runtime import RUNTIME_CODE_FLASH, RUNTIME_SRAM_OVERHEAD
+
+        assert RUNTIME_SRAM_OVERHEAD == 4 * 1024
+        assert RUNTIME_CODE_FLASH == 37 * 1024

@@ -1,0 +1,178 @@
+"""Cross-cutting property-based tests on randomly generated architectures.
+
+These tie the three compilation paths together: for *any* spec the strategy
+can generate, the trainable module, the exported graph and the hardware
+workload must agree on shapes and op counts, the planner must produce a
+valid arena, and int8 inference must track float inference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import spec as S
+from repro.models.spec import (
+    ArchSpec,
+    ConvSpec,
+    DenseSpec,
+    DWConvSpec,
+    GlobalPoolSpec,
+    ResidualSpec,
+)
+from repro.quantization.params import (
+    affine_params_from_range,
+    dequantize,
+    quantize,
+    symmetric_params_from_absmax,
+)
+from repro.runtime import Interpreter, deserialize, plan_arena, serialize
+from repro.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# Random architecture strategy
+# ----------------------------------------------------------------------
+@st.composite
+def small_arch(draw) -> ArchSpec:
+    """A random small CNN: stem conv + 0-2 blocks + head."""
+    input_hw = draw(st.sampled_from([8, 10, 12]))
+    stem_width = draw(st.sampled_from([4, 8]))
+    stem_stride = draw(st.sampled_from([1, 2]))
+    layers = [ConvSpec(stem_width, kernel=3, stride=stem_stride)]
+    num_blocks = draw(st.integers(0, 2))
+    for i in range(num_blocks):
+        kind = draw(st.sampled_from(["sep", "res", "conv"]))
+        if kind == "sep":
+            layers.append(DWConvSpec(kernel=3, stride=1))
+            layers.append(ConvSpec(stem_width, kernel=1))
+        elif kind == "res":
+            layers.append(
+                ResidualSpec(
+                    body=(DWConvSpec(kernel=3, stride=1), ConvSpec(stem_width, kernel=1)),
+                    shortcut="identity",
+                    activation="relu",
+                )
+            )
+        else:
+            layers.append(ConvSpec(stem_width, kernel=3, stride=1))
+    layers += [GlobalPoolSpec(), DenseSpec(3)]
+    name = f"prop_{input_hw}_{stem_width}_{stem_stride}_{num_blocks}"
+    return ArchSpec(name=name, input_shape=(input_hw, input_hw, 1), layers=tuple(layers))
+
+
+class TestSpecConsistency:
+    @given(arch=small_arch())
+    @settings(max_examples=15, deadline=None)
+    def test_module_graph_workload_agree(self, arch):
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(2,) + arch.input_shape).astype(np.float32)
+
+        module = S.build_module(arch, rng=1)
+        module.eval()
+        module_out = module(Tensor(batch)).data
+        assert module_out.shape == (2, 3)
+
+        graph = S.export_float_graph(arch, module)
+        graph_out = Interpreter(graph).invoke(batch)
+        assert np.abs(graph_out - module_out).max() < 1e-3
+
+        workload = S.arch_workload(arch)
+        assert workload.ops == graph.to_workload().ops
+
+    @given(arch=small_arch())
+    @settings(max_examples=10, deadline=None)
+    def test_arena_plan_valid_for_any_arch(self, arch):
+        graph = S.export_graph(arch, bits=8)
+        plan = plan_arena(graph)
+        plan.verify()
+        largest = max(t.size_bytes for t in graph.activation_tensors)
+        assert plan.arena_bytes >= largest
+
+    @given(arch=small_arch())
+    @settings(max_examples=10, deadline=None)
+    def test_serializer_roundtrip_any_arch(self, arch):
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(2,) + arch.input_shape).astype(np.float32)
+        graph = S.export_graph(arch, calibration=batch, bits=8)
+        restored = deserialize(serialize(graph))
+        a = Interpreter(graph).invoke(batch)
+        b = Interpreter(restored).invoke(batch)
+        assert np.array_equal(a, b)
+
+    @given(arch=small_arch(), bits=st.sampled_from([4, 8]))
+    @settings(max_examples=10, deadline=None)
+    def test_quantized_inference_finite(self, arch, bits):
+        rng = np.random.default_rng(2)
+        batch = rng.normal(size=(2,) + arch.input_shape).astype(np.float32)
+        graph = S.export_graph(arch, calibration=batch, bits=bits)
+        out = Interpreter(graph).invoke(batch)
+        assert np.isfinite(out).all()
+
+
+class TestQuantizationProperties:
+    @given(
+        absmax=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=8),
+        bits=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_per_channel_roundtrip_bound(self, absmax, bits):
+        absmax_arr = np.array(absmax)
+        params = symmetric_params_from_absmax(absmax_arr, bits=bits)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-1, 1, size=(5, len(absmax))) * absmax_arr
+        recovered = dequantize(quantize(values, params), params)
+        per_channel_bound = params.scale * 0.51
+        assert (np.abs(recovered - values) <= per_channel_bound[None, :]).all()
+
+    @given(
+        low=st.floats(-20, -0.1),
+        high=st.floats(0.1, 20),
+        bits=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_quantize_monotone(self, low, high, bits):
+        params = affine_params_from_range(low, high, bits=bits)
+        values = np.linspace(low, high, 32)
+        q = quantize(values, params).astype(np.int32)
+        assert (np.diff(q) >= 0).all()
+
+    @given(scale=st.floats(0.001, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_always_exact(self, scale):
+        params = affine_params_from_range(-scale * 100, scale * 50)
+        q = quantize(np.array([0.0]), params)
+        assert dequantize(q, params)[0] == 0.0
+
+
+class TestLatencyEnergyProperties:
+    @given(st.integers(1, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_scales_with_model_size(self, width4):
+        from repro.hw.devices import MEDIUM
+        from repro.hw.energy import EnergyModel
+        from repro.hw.workload import LayerWorkload, ModelWorkload
+
+        width = 4 * width4
+        small = ModelWorkload(name="s")
+        small.append(LayerWorkload.conv2d("c", (8, 8, 4), width, 3))
+        big = ModelWorkload(name="b")
+        big.append(LayerWorkload.conv2d("c", (8, 8, 4), 2 * width, 3))
+        em = EnergyModel(MEDIUM)
+        assert em.energy(big).energy_j > em.energy(small).energy_j
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_additive(self, n_layers):
+        from repro.hw.devices import SMALL
+        from repro.hw.latency import LatencyModel
+        from repro.hw.workload import LayerWorkload, ModelWorkload
+
+        model = ModelWorkload(name="m")
+        layer = LayerWorkload.conv2d("c", (8, 8, 8), 8, 3)
+        for _ in range(n_layers):
+            model.append(layer)
+        lm = LatencyModel(SMALL)
+        assert lm.model_latency(model) == pytest.approx(
+            n_layers * lm.layer_latency(layer).seconds, rel=1e-9
+        )

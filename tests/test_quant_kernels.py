@@ -1,0 +1,155 @@
+"""Integer reference kernels vs the float path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quantization import (
+    affine_params_from_range,
+    dequantize,
+    quantize,
+    symmetric_params_from_absmax,
+)
+from repro.quantization import kernels as qk
+from repro.tensor import conv as fconv
+
+
+def make_activation_params(data, bits=8):
+    return affine_params_from_range(float(data.min()), float(data.max()), bits=bits)
+
+
+def quantize_weights(w, bits=8):
+    axes = tuple(range(w.ndim - 1))
+    params = symmetric_params_from_absmax(np.abs(w).max(axis=axes), bits=bits)
+    return quantize(w, params), params
+
+
+def quantize_bias(b, in_params, w_params):
+    effective = in_params.scale[0] * w_params.scale
+    return np.round(b / effective).astype(np.int32)
+
+
+class TestConvInt:
+    @pytest.mark.parametrize("bits", [8, 4])
+    def test_close_to_float(self, rng, bits):
+        x = rng.normal(size=(2, 6, 6, 3)).astype(np.float32)
+        w = (rng.normal(size=(3, 3, 3, 4)) * 0.3).astype(np.float32)
+        b = (rng.normal(size=4) * 0.1).astype(np.float32)
+        float_out, _ = fconv.conv2d_forward(x, w, 1, "same")
+        float_out = float_out + b
+
+        in_params = make_activation_params(x, bits)
+        w_q, w_params = quantize_weights(w, bits)
+        out_params = make_activation_params(float_out, bits)
+        x_q = quantize(x, in_params)
+        b_q = quantize_bias(b, in_params, w_params)
+        out_q = qk.conv2d_int(x_q, w_q, b_q, in_params, w_params, out_params, 1, "same")
+        recovered = dequantize(out_q, out_params)
+        tolerance = (4 if bits == 8 else 3) * float(np.max(out_params.scale))
+        assert np.abs(recovered - float_out).max() < tolerance
+
+    def test_relu_fused_clamps_at_zero(self, rng):
+        x = rng.normal(size=(1, 4, 4, 2)).astype(np.float32)
+        w = rng.normal(size=(3, 3, 2, 2)).astype(np.float32)
+        b = np.zeros(2, dtype=np.float32)
+        in_params = make_activation_params(x)
+        w_q, w_params = quantize_weights(w)
+        out_params = affine_params_from_range(-3.0, 3.0)
+        x_q = quantize(x, in_params)
+        out = qk.conv2d_int(
+            x_q, w_q, quantize_bias(b, in_params, w_params),
+            in_params, w_params, out_params, activation="relu",
+        )
+        recovered = dequantize(out, out_params)
+        assert recovered.min() >= -1e-6
+
+    def test_relu6_fused_clamps_at_six(self, rng):
+        x = np.full((1, 3, 3, 1), 4.0, dtype=np.float32)
+        w = np.ones((1, 1, 1, 1), dtype=np.float32) * 10.0
+        in_params = affine_params_from_range(0.0, 4.0)
+        w_q, w_params = quantize_weights(w)
+        out_params = affine_params_from_range(0.0, 40.0)
+        out = qk.conv2d_int(
+            quantize(x, in_params), w_q, np.zeros(1, np.int32),
+            in_params, w_params, out_params, activation="relu6",
+        )
+        assert dequantize(out, out_params).max() <= 6.2
+
+    def test_unknown_activation_raises(self, rng):
+        x = np.zeros((1, 3, 3, 1), dtype=np.float32)
+        w = np.ones((1, 1, 1, 1), dtype=np.float32)
+        in_params = affine_params_from_range(-1, 1)
+        w_q, w_params = quantize_weights(w)
+        with pytest.raises(QuantizationError):
+            qk.conv2d_int(
+                quantize(x, in_params), w_q, np.zeros(1, np.int32),
+                in_params, w_params, in_params, activation="gelu",
+            )
+
+
+class TestDepthwiseDenseInt:
+    def test_depthwise_close_to_float(self, rng):
+        x = rng.normal(size=(2, 5, 5, 4)).astype(np.float32)
+        w = (rng.normal(size=(3, 3, 4)) * 0.3).astype(np.float32)
+        b = np.zeros(4, dtype=np.float32)
+        float_out, _ = fconv.depthwise_conv2d_forward(x, w, 2, "same")
+        in_params = make_activation_params(x)
+        w_q, w_params = quantize_weights(w)
+        out_params = make_activation_params(float_out)
+        out = qk.depthwise_conv2d_int(
+            quantize(x, in_params), w_q, quantize_bias(b, in_params, w_params),
+            in_params, w_params, out_params, stride=2,
+        )
+        assert np.abs(dequantize(out, out_params) - float_out).max() < 4 * out_params.scale[0]
+
+    def test_dense_close_to_float(self, rng):
+        x = rng.normal(size=(8, 16)).astype(np.float32)
+        w = (rng.normal(size=(16, 5)) * 0.2).astype(np.float32)
+        b = rng.normal(size=5).astype(np.float32) * 0.1
+        float_out = x @ w + b
+        in_params = make_activation_params(x)
+        w_q, w_params = quantize_weights(w)
+        out_params = make_activation_params(float_out)
+        out = qk.dense_int(
+            quantize(x, in_params), w_q, quantize_bias(b, in_params, w_params),
+            in_params, w_params, out_params,
+        )
+        assert np.abs(dequantize(out, out_params) - float_out).max() < 4 * out_params.scale[0]
+
+
+class TestPoolingAddSoftmaxInt:
+    def test_avg_pool_rounding(self):
+        params = affine_params_from_range(-1.0, 1.0)
+        x_q = np.array([[[[10], [11]], [[12], [14]]]], dtype=np.int8)
+        out = qk.avg_pool_int(x_q, 2, 2, "valid", params)
+        assert out[0, 0, 0, 0] == 12  # round(47/4) = 12
+
+    def test_global_avg_pool(self):
+        params = affine_params_from_range(-1.0, 1.0)
+        x_q = np.arange(8, dtype=np.int8).reshape(1, 2, 2, 2)
+        out = qk.global_avg_pool_int(x_q, params)
+        assert out.shape == (1, 2)
+        assert out[0, 0] == 3  # mean(0,2,4,6)
+
+    def test_max_pool(self):
+        params = affine_params_from_range(-1.0, 1.0)
+        x_q = np.array([[[[1], [9]], [[3], [4]]]], dtype=np.int8)
+        assert qk.max_pool_int(x_q, 2, 2, "valid", params)[0, 0, 0, 0] == 9
+
+    def test_add_rescales(self):
+        a_params = affine_params_from_range(-1.0, 1.0)
+        b_params = affine_params_from_range(-2.0, 2.0)
+        out_params = affine_params_from_range(-3.0, 3.0)
+        a_q = quantize(np.array([0.5]), a_params)
+        b_q = quantize(np.array([1.0]), b_params)
+        out = qk.add_int(a_q, b_q, a_params, b_params, out_params)
+        assert abs(dequantize(out, out_params)[0] - 1.5) < 2 * out_params.scale[0]
+
+    def test_softmax_int_distribution(self, rng):
+        in_params = affine_params_from_range(-8.0, 8.0)
+        logits = rng.normal(size=(4, 6)).astype(np.float32) * 3
+        q = quantize(logits, in_params)
+        out = qk.softmax_int(q, in_params)
+        probs = (out.astype(np.float64) + 128) / 256.0
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=0.05)
+        assert (out >= -128).all() and (out <= 127).all()

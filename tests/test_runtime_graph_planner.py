@@ -1,0 +1,164 @@
+"""Runtime graph validation and arena memory planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.runtime.graph import Graph, OpNode, TensorSpec
+from repro.runtime.planner import ARENA_ALIGNMENT, plan_arena, tensor_lifetimes
+
+
+def chain_graph(num_ops: int = 3, size: int = 100) -> Graph:
+    """input -> dense -> dense ... -> output."""
+    g = Graph(name="chain")
+    g.add_tensor(TensorSpec("input", (size,), dtype="int8", kind="input"))
+    prev = "input"
+    for i in range(num_ops):
+        w = f"w{i}"
+        out = f"act{i}"
+        g.add_tensor(TensorSpec(w, (size, size), dtype="int8", kind="weight",
+                                data=np.zeros((size, size), np.int8)))
+        g.add_tensor(TensorSpec(out, (size,), dtype="int8", kind="activation"))
+        g.add_op(OpNode(kind="dense", name=f"fc{i}", inputs=[prev, w], outputs=[out]))
+        prev = out
+    g.tensors[prev].kind = "output"
+    g.inputs = ["input"]
+    g.outputs = [prev]
+    return g
+
+
+class TestGraphValidation:
+    def test_valid_chain(self):
+        chain_graph().validate()
+
+    def test_duplicate_tensor_rejected(self):
+        g = Graph(name="g")
+        g.add_tensor(TensorSpec("t", (1,)))
+        with pytest.raises(GraphError):
+            g.add_tensor(TensorSpec("t", (2,)))
+
+    def test_op_with_unknown_tensor_rejected(self):
+        g = Graph(name="g")
+        g.add_tensor(TensorSpec("a", (1,)))
+        with pytest.raises(GraphError):
+            g.add_op(OpNode(kind="add", name="x", inputs=["a", "missing"], outputs=["a"]))
+
+    def test_unknown_op_kind_rejected(self):
+        with pytest.raises(GraphError):
+            OpNode(kind="attention", name="x", inputs=[], outputs=[])
+
+    def test_empty_graph_invalid(self):
+        g = Graph(name="g")
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_use_before_produce_rejected(self):
+        g = chain_graph(2)
+        g.ops.reverse()  # break topological order
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_double_producer_rejected(self):
+        g = chain_graph(1)
+        g.ops.append(OpNode(kind="dense", name="dup", inputs=["input", "w0"], outputs=["act0"]))
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_missing_output_rejected(self):
+        g = chain_graph(1)
+        g.outputs = ["nonexistent"]
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_num_params(self):
+        g = chain_graph(2, size=10)
+        assert g.num_params() == 2 * 100
+
+    def test_op_kinds_sorted_unique(self):
+        g = chain_graph(3)
+        assert g.op_kinds() == ["dense"]
+
+    def test_to_workload_ops(self):
+        g = chain_graph(2, size=10)
+        workload = g.to_workload()
+        assert workload.ops == 2 * (2 * 10 * 10)
+
+
+class TestLifetimes:
+    def test_chain_lifetimes(self):
+        g = chain_graph(3)
+        lifetimes = tensor_lifetimes(g)
+        assert lifetimes["input"] == (0, 0)
+        assert lifetimes["act0"] == (0, 1)
+        assert lifetimes["act2"] == (2, 2)  # graph output lives to the end
+
+    def test_weights_have_no_lifetime(self):
+        g = chain_graph(2)
+        lifetimes = tensor_lifetimes(g)
+        assert "w0" not in lifetimes
+
+
+class TestArenaPlanner:
+    def test_chain_reuses_memory(self):
+        g = chain_graph(6, size=1000)
+        plan = plan_arena(g)
+        # Only two ~1000B buffers are ever simultaneously live.
+        assert plan.arena_bytes <= 3 * 1008 + ARENA_ALIGNMENT
+        plan.verify()
+
+    def test_alignment(self):
+        g = chain_graph(2, size=100)
+        plan = plan_arena(g)
+        for alloc in plan.allocations:
+            assert alloc.offset % ARENA_ALIGNMENT == 0
+            assert alloc.size % ARENA_ALIGNMENT == 0
+
+    def test_arena_at_least_largest_tensor(self):
+        g = chain_graph(2, size=777)
+        plan = plan_arena(g)
+        assert plan.arena_bytes >= 777
+
+    def test_offset_of(self):
+        g = chain_graph(1)
+        plan = plan_arena(g)
+        assert plan.offset_of("input") >= 0
+        with pytest.raises(KeyError):
+            plan.offset_of("nope")
+
+    def test_verify_catches_bad_plan(self):
+        g = chain_graph(2)
+        plan = plan_arena(g)
+        for alloc in plan.allocations:
+            alloc.offset = 0  # force every tensor to offset 0
+        with pytest.raises(GraphError):
+            plan.verify()
+
+    @given(
+        sizes=st.lists(st.integers(1, 400), min_size=2, max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_chains_never_overlap(self, sizes):
+        """Property: planner output is overlap-free and bounded."""
+        g = Graph(name="rand")
+        g.add_tensor(TensorSpec("input", (sizes[0],), dtype="int8", kind="input"))
+        prev, prev_size = "input", sizes[0]
+        for i, size in enumerate(sizes[1:], start=0):
+            w = f"w{i}"
+            out = f"a{i}"
+            g.add_tensor(TensorSpec(w, (prev_size, size), dtype="int8", kind="weight",
+                                    data=np.zeros((prev_size, size), np.int8)))
+            g.add_tensor(TensorSpec(out, (size,), dtype="int8", kind="activation"))
+            g.add_op(OpNode(kind="dense", name=f"fc{i}", inputs=[prev, w], outputs=[out]))
+            prev, prev_size = out, size
+        g.tensors[prev].kind = "output"
+        g.inputs, g.outputs = ["input"], [prev]
+        plan = plan_arena(g)
+        plan.verify()  # raises on overlap
+        # Arena is bounded by sum of the two largest concurrent tensors
+        # rounded up, and at least the largest tensor.
+        largest = max(sizes)
+        assert plan.arena_bytes >= largest
+        total = sum((s + 15) // 16 * 16 for s in sizes)
+        assert plan.arena_bytes <= total

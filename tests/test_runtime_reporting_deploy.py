@@ -1,0 +1,100 @@
+"""Memory reporting and deployability checks."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.hw.devices import LARGE, MEDIUM, SMALL
+from repro.models import micronets, mobilenetv2
+from repro.models.spec import export_graph
+from repro.runtime import (
+    RUNTIME_CODE_FLASH,
+    RUNTIME_SRAM_OVERHEAD,
+    memory_report,
+)
+from repro.runtime.deploy import (
+    check_deployable,
+    deployment_matrix,
+    deployment_report,
+    require_deployable,
+)
+from repro.runtime.reporting import persistent_buffer_bytes
+
+
+@pytest.fixture(scope="module")
+def kws_s_graph():
+    return export_graph(micronets.micronet_kws_s(), bits=8)
+
+
+@pytest.fixture(scope="module")
+def kws_l_graph():
+    return export_graph(micronets.micronet_kws_l(), bits=8)
+
+
+class TestMemoryReport:
+    def test_components_positive(self, kws_s_graph):
+        report = memory_report(kws_s_graph)
+        assert report.arena_bytes > 0
+        assert report.persistent_bytes > 0
+        assert report.runtime_sram_bytes == RUNTIME_SRAM_OVERHEAD
+        assert report.model_flash_bytes > 0
+        assert report.code_flash_bytes >= RUNTIME_CODE_FLASH
+
+    def test_totals_are_sums(self, kws_s_graph):
+        report = memory_report(kws_s_graph)
+        assert report.total_sram == (
+            report.arena_bytes + report.persistent_bytes + report.runtime_sram_bytes
+        )
+        assert report.total_flash == report.model_flash_bytes + report.code_flash_bytes
+
+    def test_breakdowns_match_totals(self, kws_s_graph):
+        report = memory_report(kws_s_graph)
+        assert sum(report.sram_breakdown().values()) == report.total_sram
+        assert sum(report.flash_breakdown().values()) == report.total_flash
+
+    def test_persistent_scales_with_model(self, kws_s_graph, kws_l_graph):
+        assert persistent_buffer_bytes(kws_l_graph) > persistent_buffer_bytes(kws_s_graph)
+
+    def test_flash_dominated_by_weights(self, kws_l_graph):
+        report = memory_report(kws_l_graph)
+        assert report.model_flash_bytes > kws_l_graph.num_params() * 0.9
+
+
+class TestDeployability:
+    def test_small_model_fits_everywhere(self, kws_s_graph):
+        for device in (SMALL, MEDIUM, LARGE):
+            assert check_deployable(kws_s_graph, device)
+
+    def test_large_model_skips_small_board(self, kws_l_graph):
+        assert not check_deployable(kws_l_graph, SMALL)
+        assert check_deployable(kws_l_graph, MEDIUM)
+
+    def test_report_margins(self, kws_s_graph):
+        report = deployment_report(kws_s_graph, SMALL)
+        assert report.deployable
+        assert report.sram_margin_bytes > 0
+        assert report.flash_margin_bytes > 0
+        assert report.latency_s is not None and report.latency_s > 0
+        assert report.energy_j is not None and report.energy_j > 0
+
+    def test_undeployable_has_no_latency(self, kws_l_graph):
+        report = deployment_report(kws_l_graph, SMALL)
+        assert not report.deployable
+        assert report.latency_s is None
+        assert report.energy_j is None
+
+    def test_matrix_covers_all_devices(self, kws_s_graph):
+        matrix = deployment_matrix(kws_s_graph)
+        assert set(matrix) == {SMALL.name, MEDIUM.name, LARGE.name}
+
+    def test_require_deployable_raises(self, kws_l_graph):
+        with pytest.raises(DeploymentError):
+            require_deployable(kws_l_graph, SMALL)
+
+    def test_require_deployable_passes(self, kws_s_graph):
+        report = require_deployable(kws_s_graph, SMALL)
+        assert report.deployable
+
+    def test_mbnetv2_l_exceeds_medium_flash(self):
+        graph = export_graph(mobilenetv2.mbnetv2_kws_l(), bits=8)
+        report = deployment_report(graph, MEDIUM)
+        assert not report.fits_flash

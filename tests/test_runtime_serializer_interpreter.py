@@ -1,0 +1,142 @@
+"""Model serialization round trips and interpreter execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.models import spec as S
+from repro.models.spec import ArchSpec, ConvSpec, DenseSpec, DWConvSpec, FlattenSpec, GlobalPoolSpec
+from repro.nn import accuracy
+from repro.runtime import Interpreter, deserialize, model_size_bytes, serialize
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def quantized_graph(tiny_arch, tiny_module, tiny_batch):
+    return S.export_graph(tiny_arch, tiny_module, calibration=tiny_batch, bits=8)
+
+
+class TestSerializer:
+    def test_roundtrip_structure(self, quantized_graph):
+        g2 = deserialize(serialize(quantized_graph))
+        assert g2.name == quantized_graph.name
+        assert list(g2.tensors) == list(quantized_graph.tensors)
+        assert [op.kind for op in g2.ops] == [op.kind for op in quantized_graph.ops]
+        assert g2.inputs == quantized_graph.inputs
+        assert g2.outputs == quantized_graph.outputs
+
+    def test_roundtrip_weights_bitexact(self, quantized_graph):
+        g2 = deserialize(serialize(quantized_graph))
+        for name, spec in quantized_graph.tensors.items():
+            if spec.data is not None:
+                assert np.array_equal(g2.tensors[name].data, spec.data), name
+
+    def test_roundtrip_quant_params(self, quantized_graph):
+        g2 = deserialize(serialize(quantized_graph))
+        for name, spec in quantized_graph.tensors.items():
+            if spec.quant is not None:
+                assert np.allclose(g2.tensors[name].quant.scale, spec.quant.scale)
+                assert g2.tensors[name].quant.zero_point == spec.quant.zero_point
+
+    def test_roundtrip_execution_bitexact(self, quantized_graph, tiny_batch):
+        g2 = deserialize(serialize(quantized_graph))
+        out1 = Interpreter(quantized_graph).invoke(tiny_batch)
+        out2 = Interpreter(g2).invoke(tiny_batch)
+        assert np.array_equal(out1, out2)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(GraphError):
+            deserialize(b"XXXX" + b"\x00" * 32)
+
+    def test_model_size_scales_with_weights(self):
+        def arch(width):
+            return ArchSpec(
+                name=f"w{width}",
+                input_shape=(8, 8, 1),
+                layers=(ConvSpec(width, 3), GlobalPoolSpec(), DenseSpec(2)),
+            )
+
+        small = model_size_bytes(S.export_graph(arch(8), bits=8))
+        big = model_size_bytes(S.export_graph(arch(32), bits=8))
+        assert big > small
+
+    def test_int4_weights_halve_storage(self):
+        arch = ArchSpec(
+            name="a",
+            input_shape=(8, 8, 1),
+            layers=(ConvSpec(32, 3), ConvSpec(64, 3), GlobalPoolSpec(), DenseSpec(2)),
+        )
+        size8 = model_size_bytes(S.export_graph(arch, bits=8))
+        size4 = model_size_bytes(S.export_graph(arch, bits=4))
+        assert size4 < 0.65 * size8
+
+
+class TestInterpreter:
+    def test_float_graph_matches_module(self, tiny_arch, tiny_module, tiny_batch):
+        graph = S.export_float_graph(tiny_arch, tiny_module)
+        out = Interpreter(graph).invoke(tiny_batch)
+        expected = tiny_module(Tensor(tiny_batch)).data
+        assert np.abs(out - expected).max() < 1e-4
+
+    def test_int8_close_to_float(self, tiny_arch, tiny_module, tiny_batch, rng):
+        batch = rng.normal(size=(16, 12, 12, 1)).astype(np.float32)
+        float_graph = S.export_float_graph(tiny_arch, tiny_module)
+        q_graph = S.quantize_graph(float_graph, calibration=batch, bits=8)
+        float_out = Interpreter(float_graph).invoke(batch)
+        q_out = Interpreter(q_graph).invoke(batch)
+        # Predicted class agreement is the meaningful quantization metric.
+        agreement = (float_out.argmax(1) == q_out.argmax(1)).mean()
+        assert agreement >= 0.75
+
+    def test_input_shape_checked(self, quantized_graph):
+        with pytest.raises(GraphError):
+            Interpreter(quantized_graph).invoke(np.zeros((2, 5, 5, 1), np.float32))
+
+    def test_is_quantized_flag(self, tiny_arch, tiny_module, tiny_batch, quantized_graph):
+        float_graph = S.export_float_graph(tiny_arch, tiny_module)
+        assert not Interpreter(float_graph).is_quantized
+        assert Interpreter(quantized_graph).is_quantized
+
+    def test_plan_cached(self, quantized_graph):
+        interp = Interpreter(quantized_graph)
+        assert interp.plan() is interp.plan()
+
+    def test_flatten_dense_graph(self, rng):
+        arch = ArchSpec(
+            name="flat",
+            input_shape=(4, 4, 2),
+            layers=(FlattenSpec(), DenseSpec(8, activation="relu"), DenseSpec(3)),
+        )
+        module = S.build_module(arch, rng=0)
+        module.eval()
+        batch = rng.normal(size=(5, 4, 4, 2)).astype(np.float32)
+        graph = S.export_float_graph(arch, module)
+        out = Interpreter(graph).invoke(batch)
+        assert np.abs(out - module(Tensor(batch)).data).max() < 1e-4
+
+    def test_softmax_output_graph(self, rng):
+        arch = ArchSpec(
+            name="sm",
+            input_shape=(6, 6, 1),
+            layers=(ConvSpec(4, 3, stride=2), GlobalPoolSpec(), DenseSpec(3)),
+            include_softmax=True,
+        )
+        module = S.build_module(arch, rng=0)
+        module.eval()
+        batch = rng.normal(size=(3, 6, 6, 1)).astype(np.float32)
+        graph = S.export_float_graph(arch, module)
+        out = Interpreter(graph).invoke(batch)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_asymmetric_stem_graph(self, rng):
+        arch = ArchSpec(
+            name="asym",
+            input_shape=(49, 10, 1),
+            layers=(ConvSpec(8, kernel=(10, 4), stride=(2, 1)), GlobalPoolSpec(), DenseSpec(3)),
+        )
+        module = S.build_module(arch, rng=0)
+        module.eval()
+        batch = rng.normal(size=(2, 49, 10, 1)).astype(np.float32)
+        graph = S.export_float_graph(arch, module)
+        out = Interpreter(graph).invoke(batch)
+        assert np.abs(out - module(Tensor(batch)).data).max() < 1e-4

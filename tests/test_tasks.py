@@ -1,0 +1,140 @@
+"""Task pipelines: training loops, AD scoring, uptime metric."""
+
+import numpy as np
+import pytest
+
+from repro.models.spec import ArchSpec, ConvSpec, DenseSpec, GlobalPoolSpec
+from repro.nn import accuracy
+from repro.tasks import ad, kws, vww
+from repro.tasks.common import TaskResult, TrainConfig, evaluate_graph, predict, train_and_deploy, train_classifier
+from repro.utils.scale import CI, resolve_scale
+
+
+@pytest.fixture(scope="module")
+def toy_problem():
+    """A texture-coded 3-class image problem (GAP-friendly: classes are
+    distinguished by local pattern, not position)."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(150, 12, 12, 1)).astype(np.float32) * 0.3
+    y = (np.arange(150) % 3).astype(np.int64)
+    rows = np.arange(12)[:, None]
+    cols = np.arange(12)[None, :]
+    textures = [
+        np.sin(rows * np.pi).astype(np.float32) + (rows % 2 == 0) * 1.0,  # horizontal stripes
+        ((cols % 2 == 0) * 1.0).astype(np.float32),  # vertical stripes
+        (((rows + cols) % 2 == 0) * 1.0).astype(np.float32),  # checkerboard
+    ]
+    for i, label in enumerate(y):
+        x[i, :, :, 0] += textures[label]
+    return x.astype(np.float32), y
+
+
+@pytest.fixture(scope="module")
+def toy_arch():
+    return ArchSpec(
+        "toy",
+        (12, 12, 1),
+        (ConvSpec(8, 3, stride=2), GlobalPoolSpec(), DenseSpec(3)),
+    )
+
+
+class TestTrainClassifier:
+    def test_learns(self, toy_problem, toy_arch):
+        x, y = toy_problem
+        config = TrainConfig(epochs=20, batch_size=32, lr_max=0.02, qat_bits=None)
+        module = train_classifier(toy_arch, x, y, config, rng=0)
+        assert accuracy(predict(module, x), y) > 0.8
+
+    def test_qat_training_works(self, toy_problem, toy_arch):
+        x, y = toy_problem
+        config = TrainConfig(epochs=20, batch_size=32, lr_max=0.02, qat_bits=8)
+        module = train_classifier(toy_arch, x, y, config, rng=0)
+        assert accuracy(predict(module, x), y) > 0.8
+
+    def test_mixup_training_works(self, toy_problem, toy_arch):
+        x, y = toy_problem
+        config = TrainConfig(epochs=20, batch_size=32, lr_max=0.02, mixup_alpha=0.3, qat_bits=None)
+        module = train_classifier(toy_arch, x, y, config, rng=0)
+        assert accuracy(predict(module, x), y) > 0.7
+
+    def test_sgd_option(self, toy_problem, toy_arch):
+        x, y = toy_problem
+        config = TrainConfig(epochs=15, batch_size=32, optimizer="sgd", lr_max=0.1, qat_bits=None)
+        module = train_classifier(toy_arch, x, y, config, rng=0)
+        assert accuracy(predict(module, x), y) > 0.6
+
+
+class TestTrainAndDeploy:
+    def test_full_pipeline(self, toy_problem, toy_arch):
+        x, y = toy_problem
+        config = TrainConfig(epochs=20, batch_size=32, lr_max=0.02, qat_bits=8)
+        result = train_and_deploy(toy_arch, x, y, x[:60], y[:60], config, rng=0)
+        assert isinstance(result, TaskResult)
+        assert result.float_metric > 0.75
+        assert result.quant_metric > 0.7
+        assert result.metric == result.quant_metric
+        result.graph.validate()
+
+    def test_int4_deploy(self, toy_problem, toy_arch):
+        x, y = toy_problem
+        config = TrainConfig(epochs=20, batch_size=32, lr_max=0.02, qat_bits=4)
+        result = train_and_deploy(toy_arch, x, y, x[:60], y[:60], config, rng=0, bits=4)
+        assert result.quant_metric > 0.5
+        weights = [t for t in result.graph.weight_tensors if t.kind == "weight"]
+        assert all(w.dtype == "int4" for w in weights)
+
+    def test_evaluate_graph_batching(self, toy_problem, toy_arch):
+        x, y = toy_problem
+        config = TrainConfig(epochs=2, batch_size=32, qat_bits=8)
+        result = train_and_deploy(toy_arch, x, y, x[:10], y[:10], config, rng=0)
+        big = evaluate_graph(result.graph, x[:70], batch_size=32)
+        assert big.shape == (70, 3)
+
+
+class TestADScoring:
+    def test_anomaly_scores_orientation(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        ids = np.array([0, 0])
+        scores = ad.anomaly_scores(probs, ids)
+        # The second sample is unconfident about its own ID → more anomalous.
+        assert scores[1] > scores[0]
+
+    def test_logits_accepted(self):
+        logits = np.array([[5.0, -5.0], [-5.0, 5.0]])
+        scores = ad.anomaly_scores(logits, np.array([0, 0]))
+        assert scores[1] > scores[0]
+
+    def test_uptime_metric(self):
+        assert ad.uptime_percent(0.64) == pytest.approx(100.0)
+        assert ad.uptime_percent(0.32) == pytest.approx(50.0)
+        assert ad.uptime_percent(0.0033, stride_s=0.032) == pytest.approx(10.3, abs=0.5)
+
+
+class TestTaskConfigs:
+    def test_default_configs_scaled(self):
+        ci_cfg = kws.default_config(CI)
+        assert ci_cfg.epochs >= 1
+        assert ci_cfg.lr_max == 0.01 and ci_cfg.weight_decay == 0.001
+
+    def test_vww_config_matches_paper_recipe(self):
+        cfg = vww.default_config(CI)
+        assert cfg.optimizer == "sgd"
+        assert cfg.weight_decay == pytest.approx(0.00004)
+
+    def test_ad_config_has_mixup(self):
+        cfg = ad.default_config(CI)
+        assert cfg.mixup_alpha == pytest.approx(0.3)
+
+    def test_datasets_respect_scale(self):
+        train, test = kws.make_datasets(CI, rng=0)
+        assert len(train) >= len(test) * 0.5
+        assert train.features.shape[1:] == (49, 10, 1)
+
+    def test_ad_datasets(self):
+        train, test = ad.make_datasets(CI, rng=0)
+        assert train.anomaly.max() == 0
+        assert test.anomaly.any()
+
+    def test_vww_datasets_resolution(self):
+        train, _ = vww.make_datasets(24, CI, rng=0)
+        assert train.images.shape[1:] == (24, 24, 1)

@@ -1,0 +1,242 @@
+"""Autodiff engine: gradient correctness, broadcasting, graph mechanics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, functional as F, no_grad, is_grad_enabled
+from repro.tensor.tensor import concatenate, stack, unbroadcast
+from tests.conftest import numeric_gradient
+
+
+def check_grad(build_loss, *tensors, tol=2e-2):
+    """Compare autodiff gradients with finite differences."""
+    loss = build_loss()
+    loss.backward()
+    for t in tensors:
+        numeric = numeric_gradient(lambda: build_loss().item(), t.data)
+        scale = max(np.abs(numeric).max(), 1e-3)
+        assert np.abs(numeric - t.grad).max() / scale < tol, "gradient mismatch"
+        t.zero_grad()
+
+
+class TestElementwise:
+    def test_add_mul_grad(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_grad(lambda: ((a * b + a) * 2.0).sum(), a, b)
+
+    def test_broadcast_add_grad(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        check_grad(lambda: (a + b).sum(), a, b)
+        loss = (a + b).sum()
+        loss.backward()
+        assert b.grad.shape == (4,)
+
+    def test_sub_div_grad(self, rng):
+        a = Tensor(rng.normal(size=(5,)) + 3.0, requires_grad=True)
+        b = Tensor(rng.normal(size=(5,)) + 3.0, requires_grad=True)
+        check_grad(lambda: (a / b - b).sum(), a, b)
+
+    def test_rsub_rdiv(self):
+        a = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        assert np.allclose((1.0 - a).data, [-1.0, -3.0])
+        assert np.allclose((8.0 / a).data, [4.0, 2.0])
+
+    def test_pow_grad(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(6,))) + 0.5, requires_grad=True)
+        check_grad(lambda: (a**3).sum(), a)
+
+    def test_exp_log_grad(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(6,))) + 0.5, requires_grad=True)
+        check_grad(lambda: (a.exp() + a.log()).sum(), a)
+
+    def test_tanh_sigmoid_grad(self, rng):
+        a = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        check_grad(lambda: (a.tanh() + a.sigmoid()).sum(), a)
+
+    def test_relu_grad_zero_below(self):
+        a = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        a.relu().sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+
+    def test_relu6_clips(self):
+        a = Tensor(np.array([-1.0, 3.0, 10.0]))
+        assert np.allclose(a.relu6().data, [0.0, 3.0, 6.0])
+
+    def test_clip_gradient_mask(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_abs_grad(self):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        a.abs().sum().backward()
+        assert np.allclose(a.grad, [-1.0, 1.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        check_grad(lambda: (a.sum(axis=1, keepdims=True) ** 2).sum(), a)
+
+    def test_sum_multi_axis(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = a.sum(axis=(0, 2))
+        assert out.shape == (3,)
+        check_grad(lambda: (a.sum(axis=(0, 2)) ** 2).sum(), a)
+
+    def test_mean_matches_numpy(self, rng):
+        data = rng.normal(size=(3, 5))
+        a = Tensor(data)
+        assert np.allclose(a.mean(axis=0).data, data.mean(axis=0), atol=1e-6)
+
+    def test_max_gradient_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split(self):
+        a = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5]])
+
+    def test_reshape_transpose_grad(self, rng):
+        a = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        check_grad(lambda: (a.reshape(3, 4).transpose((1, 0)) ** 2).sum(), a)
+
+    def test_getitem_grad(self, rng):
+        a = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        a[1:3].sum().backward()
+        expected = np.zeros((5, 3))
+        expected[1:3] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_matmul_grad(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        check_grad(lambda: (a @ b).sum(), a, b)
+
+    def test_concatenate_grad(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        concatenate([a, b], axis=1).sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+        assert np.allclose(b.grad, np.ones((2, 2)))
+
+    def test_stack_grad(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (stack([a, b]) * Tensor(np.array([[1.0], [2.0]]))).sum().backward()
+        assert np.allclose(a.grad, np.ones(3))
+        assert np.allclose(b.grad, 2 * np.ones(3))
+
+
+class TestGraphMechanics:
+    def test_diamond_graph_accumulates(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = a * 3.0
+        c = a * 4.0
+        (b + c).sum().backward()
+        assert np.allclose(a.grad, [7.0])
+
+    def test_reused_node_accumulates(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = a * a  # d/da = 2a
+        b.sum().backward()
+        assert np.allclose(a.grad, [4.0])
+
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ShapeError):
+            (a * 2).backward()
+
+    def test_backward_without_grad_flag(self):
+        a = Tensor(np.ones(3))
+        with pytest.raises(ShapeError):
+            a.backward()
+
+    def test_explicit_seed_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2).backward(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        assert np.allclose(a.grad, [2.0, 4.0, 6.0])
+
+    def test_seed_shape_mismatch(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ShapeError):
+            (a * 2).backward(np.ones(4, dtype=np.float32))
+
+    def test_no_grad_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            a = Tensor(np.ones(3), requires_grad=True)
+            assert not a.requires_grad
+            out = a * 2
+            assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = (a * 2).detach() * 3
+        assert not b.requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_float32_everywhere(self):
+        a = Tensor([1, 2, 3])
+        assert a.data.dtype == np.float32
+        assert (a * 2.0).data.dtype == np.float32
+
+
+class TestUnbroadcast:
+    @given(
+        rows=st.integers(1, 4),
+        cols=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, rows, cols):
+        grad = np.ones((rows, cols), dtype=np.float32)
+        reduced = unbroadcast(grad, (cols,))
+        assert reduced.shape == (cols,)
+        assert np.allclose(reduced, rows)
+
+    def test_unbroadcast_keepdim_axis(self):
+        grad = np.ones((3, 4), dtype=np.float32)
+        reduced = unbroadcast(grad, (3, 1))
+        assert reduced.shape == (3, 1)
+        assert np.allclose(reduced, 4)
+
+
+class TestSoftmax:
+    def test_softmax_normalizes(self, rng):
+        x = Tensor(rng.normal(size=(4, 7)))
+        probs = F.softmax(x).data
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-5)
+        assert (probs >= 0).all()
+
+    def test_softmax_shift_invariant(self, rng):
+        x = rng.normal(size=(2, 5)).astype(np.float32)
+        p1 = F.softmax(Tensor(x)).data
+        p2 = F.softmax(Tensor(x + 100.0)).data
+        assert np.allclose(p1, p2, atol=1e-5)
+
+    def test_log_softmax_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        check_grad(lambda: (F.log_softmax(x) * Tensor(np.ones((2, 4), np.float32))).sum(), x)
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_softmax_matches_exp_normalization(self, k):
+        x = np.linspace(-2, 2, k).astype(np.float32)[None, :]
+        probs = F.softmax(Tensor(x)).data
+        expected = np.exp(x) / np.exp(x).sum()
+        assert np.allclose(probs, expected, atol=1e-5)

@@ -1,0 +1,204 @@
+"""Convolution kernels: reference-checked forwards and gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, functional as F
+from repro.tensor import conv as C
+from tests.conftest import numeric_gradient
+
+
+def naive_conv2d(x, w, stride, padding):
+    """Triple-loop reference convolution (NHWC, TF padding)."""
+    sh, sw = C.as_pair(stride)
+    kh, kw = w.shape[:2]
+    pad_h, pad_w = C.resolve_padding(x.shape[1], x.shape[2], kh, kw, stride, padding)
+    xp = np.pad(x, ((0, 0), pad_h, pad_w, (0, 0)))
+    n = x.shape[0]
+    oh = (xp.shape[1] - kh) // sh + 1
+    ow = (xp.shape[2] - kw) // sw + 1
+    out = np.zeros((n, oh, ow, w.shape[3]), dtype=np.float64)
+    for b in range(n):
+        for i in range(oh):
+            for j in range(ow):
+                patch = xp[b, i * sh : i * sh + kh, j * sw : j * sw + kw, :]
+                for f in range(w.shape[3]):
+                    out[b, i, j, f] = (patch * w[:, :, :, f]).sum()
+    return out.astype(np.float32)
+
+
+class TestPadding:
+    def test_same_padding_stride1(self):
+        assert C.same_padding(10, 3, 1) == (1, 1)
+
+    def test_same_padding_even_kernel(self):
+        before, after = C.same_padding(10, 4, 2)
+        assert before <= after  # TF puts the extra pixel at the end
+        assert before + after == 4 - 2
+
+    def test_valid_padding(self):
+        assert C.resolve_padding(8, 8, 3, 3, 1, "valid") == ((0, 0), (0, 0))
+
+    def test_unknown_padding_raises(self):
+        with pytest.raises(ShapeError):
+            C.resolve_padding(8, 8, 3, 3, 1, "reflect")
+
+    @given(size=st.integers(4, 30), kernel=st.integers(1, 5), stride=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_same_output_size_is_ceil(self, size, kernel, stride):
+        assert C.conv_output_size(size, kernel, stride, "same") == -(-size // stride)
+
+    @given(size=st.integers(6, 30), kernel=st.integers(1, 5), stride=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_output_size(self, size, kernel, stride):
+        expected = (size - kernel) // stride + 1
+        assert C.conv_output_size(size, kernel, stride, "valid") == expected
+
+    def test_as_pair(self):
+        assert C.as_pair(3) == (3, 3)
+        assert C.as_pair((2, 1)) == (2, 1)
+        with pytest.raises(ShapeError):
+            C.as_pair((1, 2, 3))
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride", [1, 2, (2, 1)])
+    @pytest.mark.parametrize("padding", ["same", "valid"])
+    def test_matches_naive(self, rng, stride, padding):
+        x = rng.normal(size=(2, 7, 6, 3)).astype(np.float32)
+        w = rng.normal(size=(3, 3, 3, 4)).astype(np.float32)
+        out, _ = C.conv2d_forward(x, w, stride, padding)
+        expected = naive_conv2d(x, w, stride, padding)
+        assert out.shape == expected.shape
+        assert np.allclose(out, expected, atol=1e-4)
+
+    def test_asymmetric_kernel(self, rng):
+        x = rng.normal(size=(1, 12, 5, 1)).astype(np.float32)
+        w = rng.normal(size=(10, 4, 1, 8)).astype(np.float32)
+        out, _ = C.conv2d_forward(x, w, (2, 1), "same")
+        assert out.shape == (1, 6, 5, 8)
+        assert np.allclose(out, naive_conv2d(x, w, (2, 1), "same"), atol=1e-4)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = rng.normal(size=(1, 5, 5, 3)).astype(np.float32)
+        w = rng.normal(size=(3, 3, 4, 2)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            C.conv2d_forward(x, w, 1, "same")
+
+    def test_depthwise_matches_grouped_naive(self, rng):
+        x = rng.normal(size=(2, 6, 6, 3)).astype(np.float32)
+        w = rng.normal(size=(3, 3, 3)).astype(np.float32)
+        out, _ = C.depthwise_conv2d_forward(x, w, 1, "same")
+        # Depthwise equals per-channel conv2d with diagonal filters.
+        for c in range(3):
+            wc = np.zeros((3, 3, 1, 1), dtype=np.float32)
+            wc[:, :, 0, 0] = w[:, :, c]
+            ref = naive_conv2d(x[:, :, :, c : c + 1], wc, 1, "same")
+            assert np.allclose(out[:, :, :, c : c + 1], ref, atol=1e-4)
+
+    def test_depthwise_bad_weight_rank(self, rng):
+        x = rng.normal(size=(1, 5, 5, 3)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            C.depthwise_conv2d_forward(x, np.zeros((3, 3, 3, 1), np.float32), 1, "same")
+
+
+class TestConvGradients:
+    @pytest.mark.parametrize("stride,padding", [(1, "same"), (2, "same"), (2, "valid"), ((2, 1), "same")])
+    def test_conv2d_grad(self, rng, stride, padding):
+        x = Tensor(rng.normal(size=(2, 6, 5, 2)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 3, 2, 3)), requires_grad=True)
+
+        def loss():
+            out, _ = C.conv2d_forward(x.data, w.data, stride, padding)
+            return float((out**2).sum())
+
+        (F.conv2d(x, w, stride, padding) ** 2).sum().backward()
+        gx = numeric_gradient(loss, x.data)
+        gw = numeric_gradient(loss, w.data)
+        assert np.abs(gx - x.grad).max() / (np.abs(gx).max() + 1e-6) < 2e-2
+        assert np.abs(gw - w.grad).max() / (np.abs(gw).max() + 1e-6) < 2e-2
+
+    @pytest.mark.parametrize("stride", [1, 2, (2, 1)])
+    def test_depthwise_grad(self, rng, stride):
+        x = Tensor(rng.normal(size=(2, 5, 5, 3)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 3, 3)), requires_grad=True)
+
+        def loss():
+            out, _ = C.depthwise_conv2d_forward(x.data, w.data, stride, "same")
+            return float((out**2).sum())
+
+        (F.depthwise_conv2d(x, w, stride, "same") ** 2).sum().backward()
+        gx = numeric_gradient(loss, x.data)
+        gw = numeric_gradient(loss, w.data)
+        assert np.abs(gx - x.grad).max() / (np.abs(gx).max() + 1e-6) < 2e-2
+        assert np.abs(gw - w.grad).max() / (np.abs(gw).max() + 1e-6) < 2e-2
+
+
+class TestPooling:
+    def test_avg_pool_value(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = C.avg_pool2d_forward(x, 2, 2, "valid")
+        assert np.allclose(out[0, :, :, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_grad_distributes(self, rng):
+        x = Tensor(rng.normal(size=(1, 4, 4, 2)), requires_grad=True)
+        F.avg_pool2d(x, 2, 2).sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_max_pool_value_and_grad(self):
+        x = Tensor(np.array([[1.0, 2.0], [4.0, 3.0]]).reshape(1, 2, 2, 1), requires_grad=True)
+        out = F.max_pool2d(x, 2, 2)
+        assert out.data.reshape(()) == 4.0
+        out.sum().backward()
+        assert np.allclose(x.grad.reshape(2, 2), [[0, 0], [1, 0]])
+
+    def test_max_pool_same_padding_ignores_pad(self):
+        x = np.full((1, 3, 3, 1), -5.0, dtype=np.float32)
+        out, _ = C.max_pool2d_forward(x, 2, 2, "same")
+        # Padding must never win the max even with negative inputs.
+        assert (out == -5.0).all()
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 4, 4, 3)).astype(np.float32)
+        out = F.global_avg_pool(Tensor(x))
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, x.mean(axis=(1, 2)), atol=1e-6)
+
+    def test_global_avg_pool_requires_4d(self):
+        with pytest.raises(ShapeError):
+            F.global_avg_pool(Tensor(np.ones((2, 3))))
+
+    @given(
+        h=st.integers(2, 8),
+        w=st.integers(2, 8),
+        pool=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_avg_pool_of_constant_is_constant(self, h, w, pool):
+        if pool > min(h, w):
+            return
+        x = np.full((1, h, w, 1), 3.5, dtype=np.float32)
+        out = C.avg_pool2d_forward(x, pool, pool, "valid")
+        assert np.allclose(out, 3.5, atol=1e-6)
+
+
+class TestPadAndResize:
+    def test_pad2d(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 2, 1)), requires_grad=True)
+        out = F.pad2d(x, (1, 1, 2, 0))
+        assert out.shape == (1, 4, 4, 1)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_resize_bilinear_identity(self, rng):
+        x = rng.normal(size=(1, 4, 4, 2)).astype(np.float32)
+        out = F.resize_bilinear(Tensor(x), 4, 4)
+        assert np.allclose(out.data, x, atol=1e-5)
+
+    def test_resize_bilinear_constant(self):
+        x = np.full((1, 6, 6, 1), 2.0, dtype=np.float32)
+        out = F.resize_bilinear(Tensor(x), 3, 3)
+        assert np.allclose(out.data, 2.0, atol=1e-5)

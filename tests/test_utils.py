@@ -1,0 +1,67 @@
+"""RNG plumbing and scale configuration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.utils import Scale, new_rng, resolve_scale, spawn_rng
+from repro.utils.scale import CI, PAPER
+
+
+class TestRng:
+    def test_new_rng_from_seed(self):
+        a = new_rng(7)
+        b = new_rng(7)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_spawn_independent(self):
+        parent = new_rng(0)
+        child1 = spawn_rng(parent)
+        child2 = spawn_rng(parent)
+        assert child1.integers(0, 1 << 30) != child2.integers(0, 1 << 30)
+
+    def test_keyed_spawn_deterministic_per_key(self):
+        a = spawn_rng(new_rng(5), "data")
+        b = spawn_rng(new_rng(5), "data")
+        assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+    def test_keyed_spawn_differs_between_keys(self):
+        parent = new_rng(5)
+        a = spawn_rng(parent, "data")
+        b = spawn_rng(new_rng(5), "train")
+        assert a.integers(0, 1 << 30) != b.integers(0, 1 << 30)
+
+
+class TestScale:
+    def test_resolve_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale().name == "ci"
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert resolve_scale().name == "paper"
+
+    def test_resolve_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert resolve_scale("ci").name == "ci"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_scale("huge")
+
+    def test_floors_respected(self):
+        assert CI.samples(10, floor=8) == 8
+        assert CI.epochs(10, floor=1) >= 1
+        assert CI.dataset(100, floor=16) == 16
+
+    def test_paper_larger_than_ci(self):
+        assert PAPER.dataset(100_000) > CI.dataset(100_000)
+        assert PAPER.epochs(100) > CI.epochs(100)
+
+    def test_scale_is_frozen(self):
+        with pytest.raises(Exception):
+            CI.name = "x"
