@@ -1,0 +1,242 @@
+"""Hot-path benchmarks: GEMM conv backend and memoized resource models.
+
+Three loops dominate this reproduction's wall-clock time, and each got a
+dedicated optimization in the tensor/hw layers:
+
+1. **Conv-heavy training step** — forward + backward + optimizer update of a
+   small DS-CNN-style network, timed under both conv backends
+   (``REPRO_BACKEND=einsum`` vs the GEMM/im2col default).
+2. **Supernet DNAS step** — one Gumbel-softmax search step of the
+   :class:`~repro.nas.supernet.DSCNNSupernet`, again under both backends.
+3. **Model characterization sweep** — 200 latency queries drawn (with
+   replacement) from a pool of random KWS backbones, mimicking a search
+   loop's revisit pattern, with and without the resource-model memos.
+
+Unlike the figure/table benches this module is **self-timed** (perf_counter,
+best-of-N) so it does not require pytest-benchmark; ``bench_hotpaths`` below
+is still collected by the bench harness, and ``tests/test_bench_hotpaths.py``
+runs a reduced smoke mode inside the tier-1 suite.
+
+Results are archived to ``benchmarks/results/hotpaths.txt`` and, as machine-
+readable JSON, ``BENCH_hotpaths.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.hw.characterize import characterize_models, sample_models
+from repro.hw.devices import DEVICES
+from repro.hw.latency import clear_latency_caches
+from repro.nas.supernet import DSCNNSupernet
+from repro.nn import Adam, cross_entropy
+from repro.nn.layers import Conv2D, Dense, DepthwiseConv2D, GlobalAvgPool, ReLU
+from repro.nn.module import Module, Sequential
+from repro.tensor import Tensor, backend_scope
+from repro.utils.rng import new_rng
+from repro.utils.scale import Scale, resolve_scale
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Workload presets: (batch, input_shape, width, dw_blocks, repeats).
+_TRAIN_PRESETS = {
+    "smoke": (4, (12, 12, 3), 16, 1, 1),
+    "ci": (8, (16, 16, 3), 32, 2, 3),
+    "paper": (32, (32, 32, 3), 64, 3, 5),
+}
+#: Supernet presets: (batch, input_shape, widths, num_blocks, repeats).
+_DNAS_PRESETS = {
+    "smoke": (4, (13, 5, 1), (8, 16), 1, 1),
+    "ci": (8, (25, 5, 1), (16, 32), 2, 3),
+    "paper": (16, (49, 10, 1), (32, 64), 4, 5),
+}
+#: Sweep presets: (pool_size, queries).
+_SWEEP_PRESETS = {
+    "smoke": (10, 60),
+    "ci": (40, 200),
+    "paper": (40, 1000),
+}
+
+
+def _best_of(fn: Callable[[], None], repeats: int) -> float:
+    """Best-of-N wall-clock of ``fn`` (one untimed warmup call first)."""
+    fn()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _conv_net(input_shape, width: int, dw_blocks: int) -> Module:
+    """A conv-dominant classifier (stem conv + separable blocks + head)."""
+    layers: List[Module] = [
+        Conv2D(input_shape[-1], width, kernel_size=3, stride=1, rng=0),
+        ReLU(),
+    ]
+    for block in range(dw_blocks):
+        layers += [
+            DepthwiseConv2D(width, kernel_size=3, stride=1, rng=block + 1),
+            ReLU(),
+            Conv2D(width, width, kernel_size=1, stride=1, rng=block + 100),
+            ReLU(),
+        ]
+    layers += [GlobalAvgPool(), Dense(width, 10, rng=7)]
+    return Sequential(*layers)
+
+
+def _time_training_step(mode: str, backend_name: str) -> float:
+    batch, input_shape, width, dw_blocks, repeats = _TRAIN_PRESETS[mode]
+    rng = new_rng(42)
+    x = rng.standard_normal((batch,) + input_shape).astype(np.float32)
+    y = rng.integers(0, 10, size=batch)
+    with backend_scope(backend_name):
+        model = _conv_net(input_shape, width, dw_blocks)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        model.train()
+
+        def step() -> None:
+            logits = model(Tensor(x))
+            loss = cross_entropy(logits, y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+        return _best_of(step, repeats)
+
+
+def _time_dnas_step(mode: str, backend_name: str) -> float:
+    batch, input_shape, widths, num_blocks, repeats = _DNAS_PRESETS[mode]
+    rng = new_rng(7)
+    x = rng.standard_normal((batch,) + input_shape).astype(np.float32)
+    y = rng.integers(0, 12, size=batch)
+    sample_rng = new_rng(11)
+    with backend_scope(backend_name):
+        supernet = DSCNNSupernet(
+            input_shape=input_shape,
+            num_classes=12,
+            stem_options=widths,
+            num_blocks=num_blocks,
+            block_options=widths,
+            stem_kernel=(4, 2),
+            stem_stride=(2, 1),
+            rng=0,
+        )
+        optimizer = Adam(supernet.parameters(), lr=1e-3)
+        supernet.train()
+
+        def step() -> None:
+            logits, costs = supernet.forward_search(Tensor(x), 2.0, sample_rng)
+            loss = cross_entropy(logits, y) + costs.ops * 1e-9
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+        return _best_of(step, repeats)
+
+
+def _time_characterization_sweep(mode: str) -> Dict[str, float]:
+    pool_size, queries = _SWEEP_PRESETS[mode]
+    device = next(iter(DEVICES.values()))
+    pool = sample_models("kws", pool_size, rng=3)
+    draw = new_rng(5)
+    models = [pool[int(draw.integers(0, pool_size))] for _ in range(queries)]
+
+    start = time.perf_counter()
+    uncached = characterize_models(models, device, memoize=False)
+    uncached_s = time.perf_counter() - start
+
+    clear_latency_caches()
+    start = time.perf_counter()
+    memoized = characterize_models(models, device, memoize=True)
+    memoized_s = time.perf_counter() - start
+
+    assert uncached == memoized, "memoized sweep changed latency values"
+    return {"uncached_s": uncached_s, "memoized_s": memoized_s}
+
+
+def run_hotpath_bench(scale: Optional[Scale] = None, smoke: bool = False) -> Dict:
+    """Run all three hot-path benchmarks; returns a JSON-serializable dict."""
+    scale = scale or resolve_scale()
+    mode = "smoke" if smoke else scale.name
+
+    rows: List[Dict] = []
+    train_einsum = _time_training_step(mode, "einsum")
+    train_gemm = _time_training_step(mode, "gemm")
+    rows.append(
+        {
+            "section": "conv_training_step",
+            "einsum_s": train_einsum,
+            "gemm_s": train_gemm,
+            "speedup": train_einsum / train_gemm,
+        }
+    )
+
+    dnas_einsum = _time_dnas_step(mode, "einsum")
+    dnas_gemm = _time_dnas_step(mode, "gemm")
+    rows.append(
+        {
+            "section": "supernet_dnas_step",
+            "einsum_s": dnas_einsum,
+            "gemm_s": dnas_gemm,
+            "speedup": dnas_einsum / dnas_gemm,
+        }
+    )
+
+    sweep = _time_characterization_sweep(mode)
+    rows.append(
+        {
+            "section": "characterization_sweep",
+            "uncached_s": sweep["uncached_s"],
+            "memoized_s": sweep["memoized_s"],
+            "speedup": sweep["uncached_s"] / sweep["memoized_s"],
+        }
+    )
+
+    return {"benchmark": "hotpaths", "mode": mode, "scale": scale.name, "rows": rows}
+
+
+def format_hotpath_table(result: Dict) -> str:
+    lines = [
+        f"hot-path benchmark (mode={result['mode']})",
+        f"{'section':<26} {'baseline_s':>12} {'optimized_s':>12} {'speedup':>8}",
+    ]
+    for row in result["rows"]:
+        baseline = row.get("einsum_s", row.get("uncached_s"))
+        optimized = row.get("gemm_s", row.get("memoized_s"))
+        lines.append(
+            f"{row['section']:<26} {baseline:>12.5f} {optimized:>12.5f} {row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def archive_hotpath_result(
+    result: Dict,
+    results_dir: str = RESULTS_DIR,
+    json_dir: str = REPO_ROOT,
+) -> None:
+    """Write the text table and the repo-root JSON artifact."""
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "hotpaths.txt"), "w") as handle:
+        handle.write(format_hotpath_table(result) + "\n")
+    with open(os.path.join(json_dir, "BENCH_hotpaths.json"), "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+
+def bench_hotpaths(scale):
+    """Bench-harness entry: full run at the active scale, with archiving."""
+    result = run_hotpath_bench(scale=scale)
+    print()
+    print(format_hotpath_table(result))
+    archive_hotpath_result(result)
+    by_section = {row["section"]: row for row in result["rows"]}
+    assert by_section["conv_training_step"]["speedup"] >= 1.5
+    assert by_section["characterization_sweep"]["speedup"] >= 3.0

@@ -16,7 +16,13 @@ CMSIS-NN. It reproduces the *mechanisms* the paper measures:
 
 from repro.hw.devices import MCUDevice, DEVICES, get_device, SMALL, MEDIUM, LARGE
 from repro.hw.workload import LayerWorkload, ModelWorkload
-from repro.hw.latency import LatencyModel, LayerTiming
+from repro.hw.latency import (
+    CacheInfo,
+    CountedCache,
+    LatencyModel,
+    LayerTiming,
+    clear_latency_caches,
+)
 from repro.hw.energy import EnergyModel, EnergyReport
 from repro.hw.power_trace import PowerTrace, synthesize_trace
 
@@ -29,8 +35,11 @@ __all__ = [
     "LARGE",
     "LayerWorkload",
     "ModelWorkload",
+    "CacheInfo",
+    "CountedCache",
     "LatencyModel",
     "LayerTiming",
+    "clear_latency_caches",
     "EnergyModel",
     "EnergyReport",
     "PowerTrace",

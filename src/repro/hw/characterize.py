@@ -18,10 +18,12 @@ whole-model latency linear in op count with a backbone-specific slope.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from repro.hw.devices import MCUDevice
+from repro.hw.latency import LatencyModel, LayerTiming
 from repro.hw.workload import LayerWorkload, ModelWorkload
 from repro.utils.rng import RngLike, new_rng
 
@@ -134,3 +136,35 @@ def sample_models(backbone: str, count: int, rng: RngLike = 0) -> List[ModelWork
     rng = new_rng(rng)
     sampler = BACKBONE_SAMPLERS[backbone]
     return [sampler(np.random.default_rng(rng.integers(0, 2**63 - 1))) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Characterization sweeps (the timing half of Figures 3-5)
+# ----------------------------------------------------------------------
+def characterize_layer_corpus(
+    corpus: Iterable[LayerWorkload],
+    device: MCUDevice,
+    memoize: bool = True,
+) -> List[LayerTiming]:
+    """Time every layer in a corpus on one device (Figure 3 sweep).
+
+    With ``memoize`` (the default) repeated geometries hit the process-wide
+    latency cache; the returned timings are identical either way because the
+    model is deterministic in the layer signature.
+    """
+    model = LatencyModel(device, memoize=memoize)
+    return [model.layer_latency(layer) for layer in corpus]
+
+
+def characterize_models(
+    models: Sequence[ModelWorkload],
+    device: MCUDevice,
+    memoize: bool = True,
+) -> List[float]:
+    """End-to-end latency of each model in a pool (Figure 4/5 sweep).
+
+    Search-style workloads revisit the same architectures many times; the
+    memoized path answers revisits from the whole-model cache.
+    """
+    latency_model = LatencyModel(device, memoize=memoize)
+    return [latency_model.model_latency(m) for m in models]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Any, Dict, Hashable, Iterable, List, Optional
 
 import numpy as np
 
@@ -82,6 +82,73 @@ def _stable_seed(*parts) -> int:
 
 
 @dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss statistics of a resource-model cache."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CountedCache:
+    """A dict-backed memo with hit/miss counters (the NAS oracle caches).
+
+    The search loops query near-identical layer/model workloads hundreds of
+    times; an LRU policy would add bookkeeping for no benefit at the sizes
+    involved, so entries are kept until :meth:`clear` — bounded by
+    ``max_entries`` as a safety valve against pathological corpora.
+    """
+
+    def __init__(self, max_entries: int = 1_000_000) -> None:
+        self._data: Dict[Hashable, Any] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    _MISSING = object()
+
+    def get(self, key: Hashable) -> Any:
+        value = self._data.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if len(self._data) >= self.max_entries:
+            self._data.clear()
+        self._data[key] = value
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(hits=self.hits, misses=self.misses, entries=len(self._data))
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide latency memos, shared by every :class:`LatencyModel`
+#: instance (the experiments construct fresh models per call, so instance-
+#: level caches would never hit). Keys include the device identity and the
+#: spread setting, so distinct configurations never collide.
+LAYER_LATENCY_CACHE = CountedCache()
+MODEL_LATENCY_CACHE = CountedCache()
+
+
+def clear_latency_caches() -> None:
+    """Reset both latency memos and their counters (used by tests/benches)."""
+    LAYER_LATENCY_CACHE.clear()
+    MODEL_LATENCY_CACHE.clear()
+
+
+@dataclass(frozen=True)
 class LayerTiming:
     """Latency of one layer on one device."""
 
@@ -103,12 +170,20 @@ class LatencyModel:
     spread:
         If False, disable the per-layer log-normal spread (useful for
         ablations isolating the deterministic cost terms).
+    memoize:
+        If True (default), layer and model queries are served from the
+        process-wide :data:`LAYER_LATENCY_CACHE` / :data:`MODEL_LATENCY_CACHE`
+        keyed on workload signatures. The model is deterministic in the
+        signature, so cached and uncached paths return identical values;
+        disable only to benchmark the uncached cost.
     """
 
-    def __init__(self, device: MCUDevice, spread: bool = True) -> None:
+    def __init__(self, device: MCUDevice, spread: bool = True, memoize: bool = True) -> None:
         self.device = device
         self.spread = spread
+        self.memoize = memoize
         self._ipc_factor = 1.0 if device.dual_issue else M4_IPC_FACTOR
+        self._cache_key = (device.name, device.clock_hz, device.dual_issue, spread)
 
     # ------------------------------------------------------------------
     def cycles_per_op(self, kind: str) -> float:
@@ -152,8 +227,7 @@ class LatencyModel:
         return float(np.exp(rng.normal(0.0, sigma)))
 
     # ------------------------------------------------------------------
-    def layer_latency(self, workload: LayerWorkload) -> LayerTiming:
-        """Latency of a single operator, in seconds."""
+    def _layer_seconds(self, workload: LayerWorkload) -> float:
         compute_cycles = (
             workload.ops
             * self.cycles_per_op(workload.kind)
@@ -162,11 +236,34 @@ class LatencyModel:
             * self._spread_factor(workload)
         )
         total_cycles = compute_cycles + DISPATCH_CYCLES
-        return LayerTiming(workload=workload, seconds=total_cycles / self.device.clock_hz)
+        return total_cycles / self.device.clock_hz
+
+    def layer_latency(self, workload: LayerWorkload) -> LayerTiming:
+        """Latency of a single operator, in seconds (memoized by signature)."""
+        if not self.memoize:
+            return LayerTiming(workload=workload, seconds=self._layer_seconds(workload))
+        key = (self._cache_key, workload.signature)
+        seconds = LAYER_LATENCY_CACHE.get(key)
+        if seconds is None:
+            seconds = self._layer_seconds(workload)
+            LAYER_LATENCY_CACHE.put(key, seconds)
+        return LayerTiming(workload=workload, seconds=seconds)
 
     def model_latency(self, model: ModelWorkload) -> float:
-        """End-to-end model latency: sum of its layers' latencies."""
-        return sum(self.layer_latency(layer).seconds for layer in model.layers)
+        """End-to-end model latency: sum of its layers' latencies.
+
+        Memoized on the whole-model signature, so repeated oracle calls on
+        the same architecture (evolutionary re-visits, BO pool re-scoring)
+        cost one tuple hash instead of a full per-layer walk.
+        """
+        if not self.memoize:
+            return sum(self._layer_seconds(layer) for layer in model.layers)
+        key = (self._cache_key, model.signature)
+        seconds = MODEL_LATENCY_CACHE.get(key)
+        if seconds is None:
+            seconds = sum(self.layer_latency(layer).seconds for layer in model.layers)
+            MODEL_LATENCY_CACHE.put(key, seconds)
+        return seconds
 
     def layer_latencies(self, model: ModelWorkload) -> List[LayerTiming]:
         return [self.layer_latency(layer) for layer in model.layers]

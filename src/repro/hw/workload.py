@@ -72,6 +72,26 @@ class LayerWorkload:
         return self.kernel[0] * self.kernel[1]
 
     @property
+    def signature(self) -> Tuple:
+        """Geometry-only identity, excluding the human-readable name.
+
+        Two layers with equal signatures are indistinguishable to every
+        resource model (latency, energy, memory), so caches key on this —
+        a frozen dataclass is hashable, but hashing on ``name`` would make
+        every layer of every model unique and defeat memoization.
+        """
+        return (
+            self.kind,
+            self.input_shape,
+            self.output_shape,
+            self.kernel,
+            self.stride,
+            self.macs,
+            self.extra_ops,
+            self.params,
+        )
+
+    @property
     def ops(self) -> int:
         """Total op count: 2 ops per MAC plus non-MAC arithmetic."""
         return 2 * self.macs + self.extra_ops
@@ -220,6 +240,11 @@ class ModelWorkload:
     @property
     def params(self) -> int:
         return sum(layer.params for layer in self.layers)
+
+    @property
+    def signature(self) -> Tuple:
+        """Order-sensitive tuple of the layers' signatures (name excluded)."""
+        return tuple(layer.signature for layer in self.layers)
 
     def ops_by_kind(self) -> Dict[str, int]:
         out: Dict[str, int] = {}

@@ -17,7 +17,14 @@ for VWW (expand/project width decisions).
 """
 
 from repro.nas.decision import ChoiceDecision, gumbel_softmax
-from repro.nas.budgets import ResourceBudget, budgets_for_device
+from repro.nas.budgets import (
+    ResourceBudget,
+    ResourceProfile,
+    budgets_for_device,
+    clear_profile_cache,
+    profile_cache_info,
+    resource_profile,
+)
 from repro.nas.supernet import DSCNNSupernet, IBNSupernet, SupernetCosts
 from repro.nas.search import SearchConfig, DNASResult, search
 
@@ -25,7 +32,11 @@ __all__ = [
     "ChoiceDecision",
     "gumbel_softmax",
     "ResourceBudget",
+    "ResourceProfile",
     "budgets_for_device",
+    "clear_profile_cache",
+    "profile_cache_info",
+    "resource_profile",
     "DSCNNSupernet",
     "IBNSupernet",
     "SupernetCosts",

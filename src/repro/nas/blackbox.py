@@ -25,9 +25,8 @@ import numpy as np
 
 from repro.errors import SearchError
 from repro.models.micronets import _separable_stack
-from repro.models.spec import ArchSpec, arch_workload, export_graph
-from repro.nas.budgets import ResourceBudget
-from repro.runtime.planner import plan_arena
+from repro.models.spec import ArchSpec
+from repro.nas.budgets import ResourceBudget, resource_profile
 from repro.utils.rng import RngLike, new_rng
 
 #: Sentinel genome value meaning "this block is skipped".
@@ -112,16 +111,12 @@ def feasible(arch: ArchSpec, budget: ResourceBudget) -> bool:
 
     Uses the same accounting DNAS regularizes: weight count, eq.(3) working
     memory (via the actual arena planner, which eq.(3) tracks closely), and
-    op count.
+    op count. Profiles are memoized on geometry
+    (:func:`repro.nas.budgets.resource_profile`), so genomes that collapse
+    to the same network — e.g. SKIP genes in different positions — pay the
+    graph export and arena plan only once.
     """
-    workload = arch_workload(arch)
-    if workload.params > budget.params:
-        return False
-    if budget.ops is not None and workload.ops > budget.ops:
-        return False
-    graph = export_graph(arch, bits=8)
-    arena = plan_arena(graph).arena_bytes
-    return arena <= budget.activation_bytes
+    return resource_profile(arch, bits=8).fits(budget)
 
 
 @dataclass

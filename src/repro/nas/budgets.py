@@ -4,16 +4,26 @@ The paper's constraints (§5.1): the architecture must fit the MCU's eFlash
 (model size) and SRAM (working memory, after subtracting the expected TFLM
 overhead), and meet a latency target expressed in ops via the linear
 latency model of §3.
+
+This module also owns the **memoized resource profiler**: every search loop
+(black-box and DNAS alike) repeatedly asks "does this architecture fit?",
+and the expensive part of the answer — exporting a quantized graph and
+running the arena planner — depends only on the architecture's geometry.
+:func:`resource_profile` caches on that geometry so revisited candidates
+cost one tuple hash instead of a graph export.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.hw.devices import MCUDevice
-from repro.hw.latency import LatencyModel
+from repro.hw.latency import CacheInfo, CountedCache, LatencyModel
 from repro.runtime.reporting import RUNTIME_CODE_FLASH, RUNTIME_SRAM_OVERHEAD
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.models.spec import ArchSpec
 
 #: Fraction of the flash budget reserved for graph metadata + headroom for
 #: application logic (paper §6.2: the constraint cannot be met tightly).
@@ -69,3 +79,73 @@ def budgets_for_device(
             throughput_ops_per_s = device.clock_hz / model.cycles_per_op("conv2d")
         ops = latency_target_s * throughput_ops_per_s
     return ResourceBudget(params=params, activation_bytes=activation_bytes, ops=ops)
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Deployment cost of one architecture, in the budget's native units.
+
+    Attributes
+    ----------
+    params: weight scalar count (eq. 2).
+    activation_bytes: peak arena size from the actual planner (eq. 3).
+    ops: total op count, 2 per MAC (eq. 4).
+    """
+
+    params: int
+    activation_bytes: int
+    ops: int
+
+    def fits(self, budget: ResourceBudget) -> bool:
+        """True if every budgeted term is within budget."""
+        if self.params > budget.params:
+            return False
+        if budget.ops is not None and self.ops > budget.ops:
+            return False
+        return self.activation_bytes <= budget.activation_bytes
+
+
+#: Process-wide profile memo. Keyed on the architecture's workload signature
+#: plus the quantization width, both of which fully determine the exported
+#: graph's tensor geometry and hence the arena plan.
+RESOURCE_PROFILE_CACHE = CountedCache()
+
+
+def resource_profile(arch: "ArchSpec", bits: int = 8) -> ResourceProfile:
+    """Profile an architecture's deployment cost, memoized on geometry.
+
+    The op/param counts come from :func:`~repro.models.spec.arch_workload`
+    (cheap); the working-memory term exports the quantized graph and runs
+    the arena planner (expensive), so that part is cached. Search loops that
+    revisit an architecture — evolutionary offspring, BO pool re-scoring,
+    genomes whose SKIP genes collapse to the same network — pay the planner
+    cost exactly once per distinct geometry.
+    """
+    # Imported here: models.spec pulls in the full layer/runtime stack, and
+    # budgets must stay importable from lightweight hw-only contexts.
+    from repro.models.spec import arch_workload, export_graph
+    from repro.runtime.planner import plan_arena
+
+    workload = arch_workload(arch)
+    key = (workload.signature, int(bits))
+    profile = RESOURCE_PROFILE_CACHE.get(key)
+    if profile is None:
+        graph = export_graph(arch, bits=bits)
+        arena = plan_arena(graph).arena_bytes
+        profile = ResourceProfile(
+            params=int(workload.params),
+            activation_bytes=int(arena),
+            ops=int(workload.ops),
+        )
+        RESOURCE_PROFILE_CACHE.put(key, profile)
+    return profile
+
+
+def profile_cache_info() -> CacheInfo:
+    """Hit/miss statistics of the resource-profile memo."""
+    return RESOURCE_PROFILE_CACHE.info()
+
+
+def clear_profile_cache() -> None:
+    """Reset the resource-profile memo and its counters."""
+    RESOURCE_PROFILE_CACHE.clear()

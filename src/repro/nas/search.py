@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import SearchError
 from repro.models.spec import ArchSpec
-from repro.nas.budgets import ResourceBudget
+from repro.nas.budgets import ResourceBudget, ResourceProfile, resource_profile
 from repro.nas.supernet import DSCNNSupernet, IBNSupernet, SupernetCosts
 from repro.nn import Adam, accuracy, cross_entropy
 from repro.tensor import Tensor
@@ -51,6 +51,9 @@ class DNASResult:
     expected_params: float = 0.0
     expected_ops: float = 0.0
     expected_memory_bytes: float = 0.0
+    #: Deployment cost of the *extracted* (discrete) architecture, from the
+    #: memoized profiler — the expectations above are the relaxed supernet's.
+    profile: Optional[ResourceProfile] = None
 
     def meets(self, budget: ResourceBudget) -> bool:
         """Whether the converged expectations satisfy the budget."""
@@ -59,6 +62,10 @@ class DNASResult:
         if budget.ops is not None:
             ok &= self.expected_ops <= budget.ops
         return bool(ok)
+
+    def deployable(self, budget: ResourceBudget) -> bool:
+        """Whether the extracted architecture itself fits the budget."""
+        return self.profile is not None and self.profile.fits(budget)
 
 
 def _hinge(value: Tensor, budget: Optional[float]) -> Tensor:
@@ -156,4 +163,5 @@ def search(
         expected_params=float(costs.params.item()),
         expected_ops=float(costs.ops.item()),
         expected_memory_bytes=float(costs.working_memory.item()),
+        profile=resource_profile(arch),
     )

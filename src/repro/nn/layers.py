@@ -27,6 +27,9 @@ class Conv2D(Module):
         Channel counts; weight shape is (KH, KW, in, out).
     kernel_size, stride, padding:
         Spatial geometry, TF semantics ("same"/"valid").
+    backend:
+        Compute-backend override for this layer ("einsum"/"gemm"); None
+        follows the global :func:`repro.tensor.get_backend` setting.
     """
 
     def __init__(
@@ -38,6 +41,7 @@ class Conv2D(Module):
         padding: str = "same",
         use_bias: bool = True,
         rng: RngLike = 0,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__()
         rng = new_rng(rng)
@@ -47,6 +51,7 @@ class Conv2D(Module):
         self.kernel_size = (kh, kw)
         self.stride = as_pair(stride)
         self.padding = padding
+        self.backend = backend
         fan_in = kh * kw * in_channels
         self.weight = Parameter(
             init.he_normal(rng, (kh, kw, in_channels, out_channels), fan_in),
@@ -55,7 +60,9 @@ class Conv2D(Module):
         self.bias = Parameter(init.zeros((out_channels,)), name="conv_bias") if use_bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = F.conv2d(x, self.weight, stride=self.stride, padding=self.padding)
+        out = F.conv2d(
+            x, self.weight, stride=self.stride, padding=self.padding, backend=self.backend
+        )
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -72,6 +79,7 @@ class DepthwiseConv2D(Module):
         padding: str = "same",
         use_bias: bool = True,
         rng: RngLike = 0,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__()
         rng = new_rng(rng)
@@ -80,6 +88,7 @@ class DepthwiseConv2D(Module):
         self.kernel_size = (kh, kw)
         self.stride = as_pair(stride)
         self.padding = padding
+        self.backend = backend
         fan_in = kh * kw
         self.weight = Parameter(
             init.he_normal(rng, (kh, kw, channels), fan_in),
@@ -88,7 +97,9 @@ class DepthwiseConv2D(Module):
         self.bias = Parameter(init.zeros((channels,)), name="dwconv_bias") if use_bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = F.depthwise_conv2d(x, self.weight, stride=self.stride, padding=self.padding)
+        out = F.depthwise_conv2d(
+            x, self.weight, stride=self.stride, padding=self.padding, backend=self.backend
+        )
         if self.bias is not None:
             out = out + self.bias
         return out

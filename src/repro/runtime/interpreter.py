@@ -26,6 +26,8 @@ from repro.quantization.params import dequantize, quantize
 from repro.runtime.graph import Graph, OpNode
 from repro.runtime.planner import ArenaPlan, plan_arena
 from repro.tensor import conv as fconv
+from repro.tensor import gemm as fgemm
+from repro.tensor.backend import get_backend
 
 
 class Interpreter:
@@ -128,9 +130,17 @@ class Interpreter:
                 weight = w_spec.data.astype(np.float32)
                 bias = b_spec.data.astype(np.float32) if b_spec is not None else 0.0
                 if op.kind == "conv2d":
-                    out, _ = fconv.conv2d_forward(x, weight, stride, padding)
+                    if get_backend() == "gemm":
+                        out, cache = fgemm.conv2d_forward(x, weight, stride, padding)
+                        cache.release()
+                    else:
+                        out, _ = fconv.conv2d_forward(x, weight, stride, padding)
                 elif op.kind == "depthwise_conv2d":
-                    out, _ = fconv.depthwise_conv2d_forward(x, weight, stride, padding)
+                    if get_backend() == "gemm":
+                        out, cache = fgemm.depthwise_conv2d_forward(x, weight, stride, padding)
+                        cache.release()
+                    else:
+                        out, _ = fconv.depthwise_conv2d_forward(x, weight, stride, padding)
                 else:
                     out = x @ weight
                 out = out + bias

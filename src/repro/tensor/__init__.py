@@ -12,9 +12,31 @@ Design notes
 ------------
 Data layout is **NHWC** throughout (matching TFLM), and all floating point
 data is ``float32``. Gradients are accumulated in ``float32`` as well.
+
+Convolutions dispatch to one of two compute backends (see
+:mod:`repro.tensor.backend`): the BLAS-backed ``"gemm"`` path (default) or
+the reference ``"einsum"`` path. Select with ``REPRO_BACKEND`` or
+:func:`set_backend`/:func:`backend_scope`.
 """
 
+from repro.tensor.backend import (
+    BACKENDS,
+    backend_scope,
+    get_backend,
+    resolve_backend,
+    set_backend,
+)
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
 from repro.tensor import functional
 
-__all__ = ["Tensor", "functional", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "functional",
+    "no_grad",
+    "is_grad_enabled",
+    "BACKENDS",
+    "backend_scope",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+]

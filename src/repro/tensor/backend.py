@@ -1,0 +1,69 @@
+"""Compute-backend selection for the convolution kernels.
+
+Two interchangeable backends implement the conv forward/backward numerics:
+
+* ``"gemm"`` (default) — :mod:`repro.tensor.gemm`: im2col lowering to
+  contiguous 2-D buffers followed by a single BLAS matmul, with a reusable
+  workspace so repeated training steps stop churning the allocator.
+* ``"einsum"`` — :mod:`repro.tensor.conv`: the original strided-view
+  ``einsum`` reduction, kept as the reference implementation and fallback.
+
+Select globally with the ``REPRO_BACKEND`` environment variable, at runtime
+with :func:`set_backend`, or locally with the :func:`backend_scope` context
+manager. Both backends agree to well under 1e-5 (see
+``tests/test_tensor_gemm.py``); the switch only changes speed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, Optional
+
+from repro.errors import ReproError
+
+#: Backends the conv dispatch in :mod:`repro.tensor.functional` understands.
+BACKENDS = ("einsum", "gemm")
+
+DEFAULT_BACKEND = "gemm"
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ReproError(
+            f"unknown tensor backend {name!r}; expected one of {list(BACKENDS)}"
+        )
+    return name
+
+
+_ACTIVE_BACKEND = _validate(os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND))
+
+
+def get_backend() -> str:
+    """Name of the backend conv operations currently dispatch to."""
+    return _ACTIVE_BACKEND
+
+
+def set_backend(name: str) -> None:
+    """Select the conv compute backend globally ("einsum" or "gemm")."""
+    global _ACTIVE_BACKEND
+    _ACTIVE_BACKEND = _validate(name)
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve an explicit per-call override against the global setting."""
+    if name is None:
+        return _ACTIVE_BACKEND
+    return _validate(name)
+
+
+@contextlib.contextmanager
+def backend_scope(name: str) -> Iterator[None]:
+    """Temporarily switch backends (used by the parity tests and benches)."""
+    global _ACTIVE_BACKEND
+    previous = _ACTIVE_BACKEND
+    _ACTIVE_BACKEND = _validate(name)
+    try:
+        yield
+    finally:
+        _ACTIVE_BACKEND = previous

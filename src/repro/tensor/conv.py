@@ -13,7 +13,7 @@ shapes match what TFLM would produce on device.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
@@ -21,6 +21,33 @@ from repro.errors import ShapeError
 
 
 IntOrPair = Union[int, Tuple[int, int]]
+
+#: Memoized einsum contraction paths, keyed on (subscripts, operand shapes).
+#: ``np.einsum_path`` re-runs its path optimizer on every ``optimize=True``
+#: call; conv workloads hit the same few shapes thousands of times per
+#: training run, so we pay the optimizer once per distinct geometry.
+_EINSUM_PATH_CACHE: Dict[Tuple, list] = {}
+
+
+def _einsum(subscripts: str, *operands: np.ndarray, dtype=None) -> np.ndarray:
+    """``np.einsum`` with a per-shape cached contraction path.
+
+    ``dtype`` is forwarded so backward passes can request a float32 result
+    directly instead of allocating a second full-size array via ``astype``.
+    """
+    key = (subscripts,) + tuple(op.shape for op in operands)
+    path = _EINSUM_PATH_CACHE.get(key)
+    if path is None:
+        path = np.einsum_path(subscripts, *operands, optimize="greedy")[0]
+        _EINSUM_PATH_CACHE[key] = path
+    return np.einsum(subscripts, *operands, optimize=path, dtype=dtype)
+
+
+def _f32_contiguous(array: np.ndarray) -> np.ndarray:
+    """Cast/copy to C-contiguous float32 only when actually needed."""
+    if array.dtype == np.float32 and array.flags.c_contiguous:
+        return array
+    return np.ascontiguousarray(array, dtype=np.float32)
 
 
 def as_pair(value: IntOrPair) -> Tuple[int, int]:
@@ -98,13 +125,13 @@ def conv2d_forward(
     kh, kw = weight.shape[:2]
     pad_h, pad_w = resolve_padding(x.shape[1], x.shape[2], kh, kw, stride, padding)
     patches = extract_patches(_pad_input(x, pad_h, pad_w), kh, kw, stride)
-    out = np.einsum("nxyckl,klcf->nxyf", patches, weight, optimize=True)
-    return np.ascontiguousarray(out, dtype=np.float32), patches
+    out = _einsum("nxyckl,klcf->nxyf", patches, weight)
+    return _f32_contiguous(out), patches
 
 
 def conv2d_backward_weight(patches: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
     """Gradient of a conv2d with respect to its (KH, KW, C, OC) weight."""
-    return np.einsum("nxyckl,nxyf->klcf", patches, grad_out, optimize=True).astype(np.float32)
+    return _einsum("nxyckl,nxyf->klcf", patches, grad_out, dtype=np.float32)
 
 
 def conv2d_backward_input(
@@ -123,7 +150,7 @@ def conv2d_backward_input(
     oh, ow = grad_out.shape[1], grad_out.shape[2]
     for i in range(kh):
         for j in range(kw):
-            contribution = np.einsum("nxyf,cf->nxyc", grad_out, weight[i, j], optimize=True)
+            contribution = _einsum("nxyf,cf->nxyc", grad_out, weight[i, j], dtype=np.float32)
             padded[:, i : i + sh * oh : sh, j : j + sw * ow : sw, :] += contribution
     return padded[:, pad_h[0] : pad_h[0] + h, pad_w[0] : pad_w[0] + w, :]
 
@@ -147,12 +174,12 @@ def depthwise_conv2d_forward(
     kh, kw = weight.shape[:2]
     pad_h, pad_w = resolve_padding(x.shape[1], x.shape[2], kh, kw, stride, padding)
     patches = extract_patches(_pad_input(x, pad_h, pad_w), kh, kw, stride)
-    out = np.einsum("nxyckl,klc->nxyc", patches, weight, optimize=True)
-    return np.ascontiguousarray(out, dtype=np.float32), patches
+    out = _einsum("nxyckl,klc->nxyc", patches, weight)
+    return _f32_contiguous(out), patches
 
 
 def depthwise_conv2d_backward_weight(patches: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
-    return np.einsum("nxyckl,nxyc->klc", patches, grad_out, optimize=True).astype(np.float32)
+    return _einsum("nxyckl,nxyc->klc", patches, grad_out, dtype=np.float32)
 
 
 def depthwise_conv2d_backward_input(

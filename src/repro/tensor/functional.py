@@ -12,11 +12,25 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.tensor import conv as C
+from repro.tensor import gemm as G
+from repro.tensor.backend import resolve_backend
 from repro.tensor.tensor import Tensor
 
 
-def conv2d(x: Tensor, weight: Tensor, stride: int = 1, padding: str = "same") -> Tensor:
-    """2-D convolution, NHWC input, (KH, KW, C, OC) weight."""
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    stride: int = 1,
+    padding: str = "same",
+    backend: Optional[str] = None,
+) -> Tensor:
+    """2-D convolution, NHWC input, (KH, KW, C, OC) weight.
+
+    ``backend`` overrides the global compute backend for this call; see
+    :mod:`repro.tensor.backend`.
+    """
+    if resolve_backend(backend) == "gemm":
+        return _conv2d_gemm(x, weight, stride, padding)
     out_data, patches = C.conv2d_forward(x.data, weight.data, stride, padding)
     input_shape = x.shape
 
@@ -31,10 +45,38 @@ def conv2d(x: Tensor, weight: Tensor, stride: int = 1, padding: str = "same") ->
     return Tensor._make(out_data, (x, weight), backward_fn)
 
 
+def _conv2d_gemm(x: Tensor, weight: Tensor, stride, padding: str) -> Tensor:
+    out_data, cache = G.conv2d_forward(x.data, weight.data, stride, padding)
+    input_shape = x.shape
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate(G.conv2d_backward_weight(cache, grad))
+        # The column buffer is only needed for the weight gradient; hand it
+        # back to the workspace before the (allocation-heavy) input pass.
+        cache.release()
+        if x.requires_grad:
+            x._accumulate(
+                G.conv2d_backward_input(grad, weight.data, input_shape, stride, padding)
+            )
+
+    out = Tensor._make(out_data, (x, weight), backward_fn)
+    if not out.requires_grad:
+        # Inference: no backward will run, so recycle the buffer immediately.
+        cache.release()
+    return out
+
+
 def depthwise_conv2d(
-    x: Tensor, weight: Tensor, stride: int = 1, padding: str = "same"
+    x: Tensor,
+    weight: Tensor,
+    stride: int = 1,
+    padding: str = "same",
+    backend: Optional[str] = None,
 ) -> Tensor:
     """Depthwise 2-D convolution, NHWC input, (KH, KW, C) weight."""
+    if resolve_backend(backend) == "gemm":
+        return _depthwise_conv2d_gemm(x, weight, stride, padding)
     out_data, patches = C.depthwise_conv2d_forward(x.data, weight.data, stride, padding)
     input_shape = x.shape
 
@@ -47,6 +89,27 @@ def depthwise_conv2d(
             )
 
     return Tensor._make(out_data, (x, weight), backward_fn)
+
+
+def _depthwise_conv2d_gemm(x: Tensor, weight: Tensor, stride, padding: str) -> Tensor:
+    out_data, cache = G.depthwise_conv2d_forward(x.data, weight.data, stride, padding)
+    input_shape = x.shape
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate(G.depthwise_conv2d_backward_weight(cache, grad))
+        cache.release()
+        if x.requires_grad:
+            x._accumulate(
+                G.depthwise_conv2d_backward_input(
+                    grad, weight.data, input_shape, stride, padding
+                )
+            )
+
+    out = Tensor._make(out_data, (x, weight), backward_fn)
+    if not out.requires_grad:
+        cache.release()
+    return out
 
 
 def dense(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:

@@ -1,0 +1,39 @@
+"""Tier-1 smoke run of the hot-path benchmark (reduced sizes, 1 repeat).
+
+The full bench (``benchmarks/bench_hotpaths.py``) asserts the headline
+speedups (GEMM ≥1.5x on the training step, memoization ≥3x on the sweep);
+this smoke run keeps the tier-1 suite fast and uses conservative thresholds
+so scheduler noise on loaded CI machines can't flake it.
+"""
+
+import json
+import os
+
+from benchmarks.bench_hotpaths import (
+    archive_hotpath_result,
+    format_hotpath_table,
+    run_hotpath_bench,
+)
+
+
+def test_hotpath_bench_smoke(tmp_path):
+    result = run_hotpath_bench(smoke=True)
+    sections = {row["section"]: row for row in result["rows"]}
+    assert set(sections) == {
+        "conv_training_step",
+        "supernet_dnas_step",
+        "characterization_sweep",
+    }
+    for row in sections.values():
+        assert row["speedup"] > 0
+
+    # Conservative floors — the full bench enforces the real 1.5x/3x bars.
+    assert sections["conv_training_step"]["speedup"] >= 1.05
+    assert sections["characterization_sweep"]["speedup"] >= 2.0
+
+    # Archiving produces both artifacts, and the JSON round-trips.
+    archive_hotpath_result(result, results_dir=str(tmp_path), json_dir=str(tmp_path))
+    table = (tmp_path / "hotpaths.txt").read_text()
+    assert "conv_training_step" in table and format_hotpath_table(result) in table
+    with open(os.path.join(tmp_path, "BENCH_hotpaths.json")) as handle:
+        assert json.load(handle) == result

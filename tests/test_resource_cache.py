@@ -1,0 +1,161 @@
+"""Memoized resource models: latency caches and the NAS profile cache."""
+
+import numpy as np
+import pytest
+
+from repro.hw import DEVICES, LatencyModel, clear_latency_caches, get_device
+from repro.hw.characterize import (
+    characterize_layer_corpus,
+    characterize_models,
+    random_layer_corpus,
+    sample_models,
+)
+from repro.hw.latency import LAYER_LATENCY_CACHE, MODEL_LATENCY_CACHE
+from repro.hw.workload import LayerWorkload
+from repro.nas import (
+    budgets_for_device,
+    clear_profile_cache,
+    profile_cache_info,
+    resource_profile,
+)
+from repro.nas.blackbox import DSCNNSearchSpace, RandomSearch, feasible
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_latency_caches()
+    clear_profile_cache()
+    yield
+    clear_latency_caches()
+    clear_profile_cache()
+
+
+@pytest.fixture
+def device():
+    return get_device("STM32F446RE")
+
+
+class TestSignatures:
+    def test_signature_excludes_name(self):
+        a = LayerWorkload.conv2d("stem", (8, 8, 4), 8, 3)
+        b = LayerWorkload.conv2d("block3_pw", (8, 8, 4), 8, 3)
+        assert a.signature == b.signature
+        assert hash(a.signature) == hash(b.signature)
+
+    def test_signature_distinguishes_geometry(self):
+        a = LayerWorkload.conv2d("x", (8, 8, 4), 8, 3)
+        b = LayerWorkload.conv2d("x", (8, 8, 4), 8, 3, stride=2)
+        assert a.signature != b.signature
+
+
+class TestLatencyCache:
+    def test_fig3_corpus_cached_equals_uncached(self, device):
+        """Memoization must not change a single Figure 3 value."""
+        corpus = random_layer_corpus(0, count=150)
+        uncached = characterize_layer_corpus(corpus, device, memoize=False)
+        cached = characterize_layer_corpus(corpus, device, memoize=True)
+        recached = characterize_layer_corpus(corpus, device, memoize=True)
+        for u, c, r in zip(uncached, cached, recached):
+            assert u.seconds == c.seconds == r.seconds
+        assert LAYER_LATENCY_CACHE.hits > 0
+
+    def test_layer_cache_hits_on_repeat_geometry(self, device):
+        model = LatencyModel(device)
+        wl = LayerWorkload.conv2d("c", (16, 16, 8), 16, 3)
+        first = model.layer_latency(wl)
+        info0 = LAYER_LATENCY_CACHE.info()
+        second = model.layer_latency(
+            LayerWorkload.conv2d("differently_named", (16, 16, 8), 16, 3)
+        )
+        info1 = LAYER_LATENCY_CACHE.info()
+        assert second.seconds == first.seconds
+        assert info1.hits == info0.hits + 1
+        assert info1.entries == info0.entries
+        # Timings still carry each query's own workload (names preserved).
+        assert second.workload.name == "differently_named"
+
+    def test_model_cache_serves_revisits(self, device):
+        pool = sample_models("kws", 5, rng=9)
+        revisits = [pool[i % len(pool)] for i in range(40)]
+        uncached = characterize_models(revisits, device, memoize=False)
+        clear_latency_caches()
+        memoized = characterize_models(revisits, device, memoize=True)
+        assert uncached == memoized
+        info = MODEL_LATENCY_CACHE.info()
+        assert info.misses == len(pool)
+        assert info.hits == len(revisits) - len(pool)
+
+    def test_distinct_devices_do_not_collide(self):
+        devices = list(DEVICES.values())[:2]
+        wl = LayerWorkload.conv2d("c", (8, 8, 4), 8, 3)
+        seconds = {LatencyModel(d).layer_latency(wl).seconds for d in devices}
+        assert len(seconds) == 2  # different devices → different cache rows
+
+    def test_spread_flag_does_not_collide(self, device):
+        wl = LayerWorkload.conv2d("c", (8, 8, 6), 6, 3)
+        with_spread = LatencyModel(device, spread=True).layer_latency(wl).seconds
+        without = LatencyModel(device, spread=False).layer_latency(wl).seconds
+        assert with_spread != without
+
+
+class TestProfileCache:
+    def test_profile_matches_direct_accounting(self):
+        from repro.models.spec import arch_workload, export_graph
+        from repro.runtime.planner import plan_arena
+
+        space = DSCNNSearchSpace(num_blocks=2, width_options=(16, 32))
+        arch = space.to_arch((0, 1, 0))
+        profile = resource_profile(arch)
+        workload = arch_workload(arch)
+        assert profile.params == workload.params
+        assert profile.ops == workload.ops
+        assert profile.activation_bytes == plan_arena(export_graph(arch, bits=8)).arena_bytes
+
+    def test_equivalent_genomes_share_profile(self):
+        """SKIP genes in different positions collapse to one cache entry."""
+        space = DSCNNSearchSpace(num_blocks=3, width_options=(16, 32))
+        resource_profile(space.to_arch((0, 1, -1, 1)))
+        info0 = profile_cache_info()
+        resource_profile(space.to_arch((0, -1, 1, 1)))
+        info1 = profile_cache_info()
+        assert info1.hits == info0.hits + 1
+        assert info1.entries == info0.entries
+
+    def test_fits_checks_every_budget_term(self, device):
+        budget = budgets_for_device(device)
+        space = DSCNNSearchSpace(num_blocks=1, width_options=(16,))
+        profile = resource_profile(space.to_arch((0, 0)))
+        assert profile.fits(budget)
+        from repro.nas.budgets import ResourceBudget
+
+        assert not profile.fits(ResourceBudget(params=1, activation_bytes=budget.activation_bytes))
+        assert not profile.fits(ResourceBudget(params=budget.params, activation_bytes=1))
+        assert not profile.fits(
+            ResourceBudget(params=budget.params, activation_bytes=budget.activation_bytes, ops=1)
+        )
+
+    def test_random_search_hits_profile_cache(self, device):
+        """A black-box run revisits geometries, so feasible() must hit."""
+        budget = budgets_for_device(device)
+        space = DSCNNSearchSpace(num_blocks=2, width_options=(16, 32))
+        evaluations = []
+
+        def evaluate(arch):
+            evaluations.append(arch.name)
+            return float(len(evaluations))
+
+        RandomSearch(space, budget, max_evaluations=12).run(evaluate, rng=0)
+        info = profile_cache_info()
+        assert info.misses > 0
+        assert info.hits > 0, "random search never reused a cached profile"
+
+    def test_feasible_uses_cache(self, device):
+        budget = budgets_for_device(device)
+        space = DSCNNSearchSpace(num_blocks=2, width_options=(16, 32))
+        arch = space.to_arch((1, 0, 1))
+        first = feasible(arch, budget)
+        info0 = profile_cache_info()
+        second = feasible(arch, budget)
+        info1 = profile_cache_info()
+        assert first == second
+        assert info1.hits == info0.hits + 1

@@ -1,0 +1,188 @@
+"""GEMM conv backend: parity vs einsum, workspace reuse, backend switch."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tensor import (
+    BACKENDS,
+    Tensor,
+    backend_scope,
+    functional as F,
+    get_backend,
+    resolve_backend,
+    set_backend,
+)
+from repro.tensor import gemm as G
+
+
+def _conv_case(rng, case):
+    """Run forward+backward under one backend; returns (out, gx, gw)."""
+    shape, wshape, stride, padding, backend = case
+    x = Tensor(rng.normal(size=shape).astype(np.float32), requires_grad=True)
+    w = Tensor(rng.normal(size=wshape).astype(np.float32), requires_grad=True)
+    if len(wshape) == 4:
+        out = F.conv2d(x, w, stride=stride, padding=padding, backend=backend)
+    else:
+        out = F.depthwise_conv2d(x, w, stride=stride, padding=padding, backend=backend)
+    # A non-uniform downstream gradient exercises every col2im index.
+    seed = np.arange(out.data.size, dtype=np.float32).reshape(out.shape) * 1e-2
+    (out * Tensor(seed)).sum().backward()
+    return out.data, x.grad, w.grad
+
+
+#: (input_shape, weight_shape, stride, padding) — odd/even channels, strided,
+#: asymmetric kernels/strides, SAME and VALID, the 1x1 fast path.
+CONV_CASES = [
+    ((2, 8, 8, 3), (3, 3, 3, 4), 1, "same"),
+    ((2, 8, 8, 4), (3, 3, 4, 8), 2, "same"),
+    ((1, 9, 7, 5), (3, 3, 5, 2), 2, "valid"),
+    ((2, 6, 6, 2), (2, 2, 2, 3), 2, "same"),  # even kernel → asymmetric SAME pad
+    ((2, 7, 7, 3), (5, 5, 3, 4), 1, "same"),
+    ((1, 10, 10, 4), (1, 1, 4, 6), 1, "same"),  # pointwise fast path
+    ((1, 10, 10, 4), (1, 1, 4, 6), 2, "valid"),  # pointwise, strided (no alias)
+    ((2, 25, 5, 1), (10, 4, 1, 8), (2, 1), "same"),  # KWS stem geometry
+]
+
+DW_CASES = [
+    ((2, 8, 8, 4), (3, 3, 4), 1, "same"),
+    ((2, 9, 9, 3), (3, 3, 3), 2, "same"),
+    ((1, 8, 6, 5), (3, 3, 5), 1, "valid"),
+    ((2, 6, 6, 2), (2, 2, 2), 2, "same"),
+    ((1, 25, 5, 3), (10, 4, 3), (2, 1), "same"),
+]
+
+
+class TestParity:
+    @pytest.mark.parametrize("case", CONV_CASES, ids=[str(c) for c in CONV_CASES])
+    def test_conv2d_matches_einsum(self, case):
+        shape, wshape, stride, padding = case
+        ref = _conv_case(np.random.default_rng(1), (shape, wshape, stride, padding, "einsum"))
+        got = _conv_case(np.random.default_rng(1), (shape, wshape, stride, padding, "gemm"))
+        for a, b in zip(ref, got):
+            np.testing.assert_allclose(b, a, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("case", DW_CASES, ids=[str(c) for c in DW_CASES])
+    def test_depthwise_matches_einsum(self, case):
+        shape, wshape, stride, padding = case
+        ref = _conv_case(np.random.default_rng(2), (shape, wshape, stride, padding, "einsum"))
+        got = _conv_case(np.random.default_rng(2), (shape, wshape, stride, padding, "gemm"))
+        for a, b in zip(ref, got):
+            np.testing.assert_allclose(b, a, rtol=1e-5, atol=1e-5)
+
+    def test_forward_matches_raw_kernels(self, rng):
+        """The functional wrapper and the raw gemm kernels agree."""
+        x = rng.normal(size=(2, 7, 7, 3)).astype(np.float32)
+        w = rng.normal(size=(3, 3, 3, 4)).astype(np.float32)
+        out, cache = G.conv2d_forward(x, w, 1, "same")
+        cache.release()
+        ref = F.conv2d(Tensor(x), Tensor(w), stride=1, padding="same", backend="einsum")
+        np.testing.assert_allclose(out, ref.data, rtol=1e-5, atol=1e-5)
+
+
+class TestWorkspace:
+    def test_take_give_back_reuses(self):
+        ws = G.Workspace()
+        a = ws.take("t", 100)
+        ws.give_back("t", a)
+        b = ws.take("t", 50)  # smaller request reuses the pooled buffer
+        assert b is a
+        assert ws.allocations == 1 and ws.reuses == 1
+
+    def test_concurrent_takes_get_distinct_buffers(self):
+        ws = G.Workspace()
+        a = ws.take("t", 10)
+        b = ws.take("t", 10)
+        assert a is not b
+        assert ws.allocations == 2
+
+    def test_prefers_smallest_fitting_buffer(self):
+        ws = G.Workspace()
+        small, big = ws.take("t", 10), ws.take("t", 1000)
+        ws.give_back("t", big)
+        ws.give_back("t", small)
+        assert ws.take("t", 5) is small
+
+    def test_pool_growth_is_bounded(self):
+        ws = G.Workspace()
+        buffers = [ws.take("t", 10) for _ in range(ws.MAX_FREE_PER_TAG + 4)]
+        for buf in buffers:
+            ws.give_back("t", buf)
+        assert ws.pooled_bytes() == ws.MAX_FREE_PER_TAG * 10 * 4
+
+    def test_training_steps_stop_allocating(self, rng):
+        ws = G.Workspace()
+        x = rng.normal(size=(2, 8, 8, 3)).astype(np.float32)
+        w = rng.normal(size=(3, 3, 3, 4)).astype(np.float32)
+        for _ in range(4):
+            out, cache = G.conv2d_forward(x, w, 1, "same", workspace=ws)
+            G.conv2d_backward_weight(cache, out)
+            cache.release()
+            G.conv2d_backward_input(out, w, x.shape, 1, "same", workspace=ws)
+        # First step allocates (cols + dcols); later steps run from the pool.
+        assert ws.allocations == 2
+        assert ws.reuses == 6
+
+    def test_released_cache_raises(self, rng):
+        x = rng.normal(size=(1, 6, 6, 2)).astype(np.float32)
+        w = rng.normal(size=(3, 3, 2, 2)).astype(np.float32)
+        _, cache = G.conv2d_forward(x, w, 1, "same")
+        cache.release()
+        cache.release()  # idempotent
+        with pytest.raises(ReproError):
+            G.conv2d_backward_weight(cache, np.zeros((1, 6, 6, 2), dtype=np.float32))
+
+    def test_double_backward_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 6, 6, 2)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 3, 2, 2)).astype(np.float32), requires_grad=True)
+        out = F.conv2d(x, w, stride=1, padding="same", backend="gemm").sum()
+        out.backward()
+        with pytest.raises(ReproError):
+            out.backward()
+
+
+class TestBackendSwitch:
+    def test_default_is_gemm(self):
+        assert "gemm" in BACKENDS and get_backend() in BACKENDS
+
+    def test_scope_restores(self):
+        before = get_backend()
+        with backend_scope("einsum"):
+            assert get_backend() == "einsum"
+        assert get_backend() == before
+
+    def test_resolve_override(self):
+        with backend_scope("gemm"):
+            assert resolve_backend(None) == "gemm"
+            assert resolve_backend("einsum") == "einsum"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError):
+            set_backend("cuda")
+        with pytest.raises(ReproError):
+            resolve_backend("blas")
+
+    def test_env_variable_selects_backend(self):
+        env = dict(os.environ, REPRO_BACKEND="einsum")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), os.path.join(os.getcwd(), "src")) if p
+        )
+        code = "from repro.tensor import get_backend; print(get_backend())"
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True, check=True
+        )
+        assert out.stdout.strip() == "einsum"
+
+    def test_inference_releases_workspace(self, rng):
+        """No-grad forwards recycle their im2col buffer immediately."""
+        ws = G.default_workspace()
+        x = Tensor(rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        w = Tensor(rng.normal(size=(3, 3, 3, 4)).astype(np.float32))
+        F.conv2d(x, w, stride=1, padding="same", backend="gemm")
+        before = ws.reuses
+        F.conv2d(x, w, stride=1, padding="same", backend="gemm")
+        assert ws.reuses > before
