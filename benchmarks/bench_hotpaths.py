@@ -32,7 +32,9 @@ import numpy as np
 
 from repro.hw.characterize import characterize_models, sample_models
 from repro.hw.devices import DEVICES
-from repro.hw.latency import clear_latency_caches
+from repro.hw.latency import LAYER_LATENCY_CACHE, MODEL_LATENCY_CACHE, clear_latency_caches
+from repro.obs.bridge import collect_cache_stats
+from repro.tensor.gemm import default_workspace
 from repro.nas.supernet import DSCNNSupernet
 from repro.nn import Adam, cross_entropy
 from repro.nn.layers import Conv2D, Dense, DepthwiseConv2D, GlobalAvgPool, ReLU
@@ -159,7 +161,12 @@ def _time_characterization_sweep(mode: str) -> Dict[str, float]:
     memoized_s = time.perf_counter() - start
 
     assert uncached == memoized, "memoized sweep changed latency values"
-    return {"uncached_s": uncached_s, "memoized_s": memoized_s}
+    return {
+        "uncached_s": uncached_s,
+        "memoized_s": memoized_s,
+        "layer_cache_hit_rate": LAYER_LATENCY_CACHE.info().hit_rate,
+        "model_cache_hit_rate": MODEL_LATENCY_CACHE.info().hit_rate,
+    }
 
 
 def run_hotpath_bench(scale: Optional[Scale] = None, smoke: bool = False) -> Dict:
@@ -168,14 +175,18 @@ def run_hotpath_bench(scale: Optional[Scale] = None, smoke: bool = False) -> Dic
     mode = "smoke" if smoke else scale.name
 
     rows: List[Dict] = []
+    workspace = default_workspace()
+    workspace.clear()
     train_einsum = _time_training_step(mode, "einsum")
     train_gemm = _time_training_step(mode, "gemm")
+    ws_total = workspace.allocations + workspace.reuses
     rows.append(
         {
             "section": "conv_training_step",
             "einsum_s": train_einsum,
             "gemm_s": train_gemm,
             "speedup": train_einsum / train_gemm,
+            "workspace_reuse_rate": workspace.reuses / ws_total if ws_total else 0.0,
         }
     )
 
@@ -197,10 +208,21 @@ def run_hotpath_bench(scale: Optional[Scale] = None, smoke: bool = False) -> Dic
             "uncached_s": sweep["uncached_s"],
             "memoized_s": sweep["memoized_s"],
             "speedup": sweep["uncached_s"] / sweep["memoized_s"],
+            "layer_cache_hit_rate": sweep["layer_cache_hit_rate"],
+            "model_cache_hit_rate": sweep["model_cache_hit_rate"],
         }
     )
 
-    return {"benchmark": "hotpaths", "mode": mode, "scale": scale.name, "rows": rows}
+    # Mirror the cache/workspace counters into obs gauges so a REPRO_OBS=1
+    # bench run surfaces them in ``obs.report()`` alongside the timings.
+    cache_stats = collect_cache_stats()
+    return {
+        "benchmark": "hotpaths",
+        "mode": mode,
+        "scale": scale.name,
+        "rows": rows,
+        "cache_stats": cache_stats,
+    }
 
 
 def format_hotpath_table(result: Dict) -> str:

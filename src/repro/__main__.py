@@ -6,6 +6,9 @@ Usage::
     python -m repro run fig4                  # run one, print its table
     python -m repro run table3 --scale paper  # full-size run
     python -m repro run all                   # everything (slow)
+    python -m repro obs --arch kws-s          # observability report:
+                                              # modeled vs measured per-op
+                                              # timings + counters + spans
 """
 
 from __future__ import annotations
@@ -56,6 +59,58 @@ def _run_one(experiment_id: str, scale, seed: int, save: bool) -> int:
     return 0
 
 
+def _tiny_obs_arch():
+    """A small fixed architecture so ``repro obs`` runs in well under a second."""
+    from repro.models.spec import ArchSpec, ConvSpec, DenseSpec, DWConvSpec, GlobalPoolSpec
+
+    return ArchSpec(
+        name="obs-tiny",
+        input_shape=(12, 12, 1),
+        layers=(
+            ConvSpec(8, kernel=3, stride=2),
+            DWConvSpec(kernel=3, stride=1),
+            ConvSpec(16, kernel=1),
+            GlobalPoolSpec(),
+            DenseSpec(4),
+        ),
+    )
+
+
+def _obs_arch(name: str):
+    if name == "tiny":
+        return _tiny_obs_arch()
+    from repro.models import dscnn, micronets
+
+    return {"kws-s": micronets.micronet_kws_s, "dscnn-s": dscnn.dscnn_s}[name]()
+
+
+def _run_obs(args) -> int:
+    """The ``repro obs`` report: per-op modeled-vs-measured timing table,
+    cache statistics, and the full metrics/span dump."""
+    from repro import obs
+    from repro.hw import get_device
+    from repro.models.spec import export_graph
+    from repro.obs.bridge import collect_cache_stats, modeled_vs_measured, render_bridge_table
+
+    obs.enable()
+    if args.jsonl:
+        obs.set_sink(args.jsonl)
+    device = get_device(args.device)
+    graph = export_graph(_obs_arch(args.arch), bits=8)
+    rows = modeled_vs_measured(graph, device, repeats=args.repeats)
+    print(render_bridge_table(rows, model=graph.name, device=device.name))
+    print()
+    collect_cache_stats()
+    print(obs.report())
+    if args.jsonl:
+        sink = obs.REGISTRY.to_jsonl()
+        with open(args.jsonl, "a") as handle:
+            handle.write(sink + "\n")
+        obs.set_sink(None)
+        print(f"\nJSONL trace -> {args.jsonl}")
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -68,8 +123,20 @@ def main(argv: List[str] = None) -> int:
     run_parser.add_argument("--scale", default=None, choices=["ci", "paper"])
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--no-save", action="store_true", help="do not archive results")
+    obs_parser = subparsers.add_parser(
+        "obs", help="observability report: modeled vs measured per-op timings"
+    )
+    obs_parser.add_argument(
+        "--arch", default="tiny", choices=["tiny", "kws-s", "dscnn-s"],
+        help="model to export and run through the interpreter",
+    )
+    obs_parser.add_argument("--device", default="STM32F446RE")
+    obs_parser.add_argument("--repeats", type=int, default=3)
+    obs_parser.add_argument("--jsonl", default=None, help="also write spans/metrics as JSONL")
 
     args = parser.parse_args(argv)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "list":
         for experiment_id, module in EXPERIMENTS.items():
             tag = " [heavy]" if experiment_id in HEAVY else ""

@@ -31,6 +31,7 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.hw.devices import MCUDevice
 from repro.hw.workload import LayerWorkload, ModelWorkload
 
@@ -104,9 +105,10 @@ class CountedCache:
     ``max_entries`` as a safety valve against pathological corpora.
     """
 
-    def __init__(self, max_entries: int = 1_000_000) -> None:
+    def __init__(self, max_entries: int = 1_000_000, metric: Optional[str] = None) -> None:
         self._data: Dict[Hashable, Any] = {}
         self.max_entries = max_entries
+        self.metric = metric
         self.hits = 0
         self.misses = 0
 
@@ -116,8 +118,12 @@ class CountedCache:
         value = self._data.get(key, self._MISSING)
         if value is self._MISSING:
             self.misses += 1
+            if self.metric is not None and obs.enabled():
+                obs.incr(f"{self.metric}.miss")
             return None
         self.hits += 1
+        if self.metric is not None and obs.enabled():
+            obs.incr(f"{self.metric}.hit")
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -133,13 +139,16 @@ class CountedCache:
         self.hits = 0
         self.misses = 0
 
+    #: Tests and the obs layer speak of "resetting" counters; keep both names.
+    reset = clear
+
 
 #: Process-wide latency memos, shared by every :class:`LatencyModel`
 #: instance (the experiments construct fresh models per call, so instance-
 #: level caches would never hit). Keys include the device identity and the
 #: spread setting, so distinct configurations never collide.
-LAYER_LATENCY_CACHE = CountedCache()
-MODEL_LATENCY_CACHE = CountedCache()
+LAYER_LATENCY_CACHE = CountedCache(metric="cache.layer_latency")
+MODEL_LATENCY_CACHE = CountedCache(metric="cache.model_latency")
 
 
 def clear_latency_caches() -> None:

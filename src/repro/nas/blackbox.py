@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SearchError
 from repro.models.micronets import _separable_stack
 from repro.models.spec import ArchSpec
@@ -151,14 +152,20 @@ class _BlackBoxSearch:
         result: BlackBoxResult,
     ) -> Optional[float]:
         if genome in self._cache:
+            obs.incr("nas.blackbox.memo_hits")
             return self._cache[genome]
         if result.evaluations >= self.max_evaluations:
             return None
         arch = self.space.to_arch(genome)
         if not feasible(arch, self.budget):
             self._rejected += 1
+            obs.incr("nas.blackbox.rejected_infeasible")
             return None
-        fitness = float(evaluate(arch))
+        obs.incr("nas.blackbox.feasible")
+        with obs.span("blackbox/evaluate", genome=str(genome)):
+            fitness = float(evaluate(arch))
+        obs.incr("nas.blackbox.evaluations")
+        obs.observe("nas.blackbox.fitness", fitness)
         self._cache[genome] = fitness
         result.evaluations += 1
         result.history.append((genome, fitness))

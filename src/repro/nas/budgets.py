@@ -108,7 +108,7 @@ class ResourceProfile:
 #: Process-wide profile memo. Keyed on the architecture's workload signature
 #: plus the quantization width, both of which fully determine the exported
 #: graph's tensor geometry and hence the arena plan.
-RESOURCE_PROFILE_CACHE = CountedCache()
+RESOURCE_PROFILE_CACHE = CountedCache(metric="cache.resource_profile")
 
 
 def resource_profile(arch: "ArchSpec", bits: int = 8) -> ResourceProfile:

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SearchError
 from repro.models.spec import ArchSpec
 from repro.nas.budgets import ResourceBudget, ResourceProfile, resource_profile
@@ -128,22 +129,39 @@ def search(
         order = batch_rng.permutation(len(x_train))
         epoch_loss, epoch_acc = 0.0, 0.0
         last_costs: Optional[SupernetCosts] = None
-        for step in range(steps_per_epoch):
-            idx = order[step * config.batch_size : (step + 1) * config.batch_size]
-            xb, yb = x_train[idx], y_train[idx]
-            logits, costs = supernet.forward_search(Tensor(xb), temperature, sample_rng)
-            loss = cross_entropy(logits, yb)
-            if arch_phase:
-                loss = loss + penalty(costs, budget, config)
-            opt_w.zero_grad()
-            opt_a.zero_grad()
-            loss.backward()
-            opt_w.step()
-            if arch_phase:
-                opt_a.step()
-            epoch_loss += loss.item()
-            epoch_acc += accuracy(logits.data, yb)
-            last_costs = costs
+        epoch_span = obs.span(
+            "dnas/epoch", epoch=epoch, temperature=round(float(temperature), 4),
+            arch_phase=arch_phase,
+        )
+        with epoch_span:
+            for step in range(steps_per_epoch):
+                idx = order[step * config.batch_size : (step + 1) * config.batch_size]
+                xb, yb = x_train[idx], y_train[idx]
+                with obs.span("dnas/step", epoch=epoch, step=step):
+                    logits, costs = supernet.forward_search(
+                        Tensor(xb), temperature, sample_rng
+                    )
+                    loss = cross_entropy(logits, yb)
+                    regularizer: Optional[Tensor] = None
+                    if arch_phase:
+                        regularizer = penalty(costs, budget, config)
+                        loss = loss + regularizer
+                    opt_w.zero_grad()
+                    opt_a.zero_grad()
+                    loss.backward()
+                    opt_w.step()
+                    if arch_phase:
+                        opt_a.step()
+                    step_loss = loss.item()
+                epoch_loss += step_loss
+                epoch_acc += accuracy(logits.data, yb)
+                last_costs = costs
+                if obs.enabled():
+                    obs.incr("dnas.steps")
+                    obs.observe("dnas.step_loss", step_loss)
+                    obs.set_gauge("dnas.temperature", float(temperature))
+                    if regularizer is not None:
+                        obs.observe("dnas.regularizer", regularizer.item())
         history["loss"].append(epoch_loss / steps_per_epoch)
         history["accuracy"].append(epoch_acc / steps_per_epoch)
         history["params"].append(float(last_costs.params.item()))
@@ -157,11 +175,15 @@ def search(
     probe = x_train[: min(len(x_train), config.batch_size)]
     _, costs = supernet.forward_search(Tensor(probe), config.temperature_final, eval_rng)
     arch = supernet.extract(name=arch_name)
+    extracted_profile = resource_profile(arch)
+    if obs.enabled():
+        feasible = extracted_profile.fits(budget)
+        obs.incr("dnas.extracted_feasible" if feasible else "dnas.extracted_infeasible")
     return DNASResult(
         arch=arch,
         history=history,
         expected_params=float(costs.params.item()),
         expected_ops=float(costs.ops.item()),
         expected_memory_bytes=float(costs.working_memory.item()),
-        profile=resource_profile(arch),
+        profile=extracted_profile,
     )

@@ -1,0 +1,103 @@
+"""Observability: spans, counters, and per-op runtime metrics.
+
+The paper's argument is built on measurement (per-layer latency tables,
+op-count regressions, constant-power energy estimates); this package
+gives the reproduction the same visibility into **its own** execution —
+training steps, DNAS iterations, interpreter op dispatch, and the
+resource-model caches.
+
+Everything is off by default. Enable with ``REPRO_OBS=1`` in the
+environment or :func:`enable` at runtime; instrumented code paths cost
+one branch when disabled. Typical session::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run a DNAS step, an inference, a training epoch
+    print(obs.report())   # counters + histograms + span tree
+    obs.reset()
+
+Layout
+------
+``repro.obs.state``    the process-wide on/off switch
+``repro.obs.trace``    nestable spans, ring buffer, JSONL sink
+``repro.obs.metrics``  counters/gauges/histograms registry
+``repro.obs.bridge``   modeled-vs-measured profiler comparison and
+                       cache-statistics snapshots (imported separately —
+                       it pulls in the hw/runtime stack)
+
+The JSONL schema and the full instrumentation map are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.state import disable, enable, enabled, enabled_scope
+from repro.obs.trace import (
+    SpanRecord,
+    completed_spans,
+    open_depth,
+    render_span_tree,
+    set_sink,
+    span,
+)
+
+__all__ = [
+    "enable", "disable", "enabled", "enabled_scope",
+    "span", "SpanRecord", "completed_spans", "open_depth", "render_span_tree",
+    "set_sink",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "incr", "set_gauge", "observe",
+    "export", "report", "reset",
+]
+
+
+# ----------------------------------------------------------------------
+# Instrumentation-site helpers: one enabled() branch, then the registry.
+def incr(name: str, n: int = 1) -> None:
+    """Increment a counter (no-op while observability is disabled)."""
+    if enabled():
+        REGISTRY.counter(name).incr(n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge (no-op while observability is disabled)."""
+    if enabled():
+        REGISTRY.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation (no-op while disabled)."""
+    if enabled():
+        REGISTRY.histogram(name).observe(value)
+
+
+# ----------------------------------------------------------------------
+def export() -> Dict:
+    """JSON-serializable snapshot: all metrics plus the buffered spans."""
+    return {
+        "metrics": REGISTRY.as_dict(),
+        "spans": [record.as_dict() for record in completed_spans()],
+    }
+
+
+def report(max_spans: int = 200) -> str:
+    """Human-readable report: metrics table followed by the span tree."""
+    sections = [
+        "== metrics " + "=" * 57,
+        REGISTRY.render(),
+        "== spans " + "=" * 59,
+        render_span_tree(max_spans=max_spans),
+    ]
+    return "\n".join(sections)
+
+
+def reset(drop: bool = True) -> None:
+    """Clear every metric and buffered span (and detach the JSONL sink)."""
+    REGISTRY.reset(drop=drop)
+    _trace.reset()

@@ -1,0 +1,139 @@
+"""Bridges between the obs runtime metrics and the modeled hw profiles.
+
+Two jobs live here (separate from :mod:`repro.obs` because they pull in
+the hw/runtime stack, which the core obs package must not):
+
+* :func:`modeled_vs_measured` — run a graph through the interpreter with
+  per-op timing on and print the paper-style *modeled* per-layer table
+  (:mod:`repro.hw.profiler`) side-by-side with the *measured* wall-clock
+  per op. Modeled numbers are simulated MCU seconds and measured numbers
+  are host-python seconds, so the interesting column is each side's
+  **share** of its own total — that is what the paper's §3 tables rank.
+* :func:`collect_cache_stats` — snapshot the hit/miss counters of the
+  latency-model memos, the NAS resource-profile memo, and the GEMM
+  workspace pool into obs gauges (and return them as a dict), which is
+  how ``bench_hotpaths`` gets its cache-hit-rate fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hw.devices import MCUDevice
+from repro.hw.latency import LAYER_LATENCY_CACHE, MODEL_LATENCY_CACHE
+from repro.hw.profiler import profile_model
+from repro.nas.budgets import RESOURCE_PROFILE_CACHE
+from repro.obs import REGISTRY, enabled_scope
+from repro.runtime.graph import Graph
+from repro.runtime.interpreter import Interpreter
+from repro.tensor.gemm import default_workspace
+
+
+@dataclass(frozen=True)
+class BridgeRow:
+    """One op's modeled-vs-measured comparison."""
+
+    name: str
+    kind: str
+    ops: int
+    modeled_s: Optional[float]
+    measured_s: float
+    modeled_share: float
+    measured_share: float
+
+
+def modeled_vs_measured(
+    graph: Graph,
+    device: MCUDevice,
+    batch: Optional[np.ndarray] = None,
+    repeats: int = 3,
+) -> List[BridgeRow]:
+    """Per-op comparison of the §3 latency model against wall-clock timing.
+
+    Observability is force-enabled around the interpreter run so per-op
+    timings are recorded regardless of the process-wide switch; the best
+    of ``repeats`` invocations is used to suppress warm-up noise.
+    """
+    workload = graph.to_workload()
+    profile = profile_model(workload, device)
+    modeled = {layer.name: layer for layer in profile.layers}
+
+    interp = Interpreter(graph)
+    if batch is None:
+        in_spec = graph.tensors[graph.inputs[0]]
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(1,) + tuple(in_spec.shape)).astype(np.float32)
+
+    best: Dict[str, float] = {}
+    with enabled_scope(True):
+        for _ in range(max(1, repeats)):
+            interp.invoke(batch)
+            for name, seconds in interp.last_op_timings.items():
+                if name not in best or seconds < best[name]:
+                    best[name] = seconds
+
+    modeled_total = sum(m.latency_s for m in modeled.values()) or 1.0
+    measured_total = sum(best.values()) or 1.0
+    rows: List[BridgeRow] = []
+    for op in graph.ops:
+        model_row = modeled.get(op.name)
+        measured_s = best.get(op.name, 0.0)
+        rows.append(
+            BridgeRow(
+                name=op.name,
+                kind=op.kind,
+                ops=model_row.ops if model_row is not None else 0,
+                modeled_s=model_row.latency_s if model_row is not None else None,
+                measured_s=measured_s,
+                modeled_share=(model_row.latency_s / modeled_total) if model_row else 0.0,
+                measured_share=measured_s / measured_total,
+            )
+        )
+    return rows
+
+
+def render_bridge_table(rows: List[BridgeRow], model: str, device: str) -> str:
+    """Side-by-side text table (modeled MCU ms vs measured host ms)."""
+    lines = [
+        f"modeled (device={device}) vs measured (host interpreter) for {model}",
+        f"{'op':<28} {'kind':<18} {'ops':>12} "
+        f"{'model ms':>10} {'model %':>8} {'meas ms':>10} {'meas %':>8}",
+    ]
+    for row in rows:
+        modeled_ms = f"{row.modeled_s * 1e3:10.3f}" if row.modeled_s is not None else f"{'-':>10}"
+        lines.append(
+            f"{row.name[:28]:<28} {row.kind:<18} {row.ops:>12,d} "
+            f"{modeled_ms} {100 * row.modeled_share:>7.1f}% "
+            f"{row.measured_s * 1e3:>10.3f} {100 * row.measured_share:>7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def collect_cache_stats() -> Dict[str, float]:
+    """Snapshot resource-model cache and workspace-pool counters as gauges.
+
+    Always records (this is an explicit request, not a hot-path site);
+    returns the same values as a flat dict.
+    """
+    stats: Dict[str, float] = {}
+    for label, cache in (
+        ("cache.layer_latency", LAYER_LATENCY_CACHE),
+        ("cache.model_latency", MODEL_LATENCY_CACHE),
+        ("cache.resource_profile", RESOURCE_PROFILE_CACHE),
+    ):
+        info = cache.info()
+        stats[f"{label}.hits"] = float(info.hits)
+        stats[f"{label}.misses"] = float(info.misses)
+        stats[f"{label}.hit_rate"] = info.hit_rate
+    workspace = default_workspace()
+    total = workspace.allocations + workspace.reuses
+    stats["workspace.allocations"] = float(workspace.allocations)
+    stats["workspace.reuses"] = float(workspace.reuses)
+    stats["workspace.reuse_rate"] = workspace.reuses / total if total else 0.0
+    stats["workspace.pooled_bytes"] = float(workspace.pooled_bytes())
+    for name, value in stats.items():
+        REGISTRY.gauge(name).set(value)
+    return stats

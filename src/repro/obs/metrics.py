@@ -1,0 +1,244 @@
+"""Named counters, gauges, and histograms in a process-wide registry.
+
+The primitives themselves are always live — creating a
+:class:`Counter` and calling :meth:`Counter.incr` works whether or not
+observability is enabled. The global convenience helpers used at
+instrumentation sites (:func:`repro.obs.incr` etc.) are the ones that
+check the :mod:`repro.obs.state` switch, so a disabled process pays one
+branch per site and the registry stays empty.
+
+Exports: :meth:`MetricsRegistry.as_dict` (JSON-friendly),
+:meth:`MetricsRegistry.to_jsonl` (one metric per line), and
+:meth:`MetricsRegistry.render` (a plain-text table).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+]
+
+
+class Counter:
+    """A monotonically non-decreasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def incr(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: increment must be >= 0, got {n}")
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def as_dict(self) -> Dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def as_dict(self) -> Dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary with a bounded sample reservoir.
+
+    Tracks exact count/sum/min/max; quantiles are estimated from the
+    first ``reservoir_size`` observations plus a deterministic stride of
+    later ones, which is plenty for per-op timing tables.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "reservoir_size")
+
+    def __init__(self, name: str, reservoir_size: int = 512) -> None:
+        self.name = name
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(value)
+        else:
+            # Deterministic thinning: overwrite a rotating slot so late
+            # observations still influence the quantile estimates.
+            self._samples[self.count % self.reservoir_size] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[idx]
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples = []
+
+    def as_dict(self) -> Dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Process-wide name → metric map with typed get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors ------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # -- introspection --------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, Gauge]:
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- export ---------------------------------------------------------
+    def as_dict(self) -> Dict:
+        """JSON-serializable snapshot of every metric."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.as_dict() for n, h in sorted(self._histograms.items())},
+        }
+
+    def to_jsonl(self) -> str:
+        """One JSON object per metric, one metric per line."""
+        lines = []
+        for name in sorted(self._counters):
+            lines.append(json.dumps(self._counters[name].as_dict(), sort_keys=True))
+        for name in sorted(self._gauges):
+            lines.append(json.dumps(self._gauges[name].as_dict(), sort_keys=True))
+        for name in sorted(self._histograms):
+            lines.append(json.dumps(self._histograms[name].as_dict(), sort_keys=True))
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Plain-text metrics table (the ``repro obs`` report body)."""
+        lines: List[str] = []
+        if self._counters:
+            lines.append(f"{'counter':<44} {'value':>12}")
+            for name in sorted(self._counters):
+                lines.append(f"{name:<44} {self._counters[name].value:>12,d}")
+        if self._gauges:
+            if lines:
+                lines.append("")
+            lines.append(f"{'gauge':<44} {'value':>12}")
+            for name in sorted(self._gauges):
+                lines.append(f"{name:<44} {self._gauges[name].value:>12.6g}")
+        if self._histograms:
+            if lines:
+                lines.append("")
+            lines.append(
+                f"{'histogram':<44} {'count':>8} {'mean':>11} {'p50':>11} "
+                f"{'p95':>11} {'max':>11}"
+            )
+            for name in sorted(self._histograms):
+                h = self._histograms[name]
+                lines.append(
+                    f"{name:<44} {h.count:>8,d} {h.mean:>11.3e} "
+                    f"{h.quantile(0.5):>11.3e} {h.quantile(0.95):>11.3e} "
+                    f"{(h.max if h.count else 0.0):>11.3e}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self, drop: bool = False) -> None:
+        """Zero every metric; with ``drop=True`` forget the names too."""
+        if drop:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            return
+        for metric in self._counters.values():
+            metric.reset()
+        for metric in self._gauges.values():
+            metric.reset()
+        for metric in self._histograms.values():
+            metric.reset()
+
+
+#: The process-wide registry every instrumentation site writes to.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,47 @@
+"""The global on/off switch for the observability layer.
+
+Everything in :mod:`repro.obs` is **off by default**: instrumented code
+paths test one module-level boolean and fall through. Enable with the
+``REPRO_OBS=1`` environment variable (checked once at import) or at
+runtime with :func:`enable` / the :func:`enabled_scope` context manager.
+
+The flag lives in its own module so :mod:`repro.obs.trace` and
+:mod:`repro.obs.metrics` can both read it without importing each other.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+_ENABLED = os.environ.get("REPRO_OBS", "") not in ("", "0")
+
+
+def enable() -> None:
+    """Turn instrumentation on process-wide."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn instrumentation off process-wide."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether instrumented code paths currently record anything."""
+    return _ENABLED
+
+
+@contextlib.contextmanager
+def enabled_scope(on: bool = True) -> Iterator[None]:
+    """Temporarily flip the switch (used by tests and the CLI report)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(on)
+    try:
+        yield
+    finally:
+        _ENABLED = previous

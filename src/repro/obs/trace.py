@@ -1,0 +1,201 @@
+"""Nestable spans over an in-process ring buffer with an optional JSONL sink.
+
+Usage at an instrumentation site::
+
+    from repro import obs
+
+    with obs.span("dnas/step", epoch=epoch, step=step):
+        ...  # timed region
+
+When observability is disabled (the default) ``__enter__`` tests one
+boolean and returns ``None``. When enabled, the span records wall time,
+nesting depth, parent linkage, and arbitrary keyword metadata; closed
+spans land in a bounded ring buffer (and, if a sink is installed, as one
+JSON line each). Exceptions propagate — the span still closes, tagging
+itself with the exception type.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, IO, List, Optional
+
+from repro.obs import state
+
+__all__ = ["SpanRecord", "span", "completed_spans", "render_span_tree",
+           "set_sink", "get_sink", "reset", "set_capacity"]
+
+#: Default ring-buffer capacity (completed spans retained for reports).
+DEFAULT_CAPACITY = 4096
+
+_RING: Deque["SpanRecord"] = deque(maxlen=DEFAULT_CAPACITY)
+_SEQUENCE = 0
+_SINK: Optional[IO[str]] = None
+_SINK_OWNED = False
+_LOCAL = threading.local()
+
+
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    __slots__ = ("name", "metadata", "start_s", "end_s", "depth", "index",
+                 "parent_index", "error")
+
+    def __init__(self, name: str, metadata: Dict, depth: int, index: int,
+                 parent_index: Optional[int]) -> None:
+        self.name = name
+        self.metadata = metadata
+        self.depth = depth
+        self.index = index
+        self.parent_index = parent_index
+        self.start_s = time.perf_counter()
+        self.end_s: Optional[float] = None
+        self.error: Optional[str] = None
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "index": self.index,
+            "parent": self.parent_index,
+            "depth": self.depth,
+            "duration_s": self.duration_s,
+            "error": self.error,
+            "meta": self.metadata,
+        }
+
+
+def _emit(record: "SpanRecord") -> None:
+    """Append a closed span to the ring buffer and the sink (if any)."""
+    _RING.append(record)
+    if _SINK is not None:
+        _SINK.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+        _SINK.flush()
+
+
+def _stack() -> List[SpanRecord]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+class span:
+    """Context manager recording one nestable timed region.
+
+    Re-entrant use of a single instance is not supported; construct a new
+    ``span(...)`` per ``with`` statement (as the one-line idiom does).
+    """
+
+    __slots__ = ("name", "metadata", "record")
+
+    def __init__(self, name: str, **metadata) -> None:
+        self.name = name
+        self.metadata = metadata
+        self.record: Optional[SpanRecord] = None
+
+    def __enter__(self) -> Optional[SpanRecord]:
+        if not state._ENABLED:
+            return None
+        global _SEQUENCE
+        stack = _stack()
+        parent = stack[-1].index if stack else None
+        record = SpanRecord(self.name, self.metadata, len(stack), _SEQUENCE, parent)
+        _SEQUENCE += 1
+        stack.append(record)
+        self.record = record
+        return record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self.record
+        if record is None:
+            return False
+        record.end_s = time.perf_counter()
+        if exc_type is not None:
+            record.error = exc_type.__name__
+        stack = _stack()
+        # Close any orphaned children first (a child that never exited, e.g.
+        # a generator abandoned mid-span) so nesting stays consistent.
+        while stack and stack[-1] is not record:
+            orphan = stack.pop()
+            if orphan.end_s is None:
+                orphan.end_s = record.end_s
+                orphan.error = orphan.error or "orphaned"
+                _emit(orphan)
+        if stack:
+            stack.pop()
+        _emit(record)
+        self.record = None
+        return False  # never swallow exceptions
+
+
+# ----------------------------------------------------------------------
+def completed_spans() -> List[SpanRecord]:
+    """Completed spans currently in the ring buffer, oldest first."""
+    return list(_RING)
+
+
+def open_depth() -> int:
+    """How many spans are currently open on this thread (0 when balanced)."""
+    return len(_stack())
+
+
+def render_span_tree(max_spans: int = 200) -> str:
+    """Indented text tree of the buffered spans, in start order."""
+    records = sorted(_RING, key=lambda r: r.index)[:max_spans]
+    if not records:
+        return "(no spans recorded)"
+    lines = [f"{'span':<52} {'ms':>10}  meta"]
+    for record in records:
+        label = "  " * record.depth + record.name
+        if record.error:
+            label += f" !{record.error}"
+        meta = ", ".join(f"{k}={v}" for k, v in record.metadata.items())
+        lines.append(f"{label:<52} {record.duration_s * 1e3:>10.3f}  {meta}")
+    if len(_RING) > max_spans:
+        lines.append(f"... {len(_RING) - max_spans} more spans")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def set_sink(target) -> None:
+    """Install a JSONL sink: a path (opened in append mode), a file-like
+    object, or ``None`` to remove the current sink."""
+    global _SINK, _SINK_OWNED
+    if _SINK is not None and _SINK_OWNED:
+        _SINK.close()
+    if target is None:
+        _SINK, _SINK_OWNED = None, False
+    elif hasattr(target, "write"):
+        _SINK, _SINK_OWNED = target, False
+    else:
+        _SINK, _SINK_OWNED = open(target, "a"), True
+
+
+def get_sink() -> Optional[IO[str]]:
+    return _SINK
+
+
+def set_capacity(capacity: int) -> None:
+    """Resize the ring buffer (drops buffered spans)."""
+    global _RING
+    _RING = deque(maxlen=int(capacity))
+
+
+def reset() -> None:
+    """Drop buffered spans, the open-span stack, and the sink; restore the
+    default ring capacity."""
+    global _RING, _SEQUENCE
+    if _RING.maxlen != DEFAULT_CAPACITY:
+        _RING = deque(maxlen=DEFAULT_CAPACITY)
+    _RING.clear()
+    _SEQUENCE = 0
+    _LOCAL.stack = []
+    set_sink(None)

@@ -16,10 +16,12 @@ provides (arena size, per-tensor allocations) via :meth:`Interpreter.plan`.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GraphError
 from repro.quantization import kernels as qk
 from repro.quantization.params import dequantize, quantize
@@ -43,6 +45,9 @@ class Interpreter:
         graph.validate()
         self.graph = graph
         self._plan: Optional[ArenaPlan] = None
+        #: Wall-clock seconds per op name from the most recent observed
+        #: invoke (populated only while observability is enabled).
+        self.last_op_timings: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def plan(self) -> ArenaPlan:
@@ -80,8 +85,22 @@ class Interpreter:
         else:
             values[in_name] = batch
 
-        for op in self.graph.ops:
-            self._execute(op, values)
+        if not obs.enabled():
+            for op in self.graph.ops:
+                self._execute(op, values)
+        else:
+            self.last_op_timings = {}
+            with obs.span(
+                "interpreter/invoke", model=self.graph.name, batch=int(batch.shape[0])
+            ):
+                obs.incr("interpreter.invocations")
+                for op in self.graph.ops:
+                    start = time.perf_counter()
+                    self._execute(op, values)
+                    elapsed = time.perf_counter() - start
+                    self.last_op_timings[op.name] = elapsed
+                    obs.observe(f"interpreter.op_seconds.{op.kind}", elapsed)
+                    obs.incr(f"interpreter.op_calls.{op.kind}")
 
         out_name = self.graph.outputs[0]
         out = values[out_name]

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.models.spec import ArchSpec, SpecModel, build_module, export_graph
 from repro.nn import SGD, Adam, accuracy, cross_entropy, mixup
 from repro.nn.losses import distillation_loss
@@ -79,30 +81,38 @@ def train_classifier(
         opt = SGD(params, schedule=schedule, momentum=0.9, weight_decay=config.weight_decay)
 
     module.train()
-    for _ in range(config.epochs):
-        order = rng.permutation(len(x_train))
-        for step in range(steps_per_epoch):
-            idx = order[step * config.batch_size : (step + 1) * config.batch_size]
-            xb, yb = x_train[idx], y_train[idx]
-            soft_labels = None
-            if config.mixup_alpha > 0:
-                xb, soft_labels = mixup(xb, yb, num_classes, config.mixup_alpha, rng)
-            logits = module(Tensor(xb))
-            if teacher_logits is not None and config.distill_alpha > 0:
-                loss = distillation_loss(
-                    logits,
-                    teacher_logits[idx],
-                    yb,
-                    alpha=config.distill_alpha,
-                    temperature=config.distill_temperature,
-                )
-            else:
-                loss = cross_entropy(
-                    logits, yb, label_smoothing=config.label_smoothing, soft_labels=soft_labels
-                )
-            opt.zero_grad()
-            loss.backward()
-            opt.step()
+    for epoch in range(config.epochs):
+        with obs.span("train/epoch", arch=arch.name, epoch=epoch):
+            order = rng.permutation(len(x_train))
+            for step in range(steps_per_epoch):
+                timed = obs.enabled()
+                if timed:
+                    step_start = time.perf_counter()
+                idx = order[step * config.batch_size : (step + 1) * config.batch_size]
+                xb, yb = x_train[idx], y_train[idx]
+                soft_labels = None
+                if config.mixup_alpha > 0:
+                    xb, soft_labels = mixup(xb, yb, num_classes, config.mixup_alpha, rng)
+                logits = module(Tensor(xb))
+                if teacher_logits is not None and config.distill_alpha > 0:
+                    loss = distillation_loss(
+                        logits,
+                        teacher_logits[idx],
+                        yb,
+                        alpha=config.distill_alpha,
+                        temperature=config.distill_temperature,
+                    )
+                else:
+                    loss = cross_entropy(
+                        logits, yb, label_smoothing=config.label_smoothing, soft_labels=soft_labels
+                    )
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+                if timed:
+                    obs.incr("train.steps")
+                    obs.observe("train.step_seconds", time.perf_counter() - step_start)
+                    obs.observe("train.step_loss", loss.item())
     module.eval()
     return module
 

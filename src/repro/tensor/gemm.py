@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ReproError, ShapeError
 from repro.tensor.conv import IntOrPair, _pad_input, as_pair, resolve_padding
 
@@ -74,8 +75,12 @@ class Workspace:
                     best = i
             if best is not None:
                 self.reuses += 1
+                if obs.enabled():
+                    obs.incr("workspace.reuse")
                 return free.pop(best)
         self.allocations += 1
+        if obs.enabled():
+            obs.incr("workspace.alloc")
         return np.empty(num_elements, dtype=np.float32)
 
     def give_back(self, tag: str, buffer: np.ndarray) -> None:
@@ -91,6 +96,9 @@ class Workspace:
         self._free.clear()
         self.allocations = 0
         self.reuses = 0
+
+    #: Same naming convention as the resource-model caches.
+    reset = clear
 
 
 _DEFAULT_WORKSPACE = Workspace()
@@ -261,13 +269,20 @@ def conv2d_backward_input(
 
 
 class DepthwiseCache:
-    """Padded input kept for the depthwise weight gradient."""
+    """Padded input kept for the depthwise weight gradient.
 
-    __slots__ = ("x_padded", "stride")
+    The kernel size is carried explicitly: it cannot be inferred from the
+    padded extent when a "valid" conv leaves trailing rows/columns unused.
+    """
 
-    def __init__(self, x_padded: np.ndarray, stride: Tuple[int, int]) -> None:
+    __slots__ = ("x_padded", "stride", "kernel")
+
+    def __init__(
+        self, x_padded: np.ndarray, stride: Tuple[int, int], kernel: Tuple[int, int]
+    ) -> None:
         self.x_padded = x_padded
         self.stride = stride
+        self.kernel = kernel
 
     def release(self) -> None:
         self.x_padded = None
@@ -310,7 +325,7 @@ def depthwise_conv2d_forward(
             np.multiply(tap, weight[i, j], out=scratch)
             out += scratch
     workspace.give_back("dw_scratch", base)
-    return out, DepthwiseCache(x_padded, (sh, sw))
+    return out, DepthwiseCache(x_padded, (sh, sw), (kh, kw))
 
 
 def depthwise_conv2d_backward_weight(
@@ -325,9 +340,8 @@ def depthwise_conv2d_backward_weight(
         )
     workspace = workspace or _DEFAULT_WORKSPACE
     sh, sw = cache.stride
+    kh, kw = cache.kernel
     n, oh, ow, c = grad_out.shape
-    kh = x_padded.shape[1] - sh * (oh - 1)
-    kw = x_padded.shape[2] - sw * (ow - 1)
     grad_weight = np.empty((kh, kw, c), dtype=np.float32)
     base = workspace.take("dw_scratch", grad_out.size)
     scratch = base[: grad_out.size].reshape(grad_out.shape)

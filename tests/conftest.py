@@ -5,6 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
+from repro.hw.latency import clear_latency_caches
+from repro.nas.budgets import clear_profile_cache
+from repro.tensor.gemm import default_workspace
 from repro.models.spec import (
     ArchSpec,
     ConvSpec,
@@ -14,6 +18,28 @@ from repro.models.spec import (
     ResidualSpec,
     build_module,
 )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observable_state():
+    """Every test starts and ends with pristine process-wide state.
+
+    The obs registry/ring buffer, the latency-model and resource-profile
+    memos, and the GEMM workspace pool are all process-wide singletons;
+    without this fixture a test could pass or fail depending on which
+    tests ran before it (counter values, cache hits, pooled buffers).
+    """
+    obs.disable()
+    obs.reset()
+    clear_latency_caches()
+    clear_profile_cache()
+    default_workspace().clear()
+    yield
+    obs.disable()
+    obs.reset()
+    clear_latency_caches()
+    clear_profile_cache()
+    default_workspace().clear()
 
 
 @pytest.fixture

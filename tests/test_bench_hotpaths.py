@@ -31,6 +31,14 @@ def test_hotpath_bench_smoke(tmp_path):
     assert sections["conv_training_step"]["speedup"] >= 1.05
     assert sections["characterization_sweep"]["speedup"] >= 2.0
 
+    # Observability fields: cache hit rates and workspace reuse ride along.
+    assert 0.0 <= sections["conv_training_step"]["workspace_reuse_rate"] <= 1.0
+    assert sections["characterization_sweep"]["layer_cache_hit_rate"] > 0.0
+    assert sections["characterization_sweep"]["model_cache_hit_rate"] > 0.0
+    stats = result["cache_stats"]
+    assert stats["cache.layer_latency.hits"] > 0
+    assert 0.0 <= stats["workspace.reuse_rate"] <= 1.0
+
     # Archiving produces both artifacts, and the JSON round-trips.
     archive_hotpath_result(result, results_dir=str(tmp_path), json_dir=str(tmp_path))
     table = (tmp_path / "hotpaths.txt").read_text()

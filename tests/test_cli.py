@@ -41,3 +41,25 @@ class TestCli:
 
     def test_heavy_subset_of_registry(self):
         assert HEAVY <= set(EXPERIMENTS)
+
+
+class TestObsCommand:
+    def test_obs_report(self, capsys, tmp_path):
+        jsonl = tmp_path / "obs.jsonl"
+        assert main(["obs", "--arch", "tiny", "--repeats", "1",
+                     "--jsonl", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        # Modeled-vs-measured bridge table plus the metrics/span report.
+        assert "modeled" in out and "measured" in out
+        assert "interpreter.op_calls" in out
+        assert "interpreter/invoke" in out
+        assert "cache.layer_latency.hit_rate" in out
+        # The sink captured spans and the final metrics snapshot as JSONL.
+        import json
+
+        entries = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert {"span", "counter"} <= {entry["type"] for entry in entries}
+
+    def test_obs_unknown_arch(self):
+        with pytest.raises(SystemExit):
+            main(["obs", "--arch", "bogus"])

@@ -1,0 +1,124 @@
+"""Unit tests for the latency-model calibration pipeline (hw/calibration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.hw.calibration import (
+    CalibrationResult,
+    Measurement,
+    fit_latency_model,
+    measure_with_model,
+    validate_round_trip,
+)
+from repro.hw.devices import MEDIUM, SMALL
+from repro.hw.latency import CYCLES_PER_OP_M7, DISPATCH_CYCLES
+from repro.hw.workload import LayerWorkload
+
+pytestmark = pytest.mark.tier1
+
+
+def _uniform_factor_corpus():
+    """Layers whose deterministic cost factors are constant within a kind.
+
+    Every conv is 3x3 with div-4 channels (same kernel factor, no channel
+    penalty), so the model's cycles are *exactly* linear in ops per kind —
+    the calibration fit must recover them perfectly when spread is off.
+    """
+    return [
+        LayerWorkload.conv2d("c0", (16, 16, 4), 8, kernel=3),
+        LayerWorkload.conv2d("c1", (12, 12, 8), 16, kernel=3),
+        LayerWorkload.conv2d("c2", (8, 8, 16), 32, kernel=3),
+        LayerWorkload.depthwise_conv2d("d0", (16, 16, 8), kernel=3),
+        LayerWorkload.depthwise_conv2d("d1", (8, 8, 32), kernel=3),
+        LayerWorkload.dense("f0", 64, 32),
+        LayerWorkload.dense("f1", 128, 10),
+    ]
+
+
+class TestFitLatencyModel:
+    def test_exact_recovery_without_spread(self):
+        measurements = measure_with_model(_uniform_factor_corpus(), MEDIUM, spread=False)
+        result = fit_latency_model(measurements, MEDIUM)
+        assert result.r_squared == pytest.approx(1.0, abs=1e-9)
+        assert result.dispatch_cycles == pytest.approx(DISPATCH_CYCLES, rel=1e-6)
+        # Kinds with unit factors come back as the model's base constants
+        # (MEDIUM is dual-issue, so no IPC scaling applies).
+        assert result.cycles_per_op["dense"] == pytest.approx(
+            CYCLES_PER_OP_M7["dense"], rel=1e-6
+        )
+        assert result.cycles_per_op["depthwise_conv2d"] == pytest.approx(
+            CYCLES_PER_OP_M7["depthwise_conv2d"], rel=1e-6
+        )
+        # 3x3 convs fold the kernel-area factor into the fitted constant.
+        assert result.cycles_per_op["conv2d"] > CYCLES_PER_OP_M7["conv2d"]
+
+    def test_ipc_handicap_visible_on_m4(self):
+        small = fit_latency_model(
+            measure_with_model(_uniform_factor_corpus(), SMALL, spread=False), SMALL
+        )
+        medium = fit_latency_model(
+            measure_with_model(_uniform_factor_corpus(), MEDIUM, spread=False), MEDIUM
+        )
+        ratio = small.cycles_per_op["dense"] / medium.cycles_per_op["dense"]
+        assert ratio == pytest.approx(1.67, rel=1e-3)
+
+    def test_too_few_measurements_rejected(self):
+        layers = _uniform_factor_corpus()[:2]
+        measurements = measure_with_model(layers, MEDIUM, spread=False)
+        with pytest.raises(ReproError, match="at least 3"):
+            fit_latency_model(measurements, MEDIUM)
+
+    def test_rank_deficient_corpus_rejected(self):
+        # Three copies of the same geometry: the ops column is proportional
+        # to the dispatch column, so the system cannot be solved.
+        layer = LayerWorkload.conv2d("c", (8, 8, 4), 8, kernel=3)
+        measurements = measure_with_model([layer, layer, layer], MEDIUM, spread=False)
+        with pytest.raises(ReproError, match="rank-deficient"):
+            fit_latency_model(measurements, MEDIUM)
+
+    def test_fit_tolerates_layer_spread(self):
+        rng = np.random.default_rng(0)
+        corpus = [
+            LayerWorkload.conv2d(
+                f"c{i}",
+                (int(rng.integers(6, 24)), int(rng.integers(6, 24)), 4 * int(rng.integers(1, 9))),
+                4 * int(rng.integers(1, 9)),
+                kernel=3,
+            )
+            for i in range(24)
+        ]
+        result = fit_latency_model(measure_with_model(corpus, MEDIUM, spread=True), MEDIUM)
+        assert result.r_squared > 0.9
+
+
+class TestCalibrationResult:
+    def test_predicted_seconds_math(self):
+        result = CalibrationResult(
+            cycles_per_op={"dense": 3.0}, dispatch_cycles=1000.0, r_squared=1.0
+        )
+        workload = LayerWorkload.dense("f", 10, 10)
+        expected = (3.0 * workload.ops + 1000.0) / MEDIUM.clock_hz
+        assert result.predicted_seconds(workload, MEDIUM) == pytest.approx(expected)
+        # Unknown kinds fall back to the generic 2 cycles/op.
+        pool = LayerWorkload.global_avg_pool("p", (4, 4, 8))
+        expected_pool = (2.0 * pool.ops + 1000.0) / MEDIUM.clock_hz
+        assert result.predicted_seconds(pool, MEDIUM) == pytest.approx(expected_pool)
+
+    def test_round_trip_error_is_tiny(self):
+        result, max_error = validate_round_trip(_uniform_factor_corpus(), MEDIUM)
+        assert max_error < 1e-9
+        assert result.r_squared == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMeasureWithModel:
+    def test_measurements_pair_workload_and_seconds(self):
+        corpus = _uniform_factor_corpus()
+        measurements = measure_with_model(corpus, MEDIUM, spread=False)
+        assert len(measurements) == len(corpus)
+        for measurement, workload in zip(measurements, corpus):
+            assert isinstance(measurement, Measurement)
+            assert measurement.workload is workload
+            assert measurement.seconds > 0

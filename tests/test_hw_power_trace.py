@@ -1,0 +1,88 @@
+"""Unit tests for the duty-cycle power-trace synthesizer (hw/power_trace)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.devices import MEDIUM
+from repro.hw.energy import EnergyModel
+from repro.hw.power_trace import SUPPLY_VOLTAGE, synthesize_trace
+from repro.models.spec import arch_workload
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture
+def workload(tiny_arch):
+    return arch_workload(tiny_arch)
+
+
+@pytest.fixture
+def report(workload):
+    return EnergyModel(MEDIUM).energy(workload)
+
+
+class TestTraceGeometry:
+    def test_sampling_grid(self, workload):
+        trace = synthesize_trace(workload, MEDIUM, period_s=0.5, sample_rate_hz=1000.0)
+        assert len(trace.time_s) == len(trace.current_a) == 500
+        assert trace.time_s[0] == 0.0
+        assert trace.time_s[-1] < trace.period_s == 0.5
+
+    def test_minimum_sample_floor(self, workload):
+        # 1e-4 s at 10 kHz would be a single sample; the floor keeps 16.
+        trace = synthesize_trace(workload, MEDIUM, period_s=1e-4)
+        assert len(trace.time_s) == 16
+
+    def test_latency_clamped_to_period(self, workload, report):
+        period = report.latency_s / 2
+        trace = synthesize_trace(workload, MEDIUM, period_s=period)
+        assert trace.latency_s == pytest.approx(period)
+
+    def test_labels(self, workload):
+        trace = synthesize_trace(workload, MEDIUM)
+        assert trace.device == MEDIUM.name
+        assert trace.model == workload.name
+
+
+class TestTraceLevels:
+    def test_sleep_floor_outside_active_window(self, workload, report):
+        trace = synthesize_trace(workload, MEDIUM, period_s=1.0)
+        sleeping = trace.time_s >= trace.latency_s
+        assert sleeping.any()
+        np.testing.assert_allclose(
+            trace.current_a[sleeping], MEDIUM.sleep_power_w / SUPPLY_VOLTAGE
+        )
+
+    def test_active_plateau_near_model_power(self, workload, report):
+        trace = synthesize_trace(workload, MEDIUM, period_s=1.0)
+        active = trace.time_s < trace.latency_s
+        expected = report.power_w / SUPPLY_VOLTAGE
+        # ~1% multiplicative noise: the mean plateau stays within a few %.
+        assert trace.current_a[active].mean() == pytest.approx(expected, rel=0.05)
+        assert trace.peak_current_a == pytest.approx(expected, rel=0.10)
+        assert trace.peak_current_a > MEDIUM.sleep_power_w / SUPPLY_VOLTAGE
+
+    def test_average_power_between_sleep_and_active(self, workload, report):
+        trace = synthesize_trace(workload, MEDIUM, period_s=1.0)
+        assert MEDIUM.sleep_power_w < trace.average_power_w < report.power_w
+        # Duty-cycled average: latency/period of active power plus the floor.
+        duty = trace.latency_s / trace.period_s
+        expected = duty * report.power_w + (1 - duty) * MEDIUM.sleep_power_w
+        assert trace.average_power_w == pytest.approx(expected, rel=0.05)
+
+
+class TestDeterminism:
+    def test_default_rng_is_fixed(self, workload):
+        first = synthesize_trace(workload, MEDIUM)
+        second = synthesize_trace(workload, MEDIUM)
+        np.testing.assert_array_equal(first.current_a, second.current_a)
+
+    def test_explicit_rng_controls_noise(self, workload):
+        a = synthesize_trace(workload, MEDIUM, rng=np.random.default_rng(1))
+        b = synthesize_trace(workload, MEDIUM, rng=np.random.default_rng(2))
+        active = a.time_s < a.latency_s
+        assert not np.array_equal(a.current_a[active], b.current_a[active])
+        # Noise only touches the active burst; the sleep floor is identical.
+        np.testing.assert_array_equal(a.current_a[~active], b.current_a[~active])

@@ -1,0 +1,267 @@
+"""Property tests for the observability layer (`repro.obs`).
+
+Seeded randomized programs check the invariants the rest of the repo
+relies on: spans always nest and close (even under exceptions and
+abandonment), counters are monotone, histograms summarize exactly what
+they saw, the ring buffer stays bounded, the JSONL sink emits parseable
+records, and a disabled process records nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+pytestmark = pytest.mark.tier1
+
+
+def _random_span_program(rng: np.random.Generator, depth: int = 0) -> int:
+    """Run a random tree of spans, randomly raising; returns spans opened."""
+    opened = 0
+    for _ in range(int(rng.integers(1, 4))):
+        opened += 1
+        try:
+            with obs.span(f"d{depth}", level=depth):
+                assert trace.open_depth() == depth + 1
+                if depth < 3 and rng.random() < 0.6:
+                    opened += _random_span_program(rng, depth + 1)
+                if rng.random() < 0.25:
+                    raise RuntimeError("injected")
+        except RuntimeError:
+            pass
+        assert trace.open_depth() == depth
+    return opened
+
+
+class TestSpanProperties:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_programs_always_balance(self, seed):
+        obs.enable()
+        opened = _random_span_program(np.random.default_rng(seed))
+        assert trace.open_depth() == 0
+        records = obs.completed_spans()
+        assert len(records) == opened
+        for record in records:
+            assert record.end_s is not None and record.end_s >= record.start_s
+            assert record.duration_s >= 0.0
+            # A child's recorded depth is its parent's + 1.
+            if record.parent_index is not None:
+                parent = next(r for r in records if r.index == record.parent_index)
+                assert record.depth == parent.depth + 1
+
+    def test_exception_propagates_and_tags_span(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise ValueError("boom")
+        assert trace.open_depth() == 0
+        by_name = {r.name: r for r in obs.completed_spans()}
+        assert by_name["inner"].error == "ValueError"
+        assert by_name["outer"].error == "ValueError"
+        # Nested durations: the parent covers the child.
+        assert by_name["outer"].duration_s >= by_name["inner"].duration_s
+
+    def test_abandoned_child_is_closed_as_orphan(self):
+        obs.enable()
+        outer = obs.span("outer")
+        outer.__enter__()
+        inner = obs.span("inner")
+        inner.__enter__()
+        # Exit the parent without exiting the child (an abandoned generator).
+        outer.__exit__(None, None, None)
+        assert trace.open_depth() == 0
+        by_name = {r.name: r for r in obs.completed_spans()}
+        assert by_name["inner"].error == "orphaned"
+        assert by_name["inner"].end_s is not None
+
+    def test_ring_buffer_is_bounded(self):
+        obs.enable()
+        trace.set_capacity(16)
+        for i in range(100):
+            with obs.span("s", i=i):
+                pass
+        records = obs.completed_spans()
+        assert len(records) == 16
+        # Oldest dropped, newest kept.
+        assert records[-1].metadata["i"] == 99
+
+    def test_metadata_and_tree_render(self):
+        obs.enable()
+        with obs.span("parent", phase="train"):
+            with obs.span("child", step=3):
+                pass
+        tree = obs.render_span_tree()
+        assert "parent" in tree and "  child" in tree
+        assert "phase=train" in tree and "step=3" in tree
+
+
+class TestCounterProperties:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_counters_are_monotone(self, seed):
+        rng = np.random.default_rng(seed)
+        counter = Counter("c")
+        total, previous = 0, 0
+        for _ in range(200):
+            n = int(rng.integers(0, 5))
+            counter.incr(n)
+            total += n
+            assert counter.value >= previous
+            previous = counter.value
+        assert counter.value == total
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.incr(-1)
+        assert counter.value == 0
+
+
+class TestHistogramProperties:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_summary_matches_observations(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=int(rng.integers(1, 400))).tolist()
+        hist = Histogram("h", reservoir_size=64)
+        for value in values:
+            hist.observe(value)
+        assert hist.count == len(values)
+        assert hist.min == pytest.approx(min(values))
+        assert hist.max == pytest.approx(max(values))
+        assert hist.mean == pytest.approx(float(np.mean(values)))
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.min <= hist.quantile(q) <= hist.max
+
+    def test_reset_restores_empty_summary(self):
+        hist = Histogram("h")
+        hist.observe(3.0)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.as_dict()["min"] == 0.0 and hist.as_dict()["max"] == 0.0
+
+
+class TestRegistryAndState:
+    def test_disabled_records_nothing(self):
+        assert not obs.enabled()
+        with obs.span("ghost") as record:
+            assert record is None
+        obs.incr("ghost.counter")
+        obs.observe("ghost.hist", 1.0)
+        obs.set_gauge("ghost.gauge", 1.0)
+        assert len(obs.REGISTRY) == 0
+        assert obs.completed_spans() == []
+
+    def test_enabled_scope_restores(self):
+        assert not obs.enabled()
+        with obs.enabled_scope(True):
+            assert obs.enabled()
+            obs.incr("scoped")
+        assert not obs.enabled()
+        assert obs.REGISTRY.counter("scoped").value == 1
+
+    def test_reset_clears_metrics_and_spans(self):
+        obs.enable()
+        obs.incr("a")
+        with obs.span("s"):
+            pass
+        obs.reset()
+        assert len(obs.REGISTRY) == 0
+        assert obs.completed_spans() == []
+
+    def test_export_is_json_serializable(self):
+        obs.enable()
+        obs.incr("a", 2)
+        obs.set_gauge("g", 0.5)
+        obs.observe("h", 1.0)
+        with obs.span("s", k="v"):
+            pass
+        blob = json.dumps(obs.export())
+        parsed = json.loads(blob)
+        assert parsed["metrics"]["counters"]["a"] == 2
+        assert parsed["spans"][0]["name"] == "s"
+
+    def test_registry_typed_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("x") is not None  # same name, distinct kind
+        assert len(registry) == 2
+
+
+class TestJsonlSink:
+    def test_spans_stream_as_parseable_jsonl(self):
+        obs.enable()
+        sink = io.StringIO()
+        obs.set_sink(sink)
+        with obs.span("outer", run=1):
+            with obs.span("inner"):
+                pass
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [entry["name"] for entry in lines] == ["inner", "outer"]  # close order
+        outer = lines[1]
+        assert outer["type"] == "span" and outer["meta"] == {"run": 1}
+        assert lines[0]["parent"] == outer["index"]
+
+    def test_metrics_jsonl_parses(self):
+        obs.enable()
+        obs.incr("c", 3)
+        obs.observe("h", 2.0)
+        entries = [json.loads(line) for line in obs.REGISTRY.to_jsonl().splitlines()]
+        kinds = {entry["type"] for entry in entries}
+        assert kinds == {"counter", "histogram"}
+
+
+class TestEndToEndTelemetry:
+    """The acceptance scenario: one (tiny) DNAS search plus one interpreter
+    inference under ``obs.enable()`` must yield per-op timings, a span tree,
+    and nonzero cache hit *and* miss counters."""
+
+    def test_dnas_and_inference_produce_full_report(self):
+        from repro.models.spec import export_graph
+        from repro.nas import DSCNNSupernet, ResourceBudget, SearchConfig, search
+        from repro.nas.budgets import resource_profile
+        from repro.runtime.interpreter import Interpreter
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 16, 8, 1)).astype(np.float32)
+        y = rng.integers(0, 4, size=32)
+        net = DSCNNSupernet(
+            input_shape=(16, 8, 1), num_classes=4,
+            stem_options=[8, 16], num_blocks=2, block_options=[8, 16], rng=0,
+            stem_kernel=(4, 4), stem_stride=(2, 2),
+        )
+        obs.enable()
+        result = search(
+            net, x, y,
+            ResourceBudget(params=1e7, activation_bytes=1e7),
+            SearchConfig(epochs=1, warmup_epochs=0, batch_size=16), rng=0,
+        )
+        # Second profile of the extracted arch must hit the memo.
+        resource_profile(result.arch)
+
+        graph = export_graph(result.arch, bits=8)
+        interp = Interpreter(graph)
+        interp.invoke(x[:2])
+
+        counters = obs.REGISTRY.as_dict()["counters"]
+        assert counters["dnas.steps"] == 2
+        assert counters["cache.resource_profile.miss"] > 0
+        assert counters["cache.resource_profile.hit"] > 0
+        assert counters["interpreter.invocations"] == 1
+        assert counters["interpreter.op_calls.conv2d"] >= 1
+
+        # Per-op wall timings were captured for every graph op.
+        assert set(interp.last_op_timings) == {op.name for op in graph.ops}
+        assert all(t >= 0.0 for t in interp.last_op_timings.values())
+
+        text = obs.report()
+        names = {record.name for record in obs.completed_spans()}
+        assert {"dnas/epoch", "dnas/step", "interpreter/invoke"} <= names
+        assert "interpreter.op_seconds.conv2d" in text
+        assert "dnas/step" in text

@@ -1,0 +1,86 @@
+"""Unit tests for the code-generation deployment path (runtime/codegen)."""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.hw.devices import MEDIUM, SMALL
+from repro.hw.latency import DISPATCH_CYCLES, LatencyModel
+from repro.models.spec import export_graph
+from repro.runtime.codegen import (
+    CODEGEN_KERNEL_LIBRARY_FLASH,
+    CODEGEN_PER_OP_FLASH,
+    CODEGEN_RUNTIME_SRAM,
+    _KERNEL_NAMES,
+    codegen_latency,
+    codegen_memory_report,
+    generate_c_source,
+)
+from repro.runtime.planner import plan_arena
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture
+def tiny_graph(tiny_arch, tiny_module, rng):
+    calibration = rng.normal(size=(8, 12, 12, 1)).astype(np.float32)
+    return export_graph(tiny_arch, module=tiny_module, calibration=calibration, bits=8)
+
+
+class TestGenerateCSource:
+    def test_source_structure(self, tiny_graph):
+        source = generate_c_source(tiny_graph)
+        plan = plan_arena(tiny_graph)
+        assert "void net_invoke(const int8_t *input, int8_t *output)" in source
+        assert f"static int8_t arena[{plan.arena_bytes}];" in source
+        assert '#include "cmsis_nn_kernels.h"' in source
+
+    def test_every_op_gets_a_kernel_call(self, tiny_graph):
+        source = generate_c_source(tiny_graph)
+        for op in tiny_graph.ops:
+            assert _KERNEL_NAMES[op.kind] in source
+
+    def test_weights_become_const_arrays(self, tiny_graph):
+        source = generate_c_source(tiny_graph)
+        for spec in tiny_graph.weight_tensors:
+            flat = np.asarray(spec.data).reshape(-1)
+            identifier = "".join(ch if ch.isalnum() else "_" for ch in spec.name)
+            assert f"{identifier}[{flat.size}]" in source
+        # Quantized graphs carry int8 weights and int32 biases.
+        assert "static const int8_t" in source
+        assert "static const int32_t" in source
+
+    def test_arena_offsets_are_in_bounds(self, tiny_graph):
+        plan = plan_arena(tiny_graph)
+        source = generate_c_source(tiny_graph)
+        offsets = [int(m) for m in re.findall(r"arena \+ (\d+)", source)]
+        assert offsets, "expected activation tensors addressed via the arena"
+        assert all(0 <= offset < plan.arena_bytes for offset in offsets)
+
+
+class TestCodegenMemoryReport:
+    def test_memory_map(self, tiny_graph):
+        report = codegen_memory_report(tiny_graph)
+        plan = plan_arena(tiny_graph)
+        weight_bytes = sum(t.size_bytes for t in tiny_graph.weight_tensors)
+        assert report.arena_bytes == plan.arena_bytes
+        assert report.persistent_bytes == 0
+        assert report.runtime_sram_bytes == CODEGEN_RUNTIME_SRAM
+        assert report.model_flash_bytes == (
+            weight_bytes + CODEGEN_PER_OP_FLASH * len(tiny_graph.ops)
+        )
+        assert report.code_flash_bytes == CODEGEN_KERNEL_LIBRARY_FLASH
+
+
+class TestCodegenLatency:
+    @pytest.mark.parametrize("device", [SMALL, MEDIUM], ids=lambda d: d.name)
+    def test_codegen_saves_exactly_the_dispatch_cost(self, tiny_graph, device):
+        workload = tiny_graph.to_workload()
+        interpreter_latency = LatencyModel(device).model_latency(workload)
+        generated = codegen_latency(tiny_graph, device)
+        dispatch = DISPATCH_CYCLES * len(workload.layers) / device.clock_hz
+        assert generated == pytest.approx(interpreter_latency - dispatch)
+        assert 0 < generated < interpreter_latency
