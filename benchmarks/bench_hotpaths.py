@@ -12,6 +12,10 @@ dedicated optimization in the tensor/hw layers:
    replacement) from a pool of random KWS backbones, mimicking a search
    loop's revisit pattern, with and without the resource-model memos.
 
+A fourth section, ``resilience_overhead``, guards the checkpoint/fault
+hooks threaded through those loops: a disabled ``fault_point`` must stay a
+single-branch no-op and checkpoint-free runs must pay nothing.
+
 Unlike the figure/table benches this module is **self-timed** (perf_counter,
 best-of-N) so it does not require pytest-benchmark; ``bench_hotpaths`` below
 is still collected by the bench harness, and ``tests/test_bench_hotpaths.py``
@@ -144,6 +148,66 @@ def _time_dnas_step(mode: str, backend_name: str) -> float:
         return _best_of(step, repeats)
 
 
+def _time_resilience_overhead(mode: str) -> Dict[str, float]:
+    """Cost of the checkpoint/fault hooks when resilience is *off*.
+
+    Two measurements: the per-call cost of a disabled ``fault_point`` (one
+    global-is-None branch — it sits inside every training/search step), and
+    a tiny DNAS search run plain vs with per-epoch checkpointing enabled.
+    """
+    import tempfile
+
+    from repro.nas.budgets import ResourceBudget
+    from repro.nas.search import SearchConfig, search
+    from repro.resilience.checkpoint import CheckpointConfig
+    from repro.resilience.faults import fault_point
+
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        fault_point("dnas_step")
+    fault_point_disabled_ns = (time.perf_counter() - start) / calls * 1e9
+
+    batch, input_shape, widths, num_blocks, repeats = _DNAS_PRESETS[mode]
+    rng = new_rng(13)
+    x = rng.standard_normal((batch * 4,) + input_shape).astype(np.float32)
+    y = rng.integers(0, 12, size=batch * 4)
+    budget = ResourceBudget(params=1e9, activation_bytes=1e9)
+    config = SearchConfig(epochs=2, warmup_epochs=1, batch_size=batch)
+
+    def _make_supernet():
+        return DSCNNSupernet(
+            input_shape=input_shape,
+            num_classes=12,
+            stem_options=widths,
+            num_blocks=num_blocks,
+            block_options=widths,
+            stem_kernel=(4, 2),
+            stem_stride=(2, 1),
+            rng=0,
+        )
+
+    def _run(checkpoint: Optional[CheckpointConfig]) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            search(_make_supernet(), x, y, budget, config=config, rng=1, checkpoint=checkpoint)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    plain_s = _run(None)
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpointed_s = _run(
+            CheckpointConfig(path=os.path.join(tmp, "bench.npz"), resume=False)
+        )
+    return {
+        "fault_point_disabled_ns": fault_point_disabled_ns,
+        "search_plain_s": plain_s,
+        "search_checkpointed_s": checkpointed_s,
+        "checkpoint_overhead_ratio": checkpointed_s / plain_s,
+    }
+
+
 def _time_characterization_sweep(mode: str) -> Dict[str, float]:
     pool_size, queries = _SWEEP_PRESETS[mode]
     device = next(iter(DEVICES.values()))
@@ -213,6 +277,21 @@ def run_hotpath_bench(scale: Optional[Scale] = None, smoke: bool = False) -> Dic
         }
     )
 
+    resilience = _time_resilience_overhead(mode)
+    rows.append(
+        {
+            "section": "resilience_overhead",
+            "fault_point_disabled_ns": resilience["fault_point_disabled_ns"],
+            "search_plain_s": resilience["search_plain_s"],
+            "search_checkpointed_s": resilience["search_checkpointed_s"],
+            "checkpoint_overhead_ratio": resilience["checkpoint_overhead_ratio"],
+            # baseline/optimized framing for the shared table formatter:
+            # "optimized" is the plain run, the ratio shows what enabling
+            # per-epoch checkpointing costs on top of it.
+            "speedup": resilience["checkpoint_overhead_ratio"],
+        }
+    )
+
     # Mirror the cache/workspace counters into obs gauges so a REPRO_OBS=1
     # bench run surfaces them in ``obs.report()`` alongside the timings.
     cache_stats = collect_cache_stats()
@@ -231,10 +310,21 @@ def format_hotpath_table(result: Dict) -> str:
         f"{'section':<26} {'baseline_s':>12} {'optimized_s':>12} {'speedup':>8}",
     ]
     for row in result["rows"]:
-        baseline = row.get("einsum_s", row.get("uncached_s"))
-        optimized = row.get("gemm_s", row.get("memoized_s"))
+        if row["section"] == "resilience_overhead":
+            baseline = row["search_checkpointed_s"]
+            optimized = row["search_plain_s"]
+        else:
+            baseline = row.get("einsum_s", row.get("uncached_s"))
+            optimized = row.get("gemm_s", row.get("memoized_s"))
         lines.append(
             f"{row['section']:<26} {baseline:>12.5f} {optimized:>12.5f} {row['speedup']:>7.2f}x"
+        )
+    if any(row["section"] == "resilience_overhead" for row in result["rows"]):
+        res = next(r for r in result["rows"] if r["section"] == "resilience_overhead")
+        lines.append(
+            f"fault_point (disabled): {res['fault_point_disabled_ns']:.0f} ns/call; "
+            f"per-epoch checkpointing costs "
+            f"{(res['checkpoint_overhead_ratio'] - 1) * 100:.1f}% on a tiny search"
         )
     return "\n".join(lines)
 
@@ -262,3 +352,8 @@ def bench_hotpaths(scale):
     by_section = {row["section"]: row for row in result["rows"]}
     assert by_section["conv_training_step"]["speedup"] >= 1.5
     assert by_section["characterization_sweep"]["speedup"] >= 3.0
+    # The resilience hooks must be free when disabled: a fault_point is a
+    # single global-is-None branch, and a checkpoint-free run pays nothing.
+    resilience = by_section["resilience_overhead"]
+    assert resilience["fault_point_disabled_ns"] < 2000
+    assert resilience["checkpoint_overhead_ratio"] < 2.0

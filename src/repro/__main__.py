@@ -9,6 +9,8 @@ Usage::
     python -m repro obs --arch kws-s          # observability report:
                                               # modeled vs measured per-op
                                               # timings + counters + spans
+    python -m repro search --checkpoint c.npz # checkpointed mini DNAS run
+    python -m repro resume c.npz              # continue an interrupted run
 """
 
 from __future__ import annotations
@@ -111,6 +113,84 @@ def _run_obs(args) -> int:
     return 0
 
 
+def _search_run(
+    seed: int, epochs: int, samples: int, checkpoint_path: str = None, resume: bool = True
+) -> int:
+    """A compact checkpointed DNAS run on synthetic KWS data.
+
+    The supernet, data, and all RNG streams are derived deterministically
+    from (seed, samples), so ``repro resume`` can rebuild an identical run
+    from just the checkpoint's recorded settings.
+    """
+    from repro.datasets.speech_commands import make_kws_dataset
+    from repro.nas.budgets import ResourceBudget
+    from repro.nas.search import SearchConfig, search
+    from repro.nas.supernet import DSCNNSupernet
+    from repro.resilience.checkpoint import CheckpointConfig
+    from repro.utils.rng import new_rng, spawn_rng
+
+    rng = new_rng(seed)
+    data = make_kws_dataset(samples, rng=spawn_rng(rng, "data"))
+    supernet = DSCNNSupernet(
+        input_shape=data.features.shape[1:],
+        num_classes=12,
+        stem_options=(8, 16),
+        num_blocks=2,
+        block_options=(8, 16),
+        rng=spawn_rng(rng, "supernet"),
+    )
+    budget = ResourceBudget(params=60_000, activation_bytes=64_000, ops=4_000_000)
+    config = SearchConfig(epochs=epochs, warmup_epochs=min(1, epochs - 1), batch_size=8)
+    checkpoint = None
+    if checkpoint_path:
+        checkpoint = CheckpointConfig(
+            path=checkpoint_path,
+            resume=resume,
+            metadata={"seed": seed, "epochs": epochs, "samples": samples},
+        )
+    result = search(
+        supernet, data.features, data.labels, budget,
+        config=config, rng=spawn_rng(rng, "search"), checkpoint=checkpoint,
+    )
+    print(f"extracted architecture: {result.arch.name}")
+    for layer in result.arch.layers:
+        print(f"  {layer}")
+    print(f"expected params: {result.expected_params:.0f}")
+    print(f"expected ops: {result.expected_ops:.0f}")
+    print(f"expected memory: {result.expected_memory_bytes:.0f} bytes")
+    print(f"loss history: {[round(v, 4) for v in result.history['loss']]}")
+    if checkpoint_path:
+        print(f"checkpoint -> {checkpoint_path}")
+    return 0
+
+
+def _run_resume(args) -> int:
+    """Continue an interrupted ``repro search`` run from its checkpoint."""
+    from repro.resilience.checkpoint import load_checkpoint
+
+    snapshot = load_checkpoint(args.checkpoint, expect_kind="dnas")
+    settings = snapshot.payload.get("user") or {}
+    missing = [k for k in ("seed", "epochs", "samples") if k not in settings]
+    if missing:
+        print(
+            f"checkpoint {args.checkpoint!r} lacks run settings {missing}; "
+            "it was not written by 'repro search'",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"resuming from {args.checkpoint} "
+        f"(epoch {snapshot.payload['epoch'] + 1}/{snapshot.payload['total_epochs']})"
+    )
+    return _search_run(
+        seed=int(settings["seed"]),
+        epochs=int(settings["epochs"]),
+        samples=int(settings["samples"]),
+        checkpoint_path=args.checkpoint,
+        resume=True,
+    )
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -133,10 +213,34 @@ def main(argv: List[str] = None) -> int:
     obs_parser.add_argument("--device", default="STM32F446RE")
     obs_parser.add_argument("--repeats", type=int, default=3)
     obs_parser.add_argument("--jsonl", default=None, help="also write spans/metrics as JSONL")
+    search_parser = subparsers.add_parser(
+        "search", help="run a compact checkpointed DNAS search on synthetic KWS data"
+    )
+    search_parser.add_argument("--seed", type=int, default=0)
+    search_parser.add_argument("--epochs", type=int, default=2)
+    search_parser.add_argument("--samples", type=int, default=48, help="synthetic KWS samples")
+    search_parser.add_argument(
+        "--checkpoint", default=None, help="checkpoint path (.npz); enables snapshot+resume"
+    )
+    search_parser.add_argument(
+        "--fresh", action="store_true",
+        help="ignore an existing checkpoint instead of resuming from it",
+    )
+    resume_parser = subparsers.add_parser(
+        "resume", help="continue an interrupted 'repro search' run from its checkpoint"
+    )
+    resume_parser.add_argument("checkpoint", help="checkpoint written by 'repro search'")
 
     args = parser.parse_args(argv)
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "search":
+        return _search_run(
+            seed=args.seed, epochs=args.epochs, samples=args.samples,
+            checkpoint_path=args.checkpoint, resume=not args.fresh,
+        )
+    if args.command == "resume":
+        return _run_resume(args)
     if args.command == "list":
         for experiment_id, module in EXPERIMENTS.items():
             tag = " [heavy]" if experiment_id in HEAVY else ""

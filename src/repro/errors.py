@@ -34,3 +34,7 @@ class SearchError(ReproError):
 
 class DatasetError(ReproError):
     """Synthetic dataset generation was configured incorrectly."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or from an incompatible run."""

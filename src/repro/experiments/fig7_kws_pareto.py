@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, attempt
 from repro.hw.devices import MEDIUM, SMALL
 from repro.hw.latency import LatencyModel
 from repro.models import dscnn, micronets, mobilenetv2
@@ -63,24 +63,32 @@ def run(scale: Optional[Scale] = None, rng: RngLike = 0) -> ExperimentResult:
     )
     latency_model = LatencyModel(MEDIUM)
     for arch, trainable in _models(train_large):
-        if trainable:
-            task = kws.run(arch, scale=scale, rng=spawn_rng(rng, arch.name))
-            accuracy_pct = 100.0 * task.metric
-            graph = task.graph
-        else:
-            accuracy_pct = None
-            graph = export_graph(arch, bits=8)
-        memory = memory_report(graph)
-        latency = latency_model.model_latency(arch_workload(arch))
-        result.add_row(
-            model=arch.name,
-            accuracy_pct=accuracy_pct,
-            flash_kb=memory.model_flash_bytes / 1024,
-            sram_kb=memory.total_sram / 1024,
-            latency_m_s=latency,
-            fits_small=deployment_report(graph, SMALL).deployable,
-            fits_medium=deployment_report(graph, MEDIUM).deployable,
-        )
+        arch_rng = spawn_rng(rng, arch.name)  # drawn unconditionally: row
+        # failures must not shift the RNG streams of the models after them.
+
+        def _compute_row(arch=arch, trainable=trainable, arch_rng=arch_rng):
+            if trainable:
+                task = kws.run(arch, scale=scale, rng=arch_rng)
+                accuracy_pct = 100.0 * task.metric
+                graph = task.graph
+            else:
+                accuracy_pct = None
+                graph = export_graph(arch, bits=8)
+            memory = memory_report(graph)
+            latency = latency_model.model_latency(arch_workload(arch))
+            return dict(
+                model=arch.name,
+                accuracy_pct=accuracy_pct,
+                flash_kb=memory.model_flash_bytes / 1024,
+                sram_kb=memory.total_sram / 1024,
+                latency_m_s=latency,
+                fits_small=deployment_report(graph, SMALL).deployable,
+                fits_medium=deployment_report(graph, MEDIUM).deployable,
+            )
+
+        row = attempt(result, arch.name, _compute_row)
+        if row is not None:
+            result.add_row(**row)
 
     _check_pareto(result)
     return result
@@ -90,9 +98,14 @@ def _check_pareto(result: ExperimentResult) -> None:
     """Note whether any trained baseline dominates a trained MicroNet."""
     from repro.nas.pareto import dominated_pairs, points_from_rows
 
+    infeasible: List[dict] = []
     points = points_from_rows(
-        result.rows, "model", "accuracy_pct", ["latency_m_s", "flash_kb", "sram_kb"]
+        result.rows, "model", "accuracy_pct", ["latency_m_s", "flash_kb", "sram_kb"],
+        infeasible=infeasible,
     )
+    if infeasible:
+        excluded = [str(row.get("model")) for row in infeasible]
+        result.note(f"excluded from Pareto comparison (missing/non-finite): {excluded}")
     dominated = [
         pair for pair in dominated_pairs(points) if pair[0].startswith("MicroNet")
     ]

@@ -18,6 +18,7 @@ infeasible candidates are rejected *before* evaluation, as MCUNet does.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +29,7 @@ from repro.errors import SearchError
 from repro.models.micronets import _separable_stack
 from repro.models.spec import ArchSpec
 from repro.nas.budgets import ResourceBudget, resource_profile
+from repro.resilience.faults import fault_point
 from repro.utils.rng import RngLike, new_rng
 
 #: Sentinel genome value meaning "this block is skipped".
@@ -120,6 +122,15 @@ def feasible(arch: ArchSpec, budget: ResourceBudget) -> bool:
     return resource_profile(arch, bits=8).fits(budget)
 
 
+@dataclass(frozen=True)
+class EvalFailure:
+    """One candidate whose evaluation kept raising until retries ran out."""
+
+    genome: Tuple[int, ...]
+    error: str
+    attempts: int
+
+
 @dataclass
 class BlackBoxResult:
     """Outcome of a black-box search run."""
@@ -129,21 +140,64 @@ class BlackBoxResult:
     evaluations: int
     rejected_infeasible: int
     history: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
+    #: Candidates recorded as infeasible because their evaluation raised
+    #: (after bounded retries); the sweep continues past them.
+    failures: List[EvalFailure] = field(default_factory=list)
 
 
 class _BlackBoxSearch:
-    """Shared bookkeeping: feasibility filtering, memoized evaluation."""
+    """Shared bookkeeping: feasibility filtering, memoized evaluation,
+    bounded-retry degradation for failing oracles.
+
+    A candidate whose ``evaluate`` call raises is retried up to
+    ``max_eval_retries`` times (sleeping ``retry_backoff_s * 2**attempt``
+    between attempts when nonzero); if it keeps failing it is recorded in
+    ``result.failures`` and treated as infeasible, so one bad candidate
+    cannot kill a long sweep.
+    """
 
     def __init__(
-        self, space: DSCNNSearchSpace, budget: ResourceBudget, max_evaluations: int = 16
+        self,
+        space: DSCNNSearchSpace,
+        budget: ResourceBudget,
+        max_evaluations: int = 16,
+        max_eval_retries: int = 2,
+        retry_backoff_s: float = 0.0,
     ) -> None:
         if max_evaluations < 1:
             raise SearchError("need at least one evaluation")
+        if max_eval_retries < 0:
+            raise SearchError("max_eval_retries must be >= 0")
         self.space = space
         self.budget = budget
         self.max_evaluations = max_evaluations
-        self._cache: Dict[Tuple[int, ...], float] = {}
+        self.max_eval_retries = max_eval_retries
+        self.retry_backoff_s = retry_backoff_s
+        self._cache: Dict[Tuple[int, ...], Optional[float]] = {}
         self._rejected = 0
+
+    def _evaluate_with_retries(
+        self, genome: Tuple[int, ...], arch: ArchSpec, evaluate: Callable[[ArchSpec], float]
+    ) -> Tuple[Optional[float], Optional[str], int]:
+        """(fitness, last_error, attempts) — fitness None when all attempts
+        raised."""
+        last_error: Optional[str] = None
+        attempt = 0
+        for attempt in range(1, self.max_eval_retries + 2):
+            try:
+                fault_point("candidate_eval")
+                with obs.span("blackbox/evaluate", genome=str(genome), attempt=attempt):
+                    return float(evaluate(arch)), None, attempt
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                obs.incr("nas.blackbox.eval_errors")
+                if attempt <= self.max_eval_retries:
+                    obs.incr("nas.blackbox.eval_retries")
+                    if self.retry_backoff_s > 0:
+                        time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+        return None, last_error, attempt
 
     def _evaluate(
         self,
@@ -162,8 +216,14 @@ class _BlackBoxSearch:
             obs.incr("nas.blackbox.rejected_infeasible")
             return None
         obs.incr("nas.blackbox.feasible")
-        with obs.span("blackbox/evaluate", genome=str(genome)):
-            fitness = float(evaluate(arch))
+        fitness, error, attempts = self._evaluate_with_retries(genome, arch, evaluate)
+        if fitness is None:
+            # Degrade gracefully: record the failure, treat as infeasible
+            # (cached so the genome is never re-proposed), keep sweeping.
+            result.failures.append(EvalFailure(genome=genome, error=error, attempts=attempts))
+            self._cache[genome] = None
+            obs.incr("nas.blackbox.eval_failures")
+            return None
         obs.incr("nas.blackbox.evaluations")
         obs.observe("nas.blackbox.fitness", fitness)
         self._cache[genome] = fitness

@@ -8,8 +8,9 @@ front quality (hypervolume) from experiment rows.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,11 +23,30 @@ class ModelPoint:
 
     ``score`` is maximized (accuracy/AUC); ``costs`` are minimized
     (latency, SRAM, flash, ...), in a fixed order shared across points.
+
+    All objectives must be finite: NaN compares false against everything,
+    so a NaN point could never be dominated and would silently sit on every
+    Pareto front. Construction rejects non-finite values; callers route
+    such rows through an explicit infeasible bucket instead (see
+    :func:`points_from_rows`).
     """
 
     name: str
     score: float
     costs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        bad = []
+        if not math.isfinite(self.score):
+            bad.append(f"score={self.score}")
+        bad.extend(
+            f"costs[{i}]={c}" for i, c in enumerate(self.costs) if not math.isfinite(c)
+        )
+        if bad:
+            raise ReproError(
+                f"ModelPoint {self.name!r} has non-finite objectives ({', '.join(bad)}); "
+                "route failed rows through the infeasible bucket instead"
+            )
 
     def dominates(self, other: "ModelPoint") -> bool:
         """Weak dominance with at least one strict improvement."""
@@ -97,14 +117,26 @@ def points_from_rows(
     name_key: str,
     score_key: str,
     cost_keys: Sequence[str],
+    infeasible: Optional[List[Dict[str, object]]] = None,
 ) -> List[ModelPoint]:
-    """Build points from experiment-result rows, skipping rows with missing
-    values (untrained models)."""
+    """Build points from experiment-result rows.
+
+    Rows with missing (``None``) or non-finite objectives never become
+    points — a NaN would poison every dominance comparison. When
+    ``infeasible`` is provided, such rows are appended to it so callers can
+    report what was excluded; otherwise they are silently skipped (the
+    historical behavior for untrained models).
+    """
     points = []
     for row in rows:
         score = row.get(score_key)
         costs = [row.get(k) for k in cost_keys]
-        if score is None or any(c is None for c in costs):
+        values = [score] + costs
+        if any(v is None for v in values) or not all(
+            math.isfinite(float(v)) for v in values
+        ):
+            if infeasible is not None:
+                infeasible.append(dict(row))
             continue
         points.append(
             ModelPoint(

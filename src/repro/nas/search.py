@@ -9,19 +9,31 @@ trains weights alone so early architecture gradients are meaningful.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro import obs
-from repro.errors import SearchError
+from repro.errors import CheckpointError, SearchError
 from repro.models.spec import ArchSpec
 from repro.nas.budgets import ResourceBudget, ResourceProfile, resource_profile
 from repro.nas.supernet import DSCNNSupernet, IBNSupernet, SupernetCosts
 from repro.nn import Adam, accuracy, cross_entropy
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    load_checkpoint,
+    module_state_arrays,
+    module_state_from_arrays,
+    optimizer_state_arrays,
+    optimizer_state_from_arrays,
+    save_checkpoint,
+)
+from repro.resilience.faults import fault_point
 from repro.tensor import Tensor
-from repro.utils.rng import RngLike, new_rng, spawn_rng
+from repro.utils.rng import RngLike, get_rng_state, new_rng, set_rng_state, spawn_rng
 
 Supernet = Union[DSCNNSupernet, IBNSupernet]
 
@@ -84,6 +96,86 @@ def penalty(costs: SupernetCosts, budget: ResourceBudget, config: SearchConfig) 
     return total
 
 
+#: History series recorded per epoch (and captured in checkpoints).
+_HISTORY_KEYS = ("loss", "accuracy", "params", "ops", "memory", "temperature")
+
+
+def _save_search_state(
+    config: CheckpointConfig,
+    supernet: Supernet,
+    opt_w: Adam,
+    opt_a: Adam,
+    rng: np.random.Generator,
+    sample_rng: np.random.Generator,
+    batch_rng: np.random.Generator,
+    history: Dict[str, List[float]],
+    epoch: int,
+    search_config: SearchConfig,
+) -> None:
+    opt_w_state = opt_w.state_dict()
+    opt_a_state = opt_a.state_dict()
+    payload = {
+        "epoch": epoch,
+        "total_epochs": max(search_config.epochs, 1),
+        "batch_size": search_config.batch_size,
+        "history": history,
+        "rng": {
+            "base": get_rng_state(rng),
+            "gumbel": get_rng_state(sample_rng),
+            "batches": get_rng_state(batch_rng),
+        },
+        "optimizer_steps": {
+            "weights": opt_w_state["step_count"],
+            "arch": opt_a_state["step_count"],
+        },
+        "user": config.metadata or {},
+    }
+    arrays = module_state_arrays(supernet.state_dict(), "model.")
+    arrays.update(optimizer_state_arrays(opt_w_state, "opt_w."))
+    arrays.update(optimizer_state_arrays(opt_a_state, "opt_a."))
+    save_checkpoint(config.path, Checkpoint(kind="dnas", payload=payload, arrays=arrays))
+
+
+def _restore_search_state(
+    path: str,
+    supernet: Supernet,
+    opt_w: Adam,
+    opt_a: Adam,
+    rng: np.random.Generator,
+    sample_rng: np.random.Generator,
+    batch_rng: np.random.Generator,
+    history: Dict[str, List[float]],
+    search_config: SearchConfig,
+) -> int:
+    """Restore a snapshot in place; returns the epoch to continue from."""
+    snapshot = load_checkpoint(path, expect_kind="dnas")
+    payload = snapshot.payload
+    if payload["total_epochs"] != max(search_config.epochs, 1) or (
+        payload["batch_size"] != search_config.batch_size
+    ):
+        raise CheckpointError(
+            f"checkpoint {path!r} was written by a run with epochs="
+            f"{payload['total_epochs']} batch_size={payload['batch_size']}; "
+            f"resuming with a different schedule would not be reproducible"
+        )
+    supernet.load_state_dict(module_state_from_arrays(snapshot.arrays, "model."))
+    opt_w.load_state_dict(
+        optimizer_state_from_arrays(
+            snapshot.arrays, "opt_w.", payload["optimizer_steps"]["weights"]
+        )
+    )
+    opt_a.load_state_dict(
+        optimizer_state_from_arrays(snapshot.arrays, "opt_a.", payload["optimizer_steps"]["arch"])
+    )
+    set_rng_state(rng, payload["rng"]["base"])
+    set_rng_state(sample_rng, payload["rng"]["gumbel"])
+    set_rng_state(batch_rng, payload["rng"]["batches"])
+    for key in _HISTORY_KEYS:
+        history[key] = [float(v) for v in payload["history"][key]]
+    obs.incr("resilience.dnas_resumes")
+    return int(payload["epoch"]) + 1
+
+
 def search(
     supernet: Supernet,
     x_train: np.ndarray,
@@ -92,11 +184,19 @@ def search(
     config: Optional[SearchConfig] = None,
     rng: RngLike = 0,
     arch_name: str = "micronet-dnas",
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> DNASResult:
     """Run differentiable architecture search.
 
     Returns the extracted (argmax) architecture together with the expected
     resource usage at convergence and per-epoch history.
+
+    With ``checkpoint`` set, the full run state (supernet parameters and
+    buffers, both optimizers, every RNG stream, epoch counter, history) is
+    snapshotted atomically every ``checkpoint.every_epochs`` epochs; if
+    ``checkpoint.resume`` and the file exists, the run continues from the
+    snapshot and produces **bitwise-identical** results to an uninterrupted
+    run (see ``docs/resilience.md``).
     """
     config = config or SearchConfig()
     rng = new_rng(rng)
@@ -115,12 +215,18 @@ def search(
 
     steps_per_epoch = max(1, len(x_train) // config.batch_size)
     total_epochs = max(config.epochs, 1)
-    history: Dict[str, List[float]] = {
-        "loss": [], "accuracy": [], "params": [], "ops": [], "memory": [], "temperature": [],
-    }
+    history: Dict[str, List[float]] = {key: [] for key in _HISTORY_KEYS}
+
+    start_epoch = 0
+    if checkpoint is not None and checkpoint.resume and os.path.exists(checkpoint.path):
+        start_epoch = _restore_search_state(
+            checkpoint.path, supernet, opt_w, opt_a, rng, sample_rng, batch_rng,
+            history, config,
+        )
 
     supernet.train()
-    for epoch in range(total_epochs):
+    for epoch in range(start_epoch, total_epochs):
+        fault_point("dnas_epoch")
         progress = epoch / max(total_epochs - 1, 1)
         temperature = config.temperature_init * (
             (config.temperature_final / config.temperature_init) ** progress
@@ -135,6 +241,7 @@ def search(
         )
         with epoch_span:
             for step in range(steps_per_epoch):
+                fault_point("dnas_step")
                 idx = order[step * config.batch_size : (step + 1) * config.batch_size]
                 xb, yb = x_train[idx], y_train[idx]
                 with obs.span("dnas/step", epoch=epoch, step=step):
@@ -168,6 +275,11 @@ def search(
         history["ops"].append(float(last_costs.ops.item()))
         history["memory"].append(float(last_costs.working_memory.item()))
         history["temperature"].append(float(temperature))
+        if checkpoint is not None and checkpoint.due(epoch, total_epochs):
+            _save_search_state(
+                checkpoint, supernet, opt_w, opt_a, rng, sample_rng, batch_rng,
+                history, epoch, config,
+            )
 
     supernet.eval()
     # Final expectation at low temperature with the converged alphas.

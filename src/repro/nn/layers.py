@@ -141,8 +141,8 @@ class BatchNorm(Module):
         self.eps = eps
         self.gamma = Parameter(init.ones((channels,)), name="bn_gamma")
         self.beta = Parameter(init.zeros((channels,)), name="bn_beta")
-        self.running_mean = np.zeros((channels,), dtype=np.float32)
-        self.running_var = np.ones((channels,), dtype=np.float32)
+        self.register_buffer("running_mean", np.zeros((channels,), dtype=np.float32))
+        self.register_buffer("running_var", np.ones((channels,), dtype=np.float32))
 
     def forward(self, x: Tensor) -> Tensor:
         axes = tuple(range(x.ndim - 1))

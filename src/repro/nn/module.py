@@ -25,6 +25,14 @@ class Module:
 
     def __init__(self) -> None:
         self.training = True
+        self._buffer_names: List[str] = []
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. BN running stats) by attribute
+        name, so it participates in :meth:`state_dict` / checkpoints."""
+        setattr(self, name, value)
+        if name not in self._buffer_names:
+            self._buffer_names.append(name)
 
     # ------------------------------------------------------------------
     def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
@@ -50,6 +58,13 @@ class Module:
                 yield f"{prefix}{key}", value
         for name, child in self._children():
             yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield (dotted_path, array) for registered buffers, recursively."""
+        for name in getattr(self, "_buffer_names", ()):
+            yield f"{prefix}{name}", getattr(self, name)
+        for name, child in self._children():
+            yield from child.named_buffers(prefix=f"{prefix}{name}.")
 
     def parameters(self) -> List[Parameter]:
         """All trainable parameters, in traversal order."""
@@ -81,22 +96,43 @@ class Module:
 
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Copy of all parameter arrays, keyed by dotted path."""
-        return {name: p.data.copy() for name, p in self.named_parameters()}
+        """Copy of all parameter and buffer arrays, keyed by dotted path."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update({name: np.asarray(b).copy() for name, b in self.named_buffers()})
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Restore parameters from :meth:`state_dict` output (strict)."""
-        own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        extra = set(state) - set(own)
+        """Restore parameters and buffers from :meth:`state_dict` (strict)."""
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        own = set(own_params) | set(own_buffers)
+        missing = own - set(state)
+        extra = set(state) - own
         if missing or extra:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)} extra={sorted(extra)}")
-        for name, p in own.items():
+        for name, p in own_params.items():
             if p.data.shape != state[name].shape:
                 raise KeyError(
                     f"parameter {name}: shape {p.data.shape} != stored {state[name].shape}"
                 )
             p.data = state[name].astype(np.float32).copy()
+        for name, b in own_buffers.items():
+            if np.asarray(b).shape != state[name].shape:
+                raise KeyError(
+                    f"buffer {name}: shape {np.asarray(b).shape} != stored {state[name].shape}"
+                )
+        # Buffers are reassigned on their owning module (they may be replaced
+        # wholesale during training, e.g. BN running stats).
+        self._assign_buffers({name: state[name] for name in own_buffers})
+
+    def _assign_buffers(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        for name in getattr(self, "_buffer_names", ()):
+            key = f"{prefix}{name}"
+            if key in state:
+                current = np.asarray(getattr(self, name))
+                setattr(self, name, state[key].astype(current.dtype).copy())
+        for name, child in self._children():
+            child._assign_buffers(state, prefix=f"{prefix}{name}.")
 
 
 class Sequential(Module):

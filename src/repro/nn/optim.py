@@ -47,6 +47,46 @@ class Optimizer:
     def _update(self, p: Parameter, grad: np.ndarray, lr: float) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing: slot state is keyed by parameter *index* (ids are not
+    # stable across processes), so a rebuilt model with the same parameter
+    # traversal order restores bitwise-identical optimizer behavior.
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable state: step counter plus per-parameter slot arrays."""
+        return {"step_count": self.step_count, "slots": self._slots()}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output onto this optimizer's params."""
+        self.step_count = int(state["step_count"])
+        self._load_slots(state.get("slots", {}))
+
+    def _slots(self) -> Dict[str, Dict[int, np.ndarray]]:
+        """Slot arrays by name and parameter index (lazily-created slots may
+        be absent)."""
+        return {}
+
+    def _load_slots(self, slots: Dict[str, Dict[int, np.ndarray]]) -> None:
+        if slots:
+            raise KeyError(f"optimizer {type(self).__name__} has no slots {sorted(slots)}")
+
+    def _gather_slot(self, store: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        return {
+            i: store[id(p)].copy() for i, p in enumerate(self.params) if id(p) in store
+        }
+
+    def _scatter_slot(self, store: Dict[int, np.ndarray], values: Dict[int, np.ndarray]) -> None:
+        store.clear()
+        for index, value in values.items():
+            index = int(index)
+            if not 0 <= index < len(self.params):
+                raise KeyError(f"slot index {index} out of range for {len(self.params)} params")
+            p = self.params[index]
+            if value.shape != p.data.shape:
+                raise KeyError(
+                    f"slot for param {index}: shape {value.shape} != {p.data.shape}"
+                )
+            store[id(p)] = np.asarray(value, dtype=np.float32).copy()
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with classical momentum."""
@@ -72,6 +112,12 @@ class SGD(Optimizer):
             self._velocity[id(p)] = v
             grad = v
         p.data -= lr * grad
+
+    def _slots(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"velocity": self._gather_slot(self._velocity)}
+
+    def _load_slots(self, slots: Dict[str, Dict[int, np.ndarray]]) -> None:
+        self._scatter_slot(self._velocity, slots.get("velocity", {}))
 
 
 class Adam(Optimizer):
@@ -107,3 +153,10 @@ class Adam(Optimizer):
         m_hat = m / (1 - b1**t)
         v_hat = v / (1 - b2**t)
         p.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _slots(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"m": self._gather_slot(self._m), "v": self._gather_slot(self._v)}
+
+    def _load_slots(self, slots: Dict[str, Dict[int, np.ndarray]]) -> None:
+        self._scatter_slot(self._m, slots.get("m", {}))
+        self._scatter_slot(self._v, slots.get("v", {}))

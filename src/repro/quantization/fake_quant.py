@@ -33,9 +33,33 @@ class FakeQuant(Module):
         self.bits = bits
         self.momentum = momentum
         self.symmetric = symmetric
-        self.low = 0.0
-        self.high = 0.0
-        self._initialized = False
+        # (low, high, initialized) packed as a buffer so the EMA range rides
+        # along in state_dict()/checkpoints — resumed QAT stays bit-exact.
+        self.register_buffer("range_state", np.zeros(3, dtype=np.float64))
+
+    @property
+    def low(self) -> float:
+        return float(self.range_state[0])
+
+    @low.setter
+    def low(self, value: float) -> None:
+        self.range_state[0] = value
+
+    @property
+    def high(self) -> float:
+        return float(self.range_state[1])
+
+    @high.setter
+    def high(self, value: float) -> None:
+        self.range_state[1] = value
+
+    @property
+    def _initialized(self) -> bool:
+        return bool(self.range_state[2])
+
+    @_initialized.setter
+    def _initialized(self, value: bool) -> None:
+        self.range_state[2] = float(value)
 
     def observe(self, data: np.ndarray) -> None:
         low = float(data.min())
@@ -88,7 +112,15 @@ class LearnedFakeQuant(Module):
         super().__init__()
         self.bits = bits
         self.scale = Parameter(np.array([init_scale], dtype=np.float32), name="lsq_scale")
-        self._initialized = False
+        self.register_buffer("init_state", np.zeros(1, dtype=np.float64))
+
+    @property
+    def _initialized(self) -> bool:
+        return bool(self.init_state[0])
+
+    @_initialized.setter
+    def _initialized(self, value: bool) -> None:
+        self.init_state[0] = float(value)
 
     def _maybe_init(self, data: np.ndarray) -> None:
         if self._initialized:

@@ -1,0 +1,52 @@
+"""Fault tolerance for long runs: checkpoints, resume, fault injection.
+
+The paper's results come from long DNAS and training runs whose value is
+entirely in their reproducible endpoints; a crash late in a search must not
+lose the run, and a resumed run must make *bitwise-identical* architecture
+decisions to an uninterrupted one. This package provides:
+
+``repro.resilience.checkpoint``
+    Atomic (temp-file-then-rename), versioned snapshot files capturing model
+    parameters and buffers, optimizer slots, epoch counters, loss history,
+    and exact RNG states. :class:`CheckpointConfig` is accepted by
+    :func:`repro.nas.search.search` and
+    :func:`repro.tasks.common.train_classifier`.
+
+``repro.resilience.faults``
+    A deterministic fault-injection harness that raises at configurable hit
+    counts of instrumented sites (DNAS steps, train steps, candidate
+    evaluations, checkpoint writes), used to prove the checkpoint/resume and
+    retry paths. See ``docs/resilience.md``.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.faults import (
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    fault_point,
+    inject,
+)
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointConfig",
+    "load_checkpoint",
+    "save_checkpoint",
+    "SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_point",
+    "inject",
+]

@@ -1,0 +1,134 @@
+"""Deterministic fault injection for long-run resilience testing.
+
+Long DNAS and training runs die for boring reasons — OOM kills, preemption,
+flaky data loaders — and the only way to *prove* that checkpoint/resume is
+correct is to crash a run on purpose at every instrumented site and show the
+resumed run is bitwise identical to an uninterrupted one.
+
+Stateful loops call :func:`fault_point` at their crash-relevant sites; the
+call is a single ``is None`` check unless a :class:`FaultPlan` is installed.
+A plan counts hits per site and raises :class:`InjectedFault` (or a custom
+exception, to exercise retry paths) on configured hit numbers, so failures
+are exactly reproducible: the Nth candidate evaluation, the Mth train step.
+
+Instrumented sites
+------------------
+==================  ====================================================
+``dnas_epoch``      start of each DNAS search epoch (:mod:`repro.nas.search`)
+``dnas_step``       each DNAS gradient step
+``train_epoch``     start of each training epoch (:mod:`repro.tasks.common`)
+``train_step``      each training gradient step
+``candidate_eval``  each black-box candidate evaluation (:mod:`repro.nas.blackbox`)
+``experiment_row``  each experiment row computation (:mod:`repro.experiments.base`)
+``checkpoint_write``  inside the atomic checkpoint write, before publish
+==================  ====================================================
+
+Usage::
+
+    with faults.inject(FaultSpec("dnas_step", at=7)):
+        search(...)          # raises InjectedFault on the 7th step
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from repro import obs
+from repro.errors import ReproError
+
+#: The sites wired into the library's stateful loops.
+SITES = (
+    "dnas_epoch",
+    "dnas_step",
+    "train_epoch",
+    "train_step",
+    "candidate_eval",
+    "experiment_row",
+    "checkpoint_write",
+)
+
+
+class InjectedFault(ReproError):
+    """Raised by an armed fault site; carries the site and hit number."""
+
+    def __init__(self, site: str, hit: int) -> None:
+        super().__init__(f"injected fault at site {site!r} (hit #{hit})")
+        self.site = site
+        self.hit = hit
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fire at a site on hit number ``at`` (1-based), for ``times`` hits.
+
+    ``times > 1`` keeps the site failing on consecutive hits — useful for
+    exhausting bounded retries. ``exception`` substitutes a custom exception
+    type (constructed with a message string) to exercise specific handlers.
+    """
+
+    site: str
+    at: int = 1
+    times: int = 1
+    exception: Optional[Type[BaseException]] = None
+
+    def should_fire(self, hit: int) -> bool:
+        return self.at <= hit < self.at + self.times
+
+
+class FaultPlan:
+    """Counts hits per site and fires the matching :class:`FaultSpec`."""
+
+    def __init__(self, *specs: FaultSpec) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self.hits: Dict[str, int] = {}
+        self.fired: List[Tuple[str, int]] = []
+
+    def hit(self, site: str) -> None:
+        count = self.hits.get(site, 0) + 1
+        self.hits[site] = count
+        for spec in self.specs:
+            if spec.site == site and spec.should_fire(count):
+                self.fired.append((site, count))
+                obs.incr(f"faults.fired.{site}")
+                if spec.exception is not None:
+                    raise spec.exception(f"injected fault at site {site!r} (hit #{count})")
+                raise InjectedFault(site, count)
+
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, or None."""
+    return _ACTIVE
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install a plan process-wide (replacing any previous one)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def clear() -> None:
+    """Remove the installed plan; all fault points become no-ops again."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def inject(*specs: FaultSpec) -> Iterator[FaultPlan]:
+    """Install a plan for the duration of the block, then clear it."""
+    plan = install(FaultPlan(*specs))
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+def fault_point(site: str) -> None:
+    """Instrumented crash site: a single branch unless a plan is installed."""
+    if _ACTIVE is not None:
+        _ACTIVE.hit(site)

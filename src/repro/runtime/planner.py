@@ -27,8 +27,13 @@ def _align(size: int) -> int:
 def tensor_lifetimes(graph: Graph) -> Dict[str, Tuple[int, int]]:
     """Compute [first, last] op index during which each SRAM tensor is live.
 
-    Graph inputs are live from before the first op; graph outputs stay live
-    through the last op (they must survive for the application to read).
+    Graph inputs are live from op 0 (the application writes them before
+    invoke); graph outputs stay live through the last op (they must survive
+    for the application to read) — so a tensor that is both an input and an
+    output spans the whole program. An op output no other op consumes keeps
+    its single-op lifetime (idx, idx): it still needs arena space while its
+    producer runs. A graph output no op produces and that is not a graph
+    input is a malformed graph and raises :class:`GraphError`.
     """
     lifetimes: Dict[str, Tuple[int, int]] = {}
     for name in graph.inputs:
@@ -43,8 +48,13 @@ def tensor_lifetimes(graph: Graph) -> Dict[str, Tuple[int, int]]:
             lifetimes[t] = (lifetimes[t][0], idx)
         for t in op.outputs:
             lifetimes[t] = (idx, idx)
-    last = len(graph.ops) - 1
+    # Clamped so an op-less graph (pure passthrough) gets (0, 0), not (0, -1).
+    last = max(len(graph.ops) - 1, 0)
     for name in graph.outputs:
+        if name not in lifetimes:
+            raise GraphError(
+                f"graph output {name!r} is never produced by any op and is not a graph input"
+            )
         start, _ = lifetimes[name]
         lifetimes[name] = (start, last)
     return lifetimes

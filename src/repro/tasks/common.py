@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -9,14 +10,26 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro import obs
+from repro.errors import CheckpointError
 from repro.models.spec import ArchSpec, SpecModel, build_module, export_graph
 from repro.nn import SGD, Adam, accuracy, cross_entropy, mixup
 from repro.nn.losses import distillation_loss
 from repro.nn.schedules import CosineDecay
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    load_checkpoint,
+    module_state_arrays,
+    module_state_from_arrays,
+    optimizer_state_arrays,
+    optimizer_state_from_arrays,
+    save_checkpoint,
+)
+from repro.resilience.faults import fault_point
 from repro.runtime.graph import Graph
 from repro.runtime.interpreter import Interpreter
 from repro.tensor import Tensor, no_grad
-from repro.utils.rng import RngLike, new_rng
+from repro.utils.rng import RngLike, get_rng_state, new_rng, set_rng_state
 
 
 @dataclass
@@ -52,6 +65,48 @@ class TaskResult:
         return self.quant_metric
 
 
+def _save_train_state(
+    checkpoint_config: CheckpointConfig,
+    module: SpecModel,
+    opt,
+    rng: np.random.Generator,
+    epoch: int,
+    config: TrainConfig,
+) -> None:
+    opt_state = opt.state_dict()
+    payload = {
+        "epoch": epoch,
+        "total_epochs": config.epochs,
+        "batch_size": config.batch_size,
+        "rng": get_rng_state(rng),
+        "optimizer_steps": opt_state["step_count"],
+        "user": checkpoint_config.metadata or {},
+    }
+    arrays = module_state_arrays(module.state_dict(), "model.")
+    arrays.update(optimizer_state_arrays(opt_state, "opt."))
+    save_checkpoint(checkpoint_config.path, Checkpoint(kind="train", payload=payload, arrays=arrays))
+
+
+def _restore_train_state(
+    path: str, module: SpecModel, opt, rng: np.random.Generator, config: TrainConfig
+) -> int:
+    """Restore a training snapshot in place; returns the next epoch."""
+    snapshot = load_checkpoint(path, expect_kind="train")
+    payload = snapshot.payload
+    if payload["total_epochs"] != config.epochs or payload["batch_size"] != config.batch_size:
+        raise CheckpointError(
+            f"checkpoint {path!r} was written with epochs={payload['total_epochs']} "
+            f"batch_size={payload['batch_size']}; refusing to resume a different schedule"
+        )
+    module.load_state_dict(module_state_from_arrays(snapshot.arrays, "model."))
+    opt.load_state_dict(
+        optimizer_state_from_arrays(snapshot.arrays, "opt.", payload["optimizer_steps"])
+    )
+    set_rng_state(rng, payload["rng"])
+    obs.incr("resilience.train_resumes")
+    return int(payload["epoch"]) + 1
+
+
 def train_classifier(
     arch: ArchSpec,
     x_train: np.ndarray,
@@ -60,12 +115,17 @@ def train_classifier(
     rng: RngLike = 0,
     num_classes: Optional[int] = None,
     teacher_logits: Optional[np.ndarray] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> SpecModel:
     """Train a classifier from an architecture spec.
 
     Implements the paper's recipe structure: cosine learning-rate decay,
     weight decay, optional mixup (AD) and knowledge distillation (VWW
     fine-tuning), and fake-quant QAT when ``config.qat_bits`` is set.
+
+    With ``checkpoint`` set, module/optimizer/RNG state is snapshotted
+    atomically per epoch; an interrupted run resumed from its snapshot
+    produces bitwise-identical weights to an uninterrupted one.
     """
     rng = new_rng(rng)
     if num_classes is None:
@@ -80,11 +140,17 @@ def train_classifier(
     else:
         opt = SGD(params, schedule=schedule, momentum=0.9, weight_decay=config.weight_decay)
 
+    start_epoch = 0
+    if checkpoint is not None and checkpoint.resume and os.path.exists(checkpoint.path):
+        start_epoch = _restore_train_state(checkpoint.path, module, opt, rng, config)
+
     module.train()
-    for epoch in range(config.epochs):
+    for epoch in range(start_epoch, config.epochs):
+        fault_point("train_epoch")
         with obs.span("train/epoch", arch=arch.name, epoch=epoch):
             order = rng.permutation(len(x_train))
             for step in range(steps_per_epoch):
+                fault_point("train_step")
                 timed = obs.enabled()
                 if timed:
                     step_start = time.perf_counter()
@@ -113,6 +179,8 @@ def train_classifier(
                     obs.incr("train.steps")
                     obs.observe("train.step_seconds", time.perf_counter() - step_start)
                     obs.observe("train.step_loss", loss.item())
+        if checkpoint is not None and checkpoint.due(epoch, config.epochs):
+            _save_train_state(checkpoint, module, opt, rng, epoch, config)
     module.eval()
     return module
 
@@ -145,11 +213,13 @@ def train_and_deploy(
     rng: RngLike = 0,
     bits: int = 8,
     teacher_logits: Optional[np.ndarray] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> TaskResult:
     """Full classification pipeline: train, export int-N, measure both."""
     rng = new_rng(rng)
     module = train_classifier(
-        arch, x_train, y_train, config, rng=rng, teacher_logits=teacher_logits
+        arch, x_train, y_train, config, rng=rng, teacher_logits=teacher_logits,
+        checkpoint=checkpoint,
     )
     float_acc = accuracy(predict(module, x_test), y_test)
     calibration = x_train[: min(len(x_train), 128)]

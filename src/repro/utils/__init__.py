@@ -1,6 +1,9 @@
 """Shared utilities: deterministic RNG plumbing and scale configuration."""
 
-from repro.utils.rng import new_rng, spawn_rng
+from repro.utils.rng import get_rng_state, new_rng, rng_from_state, set_rng_state, spawn_rng
 from repro.utils.scale import Scale, resolve_scale
 
-__all__ = ["new_rng", "spawn_rng", "Scale", "resolve_scale"]
+__all__ = [
+    "new_rng", "spawn_rng", "get_rng_state", "set_rng_state", "rng_from_state",
+    "Scale", "resolve_scale",
+]

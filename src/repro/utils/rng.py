@@ -4,11 +4,23 @@ Every stochastic component in the library takes an explicit
 :class:`numpy.random.Generator`. These helpers create and fork generators so
 that experiments are reproducible bit-for-bit and sub-components do not share
 (and therefore perturb) each other's streams.
+
+Keyed forks (:func:`spawn_rng` with a ``key``) hash the **full** key with
+BLAKE2b before seeding. An earlier revision truncated the key to its first 8
+bytes, so any two keys sharing an 8-byte prefix (``"features_encoder_a"`` vs
+``"features_encoder_b"`` both truncate to ``b"features"``) received correlated
+streams — silently breaking the bit-for-bit reproducibility contract.
+
+Checkpointing support: :func:`get_rng_state` / :func:`set_rng_state` /
+:func:`rng_from_state` capture and restore the exact bit-generator state, so a
+resumed run continues the *same* stream rather than a statistically similar
+one.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import hashlib
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -22,13 +34,39 @@ def new_rng(seed: RngLike = 0) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def _key_seed_words(key: str) -> List[int]:
+    """Hash the full key into two independent 64-bit seed words."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=16).digest()
+    return [int.from_bytes(digest[i : i + 8], "little") for i in (0, 8)]
+
+
 def spawn_rng(rng: np.random.Generator, key: Optional[str] = None) -> np.random.Generator:
     """Fork an independent child generator.
 
     If ``key`` is given, the child stream is derived from the key so the same
-    component always receives the same stream regardless of call order.
+    component always receives the same stream regardless of call order. The
+    whole key participates in the seed (BLAKE2b digest), so distinct keys of
+    any length yield uncorrelated streams.
     """
     if key is None:
         return np.random.default_rng(rng.integers(0, 2**63 - 1))
-    digest = np.frombuffer(key.encode("utf-8").ljust(8, b"\0")[:8], dtype=np.uint64)[0]
-    return np.random.default_rng([int(digest), int(rng.integers(0, 2**63 - 1))])
+    return np.random.default_rng(_key_seed_words(key) + [int(rng.integers(0, 2**63 - 1))])
+
+
+# ----------------------------------------------------------------------
+# Exact state capture/restore (used by repro.resilience checkpoints).
+def get_rng_state(rng: np.random.Generator) -> Dict:
+    """The generator's full bit-generator state (JSON-serializable dict)."""
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: Dict) -> None:
+    """Restore ``rng`` in place to a state captured by :func:`get_rng_state`."""
+    rng.bit_generator.state = state
+
+
+def rng_from_state(state: Dict) -> np.random.Generator:
+    """Build a fresh generator positioned exactly at ``state``."""
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)

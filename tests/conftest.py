@@ -8,6 +8,7 @@ import pytest
 from repro import obs
 from repro.hw.latency import clear_latency_caches
 from repro.nas.budgets import clear_profile_cache
+from repro.resilience import faults
 from repro.tensor.gemm import default_workspace
 from repro.models.spec import (
     ArchSpec,
@@ -34,12 +35,14 @@ def _fresh_observable_state():
     clear_latency_caches()
     clear_profile_cache()
     default_workspace().clear()
+    faults.clear()
     yield
     obs.disable()
     obs.reset()
     clear_latency_caches()
     clear_profile_cache()
     default_workspace().clear()
+    faults.clear()
 
 
 @pytest.fixture

@@ -23,6 +23,7 @@ def test_hotpath_bench_smoke(tmp_path):
         "conv_training_step",
         "supernet_dnas_step",
         "characterization_sweep",
+        "resilience_overhead",
     }
     for row in sections.values():
         assert row["speedup"] > 0
@@ -30,6 +31,14 @@ def test_hotpath_bench_smoke(tmp_path):
     # Conservative floors — the full bench enforces the real 1.5x/3x bars.
     assert sections["conv_training_step"]["speedup"] >= 1.05
     assert sections["characterization_sweep"]["speedup"] >= 2.0
+
+    # Checkpoint hooks must be ~free when disabled: a fault_point is one
+    # branch (generous smoke ceiling for loaded CI boxes), and per-epoch
+    # checkpointing costs a bounded fraction of a tiny search run.
+    resilience = sections["resilience_overhead"]
+    assert resilience["fault_point_disabled_ns"] < 5000
+    assert resilience["search_checkpointed_s"] > 0
+    assert resilience["checkpoint_overhead_ratio"] < 3.0
 
     # Observability fields: cache hit rates and workspace reuse ride along.
     assert 0.0 <= sections["conv_training_step"]["workspace_reuse_rate"] <= 1.0

@@ -63,3 +63,35 @@ class TestObsCommand:
     def test_obs_unknown_arch(self):
         with pytest.raises(SystemExit):
             main(["obs", "--arch", "bogus"])
+
+
+class TestSearchResumeCommands:
+    def test_search_and_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "search.npz"
+        args = ["search", "--epochs", "1", "--samples", "24",
+                "--checkpoint", str(checkpoint)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "extracted architecture" in first
+        assert checkpoint.exists()
+
+        # Resuming a completed run replays nothing and reports identically.
+        assert main(["resume", str(checkpoint)]) == 0
+        second = capsys.readouterr().out
+        assert "resuming from" in second
+        assert first.splitlines()[-2] in second  # same loss history line
+
+    def test_search_without_checkpoint(self, capsys):
+        assert main(["search", "--epochs", "1", "--samples", "24"]) == 0
+        assert "checkpoint ->" not in capsys.readouterr().out
+
+    def test_resume_rejects_foreign_checkpoint(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.resilience.checkpoint import Checkpoint, save_checkpoint
+
+        path = tmp_path / "foreign.npz"
+        save_checkpoint(str(path), Checkpoint(kind="dnas", payload={"epoch": 0,
+                                                                    "total_epochs": 1}))
+        assert main(["resume", str(path)]) == 2
+        assert "lacks run settings" in capsys.readouterr().err

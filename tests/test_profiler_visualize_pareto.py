@@ -141,6 +141,29 @@ class TestPareto:
         points = points_from_rows(rows, "model", "acc", ["lat", "mem"])
         assert [p.name for p in points] == ["a"]
 
+    def test_nan_point_rejected_at_construction(self):
+        # NaN compares false against everything, so a NaN point could never
+        # be dominated and would sit on every front. Construction must fail.
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="non-finite"):
+            ModelPoint("broken", score=float("nan"), costs=(1.0,))
+        with pytest.raises(ReproError, match="non-finite"):
+            ModelPoint("broken", score=0.9, costs=(float("inf"), 1.0))
+
+    def test_points_from_rows_routes_nonfinite_to_infeasible(self):
+        rows = [
+            {"model": "a", "acc": 0.9, "lat": 1.0, "mem": 2.0},
+            {"model": "b", "acc": float("nan"), "lat": 1.0, "mem": 2.0},
+            {"model": "c", "acc": 0.8, "lat": float("inf"), "mem": 2.0},
+            {"model": "d", "acc": None, "lat": 1.0, "mem": 2.0},
+        ]
+        infeasible = []
+        points = points_from_rows(rows, "model", "acc", ["lat", "mem"],
+                                  infeasible=infeasible)
+        assert [p.name for p in points] == ["a"]
+        assert [row["model"] for row in infeasible] == ["b", "c", "d"]
+
     def test_fig7_rows_have_no_dominated_micronets(self):
         """Wire the utility into the archived fig7 result if present."""
         import os

@@ -99,6 +99,38 @@ class TestLifetimes:
         lifetimes = tensor_lifetimes(g)
         assert "w0" not in lifetimes
 
+    def test_input_that_is_also_output_spans_whole_program(self):
+        # A passthrough output must stay allocated for the entire program:
+        # the application reads it after the last op runs.
+        g = chain_graph(3)
+        g.outputs = ["act2", "input"]
+        lifetimes = tensor_lifetimes(g)
+        assert lifetimes["input"] == (0, 2)
+
+    def test_unproduced_output_rejected(self):
+        g = chain_graph(2)
+        g.add_tensor(TensorSpec("ghost", (4,), dtype="int8", kind="output"))
+        g.outputs = ["act1", "ghost"]
+        with pytest.raises(GraphError, match="never produced"):
+            tensor_lifetimes(g)
+
+    def test_dead_op_output_keeps_producer_lifetime(self):
+        # An output no one consumes still occupies arena space while its
+        # producer runs; it must not leak into later ops' windows either.
+        g = chain_graph(3)
+        g.add_tensor(TensorSpec("dead", (8,), dtype="int8", kind="activation"))
+        g.ops[1].outputs.append("dead")
+        lifetimes = tensor_lifetimes(g)
+        assert lifetimes["dead"] == (1, 1)
+        plan_arena(g).verify()
+
+    def test_opless_graph_gets_nonnegative_lifetimes(self):
+        g = Graph(name="pass")
+        g.add_tensor(TensorSpec("io", (4,), dtype="int8", kind="input"))
+        g.inputs = ["io"]
+        g.outputs = ["io"]
+        assert tensor_lifetimes(g) == {"io": (0, 0)}
+
 
 class TestArenaPlanner:
     def test_chain_reuses_memory(self):

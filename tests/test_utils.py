@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.errors import ReproError
-from repro.utils import Scale, new_rng, resolve_scale, spawn_rng
+from repro.utils import (
+    Scale,
+    get_rng_state,
+    new_rng,
+    resolve_scale,
+    rng_from_state,
+    set_rng_state,
+    spawn_rng,
+)
 from repro.utils.scale import CI, PAPER
 
 
@@ -34,6 +42,47 @@ class TestRng:
         a = spawn_rng(parent, "data")
         b = spawn_rng(new_rng(5), "train")
         assert a.integers(0, 1 << 30) != b.integers(0, 1 << 30)
+
+    def test_keys_sharing_long_prefix_do_not_collide(self):
+        # Regression: keys used to be truncated to their first 8 bytes, so
+        # any two keys sharing a long prefix ("features_encoder_a" vs
+        # "features_encoder_b" both reduced to b"features") produced the
+        # SAME stream — silently correlated "independent" randomness. The
+        # full key is now hashed.
+        keys = [
+            "features_encoder_a", "features_encoder_b",
+            "block_0_pointwise", "block_0_depthwise",
+            "supernet_stem_weights", "supernet_stem_alphas",
+        ]
+        draws = {}
+        for key in keys:
+            child = spawn_rng(new_rng(5), key)
+            draws[key] = tuple(child.integers(0, 1 << 62, size=4).tolist())
+        assert len(set(draws.values())) == len(keys), (
+            "keyed RNG streams collided: "
+            + str([k for k in keys if list(draws.values()).count(draws[k]) > 1])
+        )
+
+    def test_state_roundtrip_resumes_stream_exactly(self):
+        gen = new_rng(9)
+        gen.standard_normal(17)  # advance mid-stream
+        state = get_rng_state(gen)
+        expected = gen.standard_normal(8)
+
+        restored = rng_from_state(state)
+        np.testing.assert_array_equal(restored.standard_normal(8), expected)
+
+        other = new_rng(0)
+        set_rng_state(other, state)
+        np.testing.assert_array_equal(other.standard_normal(8), expected)
+
+    def test_state_is_json_serializable(self):
+        import json
+
+        state = get_rng_state(new_rng(2))
+        assert rng_from_state(json.loads(json.dumps(state))).integers(
+            0, 1 << 30
+        ) == rng_from_state(state).integers(0, 1 << 30)
 
 
 class TestScale:
