@@ -11,6 +11,12 @@ Usage::
                                               # timings + counters + spans
     python -m repro search --checkpoint c.npz # checkpointed mini DNAS run
     python -m repro resume c.npz              # continue an interrupted run
+    python -m repro validate model.mbuf       # parse + graph-invariant check
+    python -m repro validate model.mbuf --device STM32F446RE
+                                              # plus SRAM/flash guardrails
+    python -m repro validate model.mbuf --fuzz 500
+                                              # fuzz the deserializer with
+                                              # mutants of this model
 """
 
 from __future__ import annotations
@@ -164,6 +170,74 @@ def _search_run(
     return 0
 
 
+def _run_validate(args) -> int:
+    """The ``repro validate`` command: model-file validation + guardrails.
+
+    Exit codes: 0 valid (and within budget, when ``--device`` is given),
+    1 rejected (malformed file, broken graph, or budget overflow), 2 usage
+    error (missing file / unknown device).
+    """
+    import os
+
+    from repro.errors import DeploymentError, ReproError
+    from repro.hw.devices import get_device
+    from repro.runtime.reporting import memory_report
+    from repro.runtime.serializer import deserialize
+    from repro.validate import fuzz_model_bytes, validate_deployment
+
+    if not os.path.exists(args.model):
+        print(f"no such model file: {args.model}", file=sys.stderr)
+        return 2
+    devices = []
+    for key in args.device or []:
+        try:
+            devices.append(get_device(key))
+        except DeploymentError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    with open(args.model, "rb") as handle:
+        buf = handle.read()
+
+    try:
+        graph = deserialize(buf)
+    except ReproError as exc:
+        print(f"REJECTED {args.model}: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    memory = memory_report(graph)
+    print(f"model {graph.name!r}: OK")
+    print(f"  file          {len(buf)} bytes")
+    print(f"  tensors/ops   {len(graph.tensors)} / {len(graph.ops)}")
+    print(f"  peak SRAM     {memory.total_sram} bytes (arena {memory.arena_bytes})")
+    print(f"  flash         {memory.total_flash} bytes (model {memory.model_flash_bytes})")
+
+    failures = 0
+    for device in devices:
+        try:
+            validate_deployment(graph, device, memory=memory)
+        except DeploymentError as exc:
+            failures += 1
+            print(f"REJECTED for {device.name}: {exc}", file=sys.stderr)
+        else:
+            print(
+                f"  fits {device.name} ({device.budget_summary()}): "
+                f"SRAM margin {device.sram_bytes - memory.total_sram}, "
+                f"flash margin {device.eflash_bytes - memory.total_flash}"
+            )
+
+    if args.fuzz:
+        report = fuzz_model_bytes(buf, iterations=args.fuzz, seed=args.seed)
+        print(f"  {report.summary()}")
+        for escape in report.escapes[:10]:
+            print(
+                f"    ESCAPE mutant #{escape.index} ({escape.mutator}): "
+                f"{escape.error_type}: {escape.message}",
+                file=sys.stderr,
+            )
+        failures += len(report.escapes)
+
+    return 1 if failures else 0
+
+
 def _run_resume(args) -> int:
     """Continue an interrupted ``repro search`` run from its checkpoint."""
     from repro.resilience.checkpoint import load_checkpoint
@@ -230,8 +304,23 @@ def main(argv: List[str] = None) -> int:
         "resume", help="continue an interrupted 'repro search' run from its checkpoint"
     )
     resume_parser.add_argument("checkpoint", help="checkpoint written by 'repro search'")
+    validate_parser = subparsers.add_parser(
+        "validate", help="validate a .mbuf model file (format, graph invariants, budgets)"
+    )
+    validate_parser.add_argument("model", help="path to a serialized microbuffer model")
+    validate_parser.add_argument(
+        "--device", action="append", default=None, metavar="DEV",
+        help="also enforce this device's SRAM/flash budgets (repeatable; name or S/M/L)",
+    )
+    validate_parser.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="additionally fuzz the deserializer with N seeded mutants of this model",
+    )
+    validate_parser.add_argument("--seed", type=int, default=0, help="fuzzing seed")
 
     args = parser.parse_args(argv)
+    if args.command == "validate":
+        return _run_validate(args)
     if args.command == "obs":
         return _run_obs(args)
     if args.command == "search":

@@ -20,8 +20,27 @@ class GraphError(ReproError):
     """A runtime graph is malformed (cycles, dangling tensors, bad refs)."""
 
 
+class ModelFormatError(GraphError):
+    """Model-file bytes are malformed (truncated, bad magic, corrupt field).
+
+    Subclasses :class:`GraphError` so existing callers that catch graph
+    errors around ``deserialize`` keep working. ``offset`` carries the byte
+    position at which parsing failed, when known.
+    """
+
+    def __init__(self, message: str, offset=None) -> None:
+        if offset is not None:
+            message = f"{message} (at byte offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
 class DeploymentError(ReproError):
     """A model cannot be deployed on the requested device."""
+
+
+class DivergenceError(ReproError):
+    """Training diverged: a loss or gradient became NaN/inf."""
 
 
 class QuantizationError(ReproError):

@@ -52,6 +52,17 @@ class MCUDevice:
             return "M"
         return "L"
 
+    def budget_summary(self) -> str:
+        """Human-readable SRAM/flash budget, used by guardrail errors."""
+        return (
+            f"{self.sram_bytes // KiB} KiB SRAM, "
+            f"{self.eflash_bytes // KiB} KiB flash"
+        )
+
+    def fits(self, sram_bytes: int, flash_bytes: int) -> bool:
+        """Whether a memory footprint fits this device's budgets."""
+        return sram_bytes <= self.sram_bytes and flash_bytes <= self.eflash_bytes
+
 
 SMALL = MCUDevice(
     name="STM32F446RE",

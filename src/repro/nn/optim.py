@@ -24,10 +24,14 @@ class Optimizer:
         self.schedule = schedule if schedule is not None else ConstantSchedule(lr)
         self.weight_decay = weight_decay
         self.step_count = 0
+        #: Multiplier on top of the schedule; the training divergence
+        #: watchdog halves it when it rolls back past a NaN/inf loss so the
+        #: retried epochs are not a bit-identical replay of the divergence.
+        self.lr_scale = 1.0
 
     @property
     def lr(self) -> float:
-        return self.schedule(self.step_count)
+        return self.lr_scale * self.schedule(self.step_count)
 
     def zero_grad(self) -> None:
         for p in self.params:

@@ -20,7 +20,7 @@ the trade-off can be measured instead of argued:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.hw.latency import DISPATCH_CYCLES, LatencyModel
 from repro.runtime.graph import Graph, OpNode
 from repro.runtime.planner import plan_arena
 from repro.runtime.reporting import KiB, MemoryReport
+from repro.validate.checks import validate_deployment, validate_graph
 
 #: Flash cost of the statically linked kernel library (smaller than TFLM's
 #: full runtime: no interpreter, no flatbuffer parser, no op resolver).
@@ -82,14 +83,21 @@ def _op_call(graph: Graph, op: OpNode, plan) -> str:
     return f"    {kernel}({', '.join(args)});{comment}"
 
 
-def generate_c_source(graph: Graph) -> str:
+def generate_c_source(graph: Graph, device: Optional[MCUDevice] = None) -> str:
     """Emit C-style source for a quantized graph.
 
     The output is a faithful sketch of what tinyEngine/uTensor-style
     generators produce: const weight arrays (flash), a static arena (SRAM)
     with planner-assigned offsets, and a straight-line ``net_invoke``.
+
+    With ``device`` given, the generated build's memory map is checked
+    against that device's budgets first (:class:`DeploymentError` on
+    overflow) — generating C for a model that cannot flash is never useful.
     """
     graph.validate()
+    validate_graph(graph)
+    if device is not None:
+        validate_deployment(graph, device, memory=codegen_memory_report(graph))
     plan = plan_arena(graph)
     lines = [
         f"/* Auto-generated from model '{graph.name}' — do not edit. */",

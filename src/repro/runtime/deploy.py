@@ -82,9 +82,22 @@ def deployment_matrix(
 
 
 def require_deployable(graph: Graph, device: MCUDevice) -> DeploymentReport:
-    """Like :func:`deployment_report` but raises if the model does not fit."""
+    """Like :func:`deployment_report` but raises if the model does not fit.
+
+    Delegates the budget check to
+    :func:`repro.validate.validate_deployment`, so the
+    :class:`DeploymentError` names the tensors live at the SRAM peak and
+    the flash breakdown instead of just the totals.
+    """
+    # Imported here because repro.validate imports the graph IR back from
+    # this package (same pattern as the interpreter and planner).
+    from repro.validate.checks import validate_deployment
+
     report = deployment_report(graph, device)
     if not report.deployable:
+        validate_deployment(graph, device, memory=report.memory)
+        # Unreachable for a consistent memory report, but keep the old
+        # contract if the two checks ever disagree.
         raise DeploymentError(
             f"{graph.name} does not fit {device.name}: "
             f"SRAM {report.memory.total_sram} / {device.sram_bytes}, "

@@ -31,6 +31,10 @@ from repro.tensor import conv as fconv
 from repro.tensor import gemm as fgemm
 from repro.tensor.backend import get_backend
 
+#: dtype family each tensor-spec dtype admits at execution time (int4 is
+#: carried unpacked as int8; accumulators may widen within the family).
+_INTEGER_DTYPES = ("int8", "int4", "int16", "int32")
+
 
 class Interpreter:
     """Executes a validated graph.
@@ -38,11 +42,18 @@ class Interpreter:
     Parameters
     ----------
     graph:
-        The model; :meth:`Graph.validate` is called on construction.
+        The model; :meth:`Graph.validate` plus the deploy-path invariant
+        checker :func:`repro.validate.validate_graph` run on construction,
+        and every op re-verifies its operands before dispatch.
     """
 
     def __init__(self, graph: Graph) -> None:
+        # Imported here (like planner.tensor_lifetimes) because repro.validate
+        # imports the graph IR back from this package.
+        from repro.validate.checks import validate_graph
+
         graph.validate()
+        validate_graph(graph)
         self.graph = graph
         self._plan: Optional[ArenaPlan] = None
         #: Wall-clock seconds per op name from the most recent observed
@@ -110,7 +121,51 @@ class Interpreter:
         return np.asarray(out, dtype=np.float32)
 
     # ------------------------------------------------------------------
+    def _check_operands(self, op: OpNode, values: Dict[str, np.ndarray]) -> None:
+        """Pre-dispatch operand verification.
+
+        Turns silent wrong-number bugs (a kernel fed a stale or mis-shaped
+        buffer) into a :class:`GraphError` naming the op and operand. For
+        each input: constants (weight/bias) must carry data matching their
+        declared shape; activations must have been produced, with the
+        declared per-example shape and a dtype in the declared family.
+        """
+        tensors = self.graph.tensors
+        for t in op.inputs:
+            spec = tensors.get(t)
+            if spec is None:
+                raise GraphError(f"op {op.name}: references unknown tensor {t!r}")
+            if spec.kind in ("weight", "bias"):
+                if spec.data is None:
+                    raise GraphError(f"op {op.name}: constant {t!r} has no data")
+                if tuple(spec.data.shape) != tuple(spec.shape):
+                    raise GraphError(
+                        f"op {op.name}: constant {t!r} data shape "
+                        f"{tuple(spec.data.shape)} != spec shape {tuple(spec.shape)}"
+                    )
+                continue
+            if t not in values:
+                raise GraphError(f"op {op.name}: input {t!r} was never produced")
+            value = values[t]
+            if value.shape[1:] != tuple(spec.shape):
+                raise GraphError(
+                    f"op {op.name}: input {t!r} has shape {value.shape[1:]} "
+                    f"per example, spec says {tuple(spec.shape)}"
+                )
+            if spec.dtype in _INTEGER_DTYPES:
+                if not np.issubdtype(value.dtype, np.integer):
+                    raise GraphError(
+                        f"op {op.name}: input {t!r} is {value.dtype}, "
+                        f"spec dtype {spec.dtype} requires an integer array"
+                    )
+            elif not np.issubdtype(value.dtype, np.floating):
+                raise GraphError(
+                    f"op {op.name}: input {t!r} is {value.dtype}, "
+                    f"spec dtype {spec.dtype} requires a float array"
+                )
+
     def _execute(self, op: OpNode, values: Dict[str, np.ndarray]) -> None:
+        self._check_operands(op, values)
         tensors = self.graph.tensors
         out_name = op.outputs[0]
         out_spec = tensors[out_name]

@@ -27,6 +27,12 @@ def _align(size: int) -> int:
 def tensor_lifetimes(graph: Graph) -> Dict[str, Tuple[int, int]]:
     """Compute [first, last] op index during which each SRAM tensor is live.
 
+    The graph is first run through
+    :func:`repro.validate.validate_graph`, so a malformed graph (dangling
+    refs, cyclic dataflow, inconsistent operand shapes) raises
+    :class:`GraphError` here rather than producing a bogus memory plan that
+    a budget check downstream would trust.
+
     Graph inputs are live from op 0 (the application writes them before
     invoke); graph outputs stay live through the last op (they must survive
     for the application to read) — so a tensor that is both an input and an
@@ -35,6 +41,9 @@ def tensor_lifetimes(graph: Graph) -> Dict[str, Tuple[int, int]]:
     producer runs. A graph output no op produces and that is not a graph
     input is a malformed graph and raises :class:`GraphError`.
     """
+    from repro.validate.checks import validate_graph
+
+    validate_graph(graph)
     lifetimes: Dict[str, Tuple[int, int]] = {}
     for name in graph.inputs:
         lifetimes[name] = (0, 0)

@@ -8,6 +8,16 @@ of the ``.tflite`` flatbuffer.
 
 The format round-trips: :func:`deserialize` reconstructs an equivalent
 :class:`~repro.runtime.graph.Graph`, which the test-suite exercises.
+
+Deserialization is **total over malformed input**: every read is
+bounds-checked against the buffer through a :class:`_Reader` cursor, every
+enum code is validated, string bytes must decode as UTF-8, and weight blobs
+must match their declared shape and dtype width exactly. Any violation
+raises :class:`~repro.errors.ModelFormatError` carrying the byte offset of
+the failure — never a bare ``struct.error``/``KeyError``/
+``UnicodeDecodeError``, and never a silently-truncated tensor. The fuzz
+harness in :mod:`repro.validate.fuzz` holds this contract under seeded
+mutation of real model files.
 """
 
 from __future__ import annotations
@@ -17,13 +27,18 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import GraphError
+from repro.errors import GraphError, ModelFormatError, QuantizationError
 from repro.quantization.int4 import pack_int4, unpack_int4
 from repro.quantization.params import QuantParams
-from repro.runtime.graph import Graph, OpNode, TensorSpec
+from repro.runtime.graph import DTYPE_BYTES, Graph, OpNode, TensorSpec
 
 MAGIC = b"MBUF"
 VERSION = 1
+
+#: Upper bound on a single tensor's element count. Shape dims are unsigned
+#: 32-bit fields, so a few flipped bits can declare a petabyte tensor; we
+#: refuse anything beyond this before computing sizes or touching numpy.
+MAX_TENSOR_ELEMENTS = 1 << 31
 
 _DTYPE_CODES = {"int8": 0, "int16": 1, "int32": 2, "float32": 3, "int4": 4}
 _DTYPE_NAMES = {v: k for k, v in _DTYPE_CODES.items()}
@@ -43,16 +58,86 @@ _OP_CODES = {
 _OP_NAMES = {v: k for k, v in _OP_CODES.items()}
 
 
+class _Reader:
+    """Bounds-checked cursor over model-file bytes.
+
+    Every primitive read first verifies the buffer actually holds the
+    requested bytes; failures raise :class:`ModelFormatError` naming the
+    field being read and the offset at which the bytes ran out.
+    """
+
+    __slots__ = ("buf", "offset")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.offset = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.buf) - self.offset
+
+    def _need(self, count: int, what: str) -> None:
+        if count < 0 or self.offset + count > len(self.buf):
+            raise ModelFormatError(
+                f"truncated model: need {count} bytes for {what}, "
+                f"have {self.remaining}",
+                offset=self.offset,
+            )
+
+    def take(self, count: int, what: str) -> bytes:
+        self._need(count, what)
+        out = self.buf[self.offset : self.offset + count]
+        self.offset += count
+        return out
+
+    def unpack(self, fmt: str, what: str) -> tuple:
+        size = struct.calcsize(fmt)
+        self._need(size, what)
+        values = struct.unpack_from(fmt, self.buf, self.offset)
+        self.offset += size
+        return values
+
+    def u8(self, what: str) -> int:
+        return self.unpack("<B", what)[0]
+
+    def u16(self, what: str) -> int:
+        return self.unpack("<H", what)[0]
+
+    def u32(self, what: str) -> int:
+        return self.unpack("<I", what)[0]
+
+    def string(self, what: str) -> str:
+        length = self.u16(f"{what} length")
+        start = self.offset
+        raw = self.take(length, what)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ModelFormatError(f"{what} is not valid UTF-8: {exc}", offset=start) from exc
+
+    def enum(self, table: Dict[int, str], what: str) -> str:
+        at = self.offset
+        code = self.u8(what)
+        try:
+            return table[code]
+        except KeyError:
+            raise ModelFormatError(
+                f"unknown {what} code {code} (known: {sorted(table)})", offset=at
+            ) from None
+
+
 def _pack_str(value: str) -> bytes:
     raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise GraphError(f"string too long to serialize ({len(raw)} bytes)")
     return struct.pack("<H", len(raw)) + raw
 
 
-def _unpack_str(buf: bytes, offset: int) -> Tuple[str, int]:
-    (length,) = struct.unpack_from("<H", buf, offset)
-    offset += 2
-    value = buf[offset : offset + length].decode("utf-8")
-    return value, offset + length
+def _blob_size_bytes(dtype: str, count: int) -> int:
+    """Exact serialized byte count of ``count`` elements of ``dtype``."""
+    if dtype == "int4":
+        return (count + 1) // 2
+    return count * int(DTYPE_BYTES[dtype])
 
 
 def _pack_tensor(spec: TensorSpec) -> bytes:
@@ -93,7 +178,9 @@ def _encode_data(spec: TensorSpec) -> bytes:
 
 
 def _decode_data(blob: bytes, dtype: str, shape: Tuple[int, ...]) -> np.ndarray:
-    count = int(np.prod(shape)) if shape else 1
+    count = 1
+    for dim in shape:
+        count *= int(dim)
     if dtype == "int4":
         return unpack_int4(np.frombuffer(blob, dtype=np.uint8), count).reshape(shape)
     np_dtype = {"int8": np.int8, "int16": np.int16, "int32": np.int32, "float32": np.float32}[
@@ -102,43 +189,54 @@ def _decode_data(blob: bytes, dtype: str, shape: Tuple[int, ...]) -> np.ndarray:
     return np.frombuffer(blob, dtype=np_dtype).reshape(shape).copy()
 
 
-def _unpack_tensor(buf: bytes, offset: int) -> Tuple[TensorSpec, int]:
-    name, offset = _unpack_str(buf, offset)
-    dtype_code, kind_code = struct.unpack_from("<BB", buf, offset)
-    offset += 2
-    (ndim,) = struct.unpack_from("<B", buf, offset)
-    offset += 1
-    shape = struct.unpack_from(f"<{ndim}I", buf, offset)
-    offset += 4 * ndim
-    (has_quant,) = struct.unpack_from("<B", buf, offset)
-    offset += 1
+def _unpack_tensor(reader: _Reader, index: int) -> TensorSpec:
+    label = f"tensor[{index}]"
+    name = reader.string(f"{label} name")
+    dtype = reader.enum(_DTYPE_NAMES, f"{label} dtype")
+    kind = reader.enum(_KIND_NAMES, f"{label} kind")
+    ndim = reader.u8(f"{label} rank")
+    at = reader.offset
+    shape = tuple(int(d) for d in reader.unpack(f"<{ndim}I", f"{label} shape"))
+    elements = 1
+    for dim in shape:
+        elements *= dim
+    if elements > MAX_TENSOR_ELEMENTS:
+        raise ModelFormatError(
+            f"{label} {name!r}: implausible shape {shape} "
+            f"({elements} elements > {MAX_TENSOR_ELEMENTS})",
+            offset=at,
+        )
     quant: Optional[QuantParams] = None
-    if has_quant:
-        (n_scales,) = struct.unpack_from("<I", buf, offset)
-        offset += 4
-        scales = np.frombuffer(buf, dtype=np.float32, count=n_scales, offset=offset).copy()
-        offset += 4 * n_scales
-        zero_point, bits = struct.unpack_from("<iB", buf, offset)
-        offset += 5
-        quant = QuantParams(scale=scales.astype(np.float64), zero_point=zero_point, bits=bits)
-    (has_data,) = struct.unpack_from("<B", buf, offset)
-    offset += 1
+    if reader.u8(f"{label} has_quant"):
+        at = reader.offset
+        n_scales = reader.u32(f"{label} scale count")
+        raw = reader.take(4 * n_scales, f"{label} scales")
+        scales = np.frombuffer(raw, dtype=np.float32).copy()
+        if scales.size == 0 or not np.all(np.isfinite(scales)) or np.any(scales <= 0):
+            raise ModelFormatError(
+                f"{label} {name!r}: quantization scales must be finite and positive",
+                offset=at,
+            )
+        at = reader.offset
+        zero_point, bits = reader.unpack("<iB", f"{label} zero_point/bits")
+        try:
+            quant = QuantParams(scale=scales.astype(np.float64), zero_point=zero_point, bits=bits)
+        except QuantizationError as exc:
+            raise ModelFormatError(f"{label} {name!r}: {exc}", offset=at) from exc
     data = None
-    dtype = _DTYPE_NAMES[dtype_code]
-    if has_data:
-        (blob_len,) = struct.unpack_from("<I", buf, offset)
-        offset += 4
-        data = _decode_data(buf[offset : offset + blob_len], dtype, tuple(shape))
-        offset += blob_len
-    spec = TensorSpec(
-        name=name,
-        shape=tuple(int(d) for d in shape),
-        dtype=dtype,
-        kind=_KIND_NAMES[kind_code],
-        data=data,
-        quant=quant,
-    )
-    return spec, offset
+    if reader.u8(f"{label} has_data"):
+        at = reader.offset
+        blob_len = reader.u32(f"{label} blob length")
+        expected = _blob_size_bytes(dtype, elements)
+        if blob_len != expected:
+            raise ModelFormatError(
+                f"{label} {name!r}: blob is {blob_len} bytes but shape {shape} "
+                f"dtype {dtype} requires exactly {expected}",
+                offset=at,
+            )
+        blob = reader.take(blob_len, f"{label} blob")
+        data = _decode_data(blob, dtype, shape)
+    return TensorSpec(name=name, shape=shape, dtype=dtype, kind=kind, data=data, quant=quant)
 
 
 def _pack_attr_value(value) -> bytes:
@@ -153,17 +251,19 @@ def _pack_attr_value(value) -> bytes:
     raise GraphError(f"cannot serialize op attribute of type {type(value).__name__}")
 
 
-def _unpack_attr_value(buf: bytes, offset: int):
-    (code,) = struct.unpack_from("<B", buf, offset)
-    offset += 1
+def _unpack_attr_value(reader: _Reader, what: str):
+    at = reader.offset
+    code = reader.u8(f"{what} type code")
     if code == 0:
-        (value,) = struct.unpack_from("<i", buf, offset)
-        return int(value), offset + 4
+        return int(reader.unpack("<i", what)[0])
     if code == 1:
-        (value,) = struct.unpack_from("<f", buf, offset)
-        return float(value), offset + 4
-    value, offset = _unpack_str(buf, offset)
-    return value, offset
+        value = float(reader.unpack("<f", what)[0])
+        if not np.isfinite(value):
+            raise ModelFormatError(f"{what}: non-finite float attribute", offset=at)
+        return value
+    if code == 2:
+        return reader.string(what)
+    raise ModelFormatError(f"unknown {what} type code {code}", offset=at)
 
 
 def _pack_op(op: OpNode) -> bytes:
@@ -180,30 +280,21 @@ def _pack_op(op: OpNode) -> bytes:
     return b"".join(parts)
 
 
-def _unpack_op(buf: bytes, offset: int) -> Tuple[OpNode, int]:
-    (kind_code,) = struct.unpack_from("<B", buf, offset)
-    offset += 1
-    name, offset = _unpack_str(buf, offset)
-    (n_in,) = struct.unpack_from("<B", buf, offset)
-    offset += 1
+def _unpack_op(reader: _Reader, index: int) -> OpNode:
+    label = f"op[{index}]"
+    kind = reader.enum(_OP_NAMES, f"{label} kind")
+    name = reader.string(f"{label} name")
     inputs: List[str] = []
-    for _ in range(n_in):
-        t, offset = _unpack_str(buf, offset)
-        inputs.append(t)
-    (n_out,) = struct.unpack_from("<B", buf, offset)
-    offset += 1
+    for i in range(reader.u8(f"{label} input count")):
+        inputs.append(reader.string(f"{label} input[{i}]"))
     outputs: List[str] = []
-    for _ in range(n_out):
-        t, offset = _unpack_str(buf, offset)
-        outputs.append(t)
-    (n_attrs,) = struct.unpack_from("<B", buf, offset)
-    offset += 1
+    for i in range(reader.u8(f"{label} output count")):
+        outputs.append(reader.string(f"{label} output[{i}]"))
     attrs: Dict[str, object] = {}
-    for _ in range(n_attrs):
-        key, offset = _unpack_str(buf, offset)
-        value, offset = _unpack_attr_value(buf, offset)
-        attrs[key] = value
-    return OpNode(kind=_OP_NAMES[kind_code], name=name, inputs=inputs, outputs=outputs, attrs=attrs), offset
+    for i in range(reader.u8(f"{label} attr count")):
+        key = reader.string(f"{label} attr[{i}] key")
+        attrs[key] = _unpack_attr_value(reader, f"{label} attr {key!r}")
+    return OpNode(kind=kind, name=name, inputs=inputs, outputs=outputs, attrs=attrs)
 
 
 def serialize(graph: Graph) -> bytes:
@@ -221,37 +312,46 @@ def serialize(graph: Graph) -> bytes:
     return b"".join(parts)
 
 
-def deserialize(buf: bytes) -> Graph:
-    """Reconstruct a graph from model-file bytes."""
-    if buf[:4] != MAGIC:
-        raise GraphError("not a microbuffer model (bad magic)")
-    offset = 4
-    (version,) = struct.unpack_from("<H", buf, offset)
-    offset += 2
+def deserialize(buf: bytes, validate: bool = True) -> Graph:
+    """Reconstruct a graph from model-file bytes.
+
+    With ``validate`` (the default), the decoded graph is additionally run
+    through :func:`repro.validate.validate_graph`, so a byte stream that
+    parses but encodes a semantically broken model (dangling refs, cyclic
+    dataflow, inconsistent operand shapes) is rejected too.
+    """
+    reader = _Reader(bytes(buf))
+    magic = reader.take(4, "magic") if len(buf) >= 4 else bytes(buf)
+    if magic != MAGIC:
+        raise ModelFormatError(
+            f"not a microbuffer model (bad magic {magic!r}, expected {MAGIC!r})", offset=0
+        )
+    version = reader.u16("format version")
     if version != VERSION:
-        raise GraphError(f"unsupported microbuffer version {version}")
-    name, offset = _unpack_str(buf, offset)
-    n_tensors, n_ops = struct.unpack_from("<II", buf, offset)
-    offset += 8
-    (n_in,) = struct.unpack_from("<B", buf, offset)
-    offset += 1
+        raise ModelFormatError(
+            f"unsupported microbuffer version {version} (supported: {VERSION})", offset=4
+        )
+    name = reader.string("model name")
+    n_tensors, n_ops = reader.unpack("<II", "tensor/op counts")
     inputs: List[str] = []
-    for _ in range(n_in):
-        t, offset = _unpack_str(buf, offset)
-        inputs.append(t)
-    (n_out,) = struct.unpack_from("<B", buf, offset)
-    offset += 1
+    for i in range(reader.u8("graph input count")):
+        inputs.append(reader.string(f"graph input[{i}]"))
     outputs: List[str] = []
-    for _ in range(n_out):
-        t, offset = _unpack_str(buf, offset)
-        outputs.append(t)
+    for i in range(reader.u8("graph output count")):
+        outputs.append(reader.string(f"graph output[{i}]"))
     graph = Graph(name=name, inputs=inputs, outputs=outputs)
-    for _ in range(n_tensors):
-        spec, offset = _unpack_tensor(buf, offset)
-        graph.add_tensor(spec)
-    for _ in range(n_ops):
-        op, offset = _unpack_op(buf, offset)
-        graph.add_op(op)
+    for index in range(n_tensors):
+        graph.add_tensor(_unpack_tensor(reader, index))
+    for index in range(n_ops):
+        graph.add_op(_unpack_op(reader, index))
+    if reader.remaining:
+        raise ModelFormatError(
+            f"{reader.remaining} trailing bytes after op table", offset=reader.offset
+        )
+    if validate:
+        from repro.validate import validate_graph
+
+        validate_graph(graph)
     return graph
 
 

@@ -10,7 +10,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro import obs
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, DivergenceError
 from repro.models.spec import ArchSpec, SpecModel, build_module, export_graph
 from repro.nn import SGD, Adam, accuracy, cross_entropy, mixup
 from repro.nn.losses import distillation_loss
@@ -87,6 +87,35 @@ def _save_train_state(
     save_checkpoint(checkpoint_config.path, Checkpoint(kind="train", payload=payload, arrays=arrays))
 
 
+def _grad_global_norm(params) -> float:
+    """L2 norm over every parameter gradient present."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(np.square(p.grad, dtype=np.float64)))
+    return float(np.sqrt(total))
+
+
+def _check_training_step(loss_value: float, params, arch_name: str, epoch: int, step: int) -> None:
+    """Divergence watchdog: refuse to keep optimizing past NaN/inf.
+
+    A NaN loss or gradient silently poisons every subsequent weight update;
+    raising :class:`DivergenceError` at the first bad step keeps the last
+    checkpoint good and gives the rollback path something to return to.
+    """
+    if not np.isfinite(loss_value):
+        obs.incr("train.divergence_detected")
+        raise DivergenceError(
+            f"{arch_name}: loss is {loss_value} at epoch {epoch} step {step}"
+        )
+    grad_norm = _grad_global_norm(params)
+    if not np.isfinite(grad_norm):
+        obs.incr("train.divergence_detected")
+        raise DivergenceError(
+            f"{arch_name}: gradient norm is {grad_norm} at epoch {epoch} step {step}"
+        )
+
+
 def _restore_train_state(
     path: str, module: SpecModel, opt, rng: np.random.Generator, config: TrainConfig
 ) -> int:
@@ -116,6 +145,7 @@ def train_classifier(
     num_classes: Optional[int] = None,
     teacher_logits: Optional[np.ndarray] = None,
     checkpoint: Optional[CheckpointConfig] = None,
+    events: Optional[List[Dict]] = None,
 ) -> SpecModel:
     """Train a classifier from an architecture spec.
 
@@ -126,6 +156,13 @@ def train_classifier(
     With ``checkpoint`` set, module/optimizer/RNG state is snapshotted
     atomically per epoch; an interrupted run resumed from its snapshot
     produces bitwise-identical weights to an uninterrupted one.
+
+    Divergence watchdog: a NaN/inf loss or gradient norm raises
+    :class:`~repro.errors.DivergenceError` at the offending step. When a
+    checkpoint exists on disk, the run instead rolls back **once** to the
+    last good snapshot, halves the learning rate, records the event (obs
+    counter ``train.divergence_rollbacks`` plus an entry in ``events`` if
+    given), and continues; a second divergence propagates.
     """
     rng = new_rng(rng)
     if num_classes is None:
@@ -144,8 +181,7 @@ def train_classifier(
     if checkpoint is not None and checkpoint.resume and os.path.exists(checkpoint.path):
         start_epoch = _restore_train_state(checkpoint.path, module, opt, rng, config)
 
-    module.train()
-    for epoch in range(start_epoch, config.epochs):
+    def _run_epoch(epoch: int) -> None:
         fault_point("train_epoch")
         with obs.span("train/epoch", arch=arch.name, epoch=epoch):
             order = rng.permutation(len(x_train))
@@ -174,13 +210,46 @@ def train_classifier(
                     )
                 opt.zero_grad()
                 loss.backward()
+                _check_training_step(loss.item(), params, arch.name, epoch, step)
                 opt.step()
                 if timed:
                     obs.incr("train.steps")
                     obs.observe("train.step_seconds", time.perf_counter() - step_start)
                     obs.observe("train.step_loss", loss.item())
+
+    module.train()
+    rolled_back = False
+    epoch = start_epoch
+    while epoch < config.epochs:
+        try:
+            _run_epoch(epoch)
+        except DivergenceError as exc:
+            can_roll_back = (
+                checkpoint is not None and not rolled_back and os.path.exists(checkpoint.path)
+            )
+            if not can_roll_back:
+                raise
+            rolled_back = True
+            resume_epoch = _restore_train_state(checkpoint.path, module, opt, rng, config)
+            opt.lr_scale *= 0.5
+            obs.incr("train.divergence_rollbacks")
+            if events is not None:
+                events.append(
+                    {
+                        "event": "divergence_rollback",
+                        "arch": arch.name,
+                        "failed_epoch": epoch,
+                        "resume_epoch": resume_epoch,
+                        "lr_scale": opt.lr_scale,
+                        "error": str(exc),
+                    }
+                )
+            module.train()
+            epoch = resume_epoch
+            continue
         if checkpoint is not None and checkpoint.due(epoch, config.epochs):
             _save_train_state(checkpoint, module, opt, rng, epoch, config)
+        epoch += 1
     module.eval()
     return module
 
@@ -217,14 +286,17 @@ def train_and_deploy(
 ) -> TaskResult:
     """Full classification pipeline: train, export int-N, measure both."""
     rng = new_rng(rng)
+    events: List[Dict] = []
     module = train_classifier(
         arch, x_train, y_train, config, rng=rng, teacher_logits=teacher_logits,
-        checkpoint=checkpoint,
+        checkpoint=checkpoint, events=events,
     )
     float_acc = accuracy(predict(module, x_test), y_test)
     calibration = x_train[: min(len(x_train), 128)]
     graph = export_graph(arch, module, calibration=calibration, bits=bits)
     quant_acc = accuracy(evaluate_graph(graph, x_test), y_test)
+    history: Dict[str, List] = {"events": events} if events else {}
     return TaskResult(
-        name=arch.name, float_metric=float_acc, quant_metric=quant_acc, graph=graph
+        name=arch.name, float_metric=float_acc, quant_metric=quant_acc, graph=graph,
+        history=history,
     )

@@ -1,0 +1,57 @@
+"""Deployment-pipeline hardening: model validation, guardrails, fuzzing.
+
+The paper's deployment story treats the serialized model as a trustworthy
+artifact whose byte length *is* the flash footprint, and the NAS
+constraints (eqs. 2-3) as guarantees that the result fits the target MCU.
+Neither holds against a corrupt file or a model deployed to a smaller
+device than it was searched for — this package makes every stage of the
+deploy path refuse such inputs loudly, with typed errors, instead of
+crashing or silently mis-executing:
+
+``repro.validate.checks``
+    :func:`validate_graph` — graph invariants (referential integrity,
+    schedule order, per-op operand consistency, quant sanity), run by
+    ``deserialize``, the ``Interpreter``, and the arena planner;
+    :func:`validate_deployment` — deploy-time SRAM/flash budget guardrails
+    that name the offending tensor lifetimes.
+
+``repro.validate.fuzz``
+    a deterministic, seeded mutation-fuzz harness over the serializer;
+    the only allowed escapes are :class:`~repro.errors.ReproError`
+    subclasses.
+
+Error taxonomy, fuzz usage, and guardrail semantics are documented in
+``docs/validation.md``.
+"""
+
+from repro.errors import DeploymentError, GraphError, ModelFormatError
+from repro.validate.checks import (
+    LiveTensor,
+    peak_sram_tensors,
+    validate_deployment,
+    validate_graph,
+)
+from repro.validate.fuzz import (
+    MUTATORS,
+    FuzzOutcome,
+    FuzzReport,
+    fuzz_model_bytes,
+    mutant_at,
+    replay_recipe,
+)
+
+__all__ = [
+    "DeploymentError",
+    "GraphError",
+    "ModelFormatError",
+    "LiveTensor",
+    "peak_sram_tensors",
+    "validate_deployment",
+    "validate_graph",
+    "MUTATORS",
+    "FuzzOutcome",
+    "FuzzReport",
+    "fuzz_model_bytes",
+    "mutant_at",
+    "replay_recipe",
+]

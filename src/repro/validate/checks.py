@@ -1,0 +1,336 @@
+"""Graph invariants and deploy-time budget guardrails.
+
+:func:`validate_graph` is the single gate every deploy-path consumer runs a
+graph through (deserialization, the interpreter, the arena planner): it
+checks referential integrity, schedule order/acyclicity, per-op operand
+arity/kind/shape/dtype consistency, and quantization-parameter sanity.
+
+:func:`validate_deployment` is the budget guardrail the NAS constraints
+(paper eqs. 2-3) promise but search-time optimization alone cannot enforce:
+it re-derives the planned peak SRAM and the serialized flash footprint and
+refuses — with the offending tensor lifetimes — any model that exceeds the
+target device's specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import DeploymentError, GraphError
+from repro.hw.devices import MCUDevice
+from repro.runtime.graph import DTYPE_BYTES, Graph, OpNode, TensorSpec
+
+#: Per-op operand arity: kind -> (min_inputs, max_inputs, outputs).
+_OP_ARITY = {
+    "conv2d": (2, 3, 1),
+    "depthwise_conv2d": (2, 3, 1),
+    "dense": (2, 3, 1),
+    "avg_pool": (1, 1, 1),
+    "max_pool": (1, 1, 1),
+    "global_avg_pool": (1, 1, 1),
+    "add": (2, 2, 1),
+    "softmax": (1, 1, 1),
+    "reshape": (1, 1, 1),
+}
+
+#: Expected weight-operand rank per op kind (None = no weight operand).
+_WEIGHT_RANK = {"conv2d": 4, "depthwise_conv2d": 3, "dense": 2}
+
+
+def _fail(message: str) -> None:
+    obs.incr("validate.rejects")
+    raise GraphError(message)
+
+
+def _check_quant(spec: TensorSpec) -> None:
+    q = spec.quant
+    if q is None:
+        return
+    scale = np.atleast_1d(np.asarray(q.scale, dtype=np.float64))
+    if not np.all(np.isfinite(scale)) or np.any(scale <= 0):
+        _fail(f"tensor {spec.name!r}: quantization scale must be finite and > 0")
+    if scale.size > 1:
+        channels = spec.shape[-1] if spec.shape else 1
+        if scale.size != channels:
+            _fail(
+                f"tensor {spec.name!r}: per-channel scale count {scale.size} "
+                f"!= last-axis size {channels}"
+            )
+        if q.zero_point != 0:
+            _fail(f"tensor {spec.name!r}: per-channel quantization requires zero_point 0")
+    if spec.dtype == "int4" and q.bits != 4:
+        _fail(f"tensor {spec.name!r}: int4 tensor carries {q.bits}-bit quant params")
+
+
+def _check_tensor(spec: TensorSpec) -> None:
+    if spec.dtype not in DTYPE_BYTES:
+        _fail(f"tensor {spec.name!r}: unknown dtype {spec.dtype!r}")
+    if spec.kind not in ("input", "activation", "output", "weight", "bias"):
+        _fail(f"tensor {spec.name!r}: unknown kind {spec.kind!r}")
+    if any(int(d) < 0 for d in spec.shape):
+        _fail(f"tensor {spec.name!r}: negative dimension in shape {spec.shape}")
+    _check_quant(spec)
+    if spec.data is not None:
+        data = np.asarray(spec.data)
+        if tuple(data.shape) != tuple(spec.shape):
+            _fail(
+                f"tensor {spec.name!r}: stored data shape {tuple(data.shape)} "
+                f"!= declared shape {tuple(spec.shape)}"
+            )
+        if spec.dtype == "int4" and data.size and (data.min() < -8 or data.max() > 7):
+            _fail(f"tensor {spec.name!r}: int4 data outside [-8, 7]")
+        if spec.dtype == "float32" and not np.all(np.isfinite(data)):
+            _fail(f"tensor {spec.name!r}: non-finite float32 weights")
+
+
+def _check_op(graph: Graph, op: OpNode) -> None:
+    if op.kind not in _OP_ARITY:
+        _fail(f"op {op.name!r}: unknown kind {op.kind!r}")
+    lo, hi, n_out = _OP_ARITY[op.kind]
+    if not (lo <= len(op.inputs) <= hi):
+        _fail(
+            f"op {op.name!r} ({op.kind}): has {len(op.inputs)} inputs, "
+            f"expected {lo}" + (f"..{hi}" if hi != lo else "")
+        )
+    if len(op.outputs) < n_out:
+        _fail(f"op {op.name!r} ({op.kind}): has {len(op.outputs)} outputs, expected {n_out}")
+    for t in op.inputs + op.outputs:
+        if t not in graph.tensors:
+            _fail(f"op {op.name!r}: references unknown tensor {t!r}")
+
+    x = graph.tensors[op.inputs[0]]
+    out = graph.tensors[op.outputs[0]]
+    if x.kind in ("weight", "bias"):
+        _fail(f"op {op.name!r}: data input {x.name!r} has constant kind {x.kind!r}")
+    if out.kind in ("weight", "bias"):
+        _fail(f"op {op.name!r}: output {out.name!r} has constant kind {out.kind!r}")
+
+    if op.kind in _WEIGHT_RANK:
+        w = graph.tensors[op.inputs[1]]
+        if w.kind != "weight":
+            _fail(f"op {op.name!r}: operand {w.name!r} has kind {w.kind!r}, expected 'weight'")
+        if len(w.shape) != _WEIGHT_RANK[op.kind]:
+            _fail(
+                f"op {op.name!r} ({op.kind}): weight {w.name!r} has rank "
+                f"{len(w.shape)}, expected {_WEIGHT_RANK[op.kind]}"
+            )
+        if len(op.inputs) > 2:
+            b = graph.tensors[op.inputs[2]]
+            if b.kind != "bias":
+                _fail(f"op {op.name!r}: operand {b.name!r} has kind {b.kind!r}, expected 'bias'")
+            if b.elements != w.shape[-1]:
+                _fail(
+                    f"op {op.name!r}: bias {b.name!r} has {b.elements} elements, "
+                    f"weight output channels are {w.shape[-1]}"
+                )
+        if op.kind == "conv2d":
+            if len(x.shape) != 3:
+                _fail(f"op {op.name!r}: conv2d input {x.name!r} must be rank 3, got {x.shape}")
+            if w.shape[2] != x.shape[-1]:
+                _fail(
+                    f"op {op.name!r}: weight expects {w.shape[2]} input channels, "
+                    f"input {x.name!r} has {x.shape[-1]}"
+                )
+            if out.shape[-1] != w.shape[3]:
+                _fail(
+                    f"op {op.name!r}: output {out.name!r} has {out.shape[-1]} channels, "
+                    f"weight produces {w.shape[3]}"
+                )
+        elif op.kind == "depthwise_conv2d":
+            if len(x.shape) != 3:
+                _fail(f"op {op.name!r}: depthwise input {x.name!r} must be rank 3, got {x.shape}")
+            if w.shape[2] != x.shape[-1] or out.shape[-1] != x.shape[-1]:
+                _fail(
+                    f"op {op.name!r}: depthwise channel mismatch — input "
+                    f"{x.shape[-1]}, weight {w.shape[2]}, output {out.shape[-1]}"
+                )
+        elif op.kind == "dense":
+            if x.elements != w.shape[0]:
+                _fail(
+                    f"op {op.name!r}: dense input {x.name!r} has {x.elements} "
+                    f"features, weight expects {w.shape[0]}"
+                )
+            if out.elements != w.shape[1]:
+                _fail(
+                    f"op {op.name!r}: dense output {out.name!r} has {out.elements} "
+                    f"units, weight produces {w.shape[1]}"
+                )
+    elif op.kind == "add":
+        b = graph.tensors[op.inputs[1]]
+        if b.kind in ("weight", "bias"):
+            _fail(f"op {op.name!r}: add operand {b.name!r} has constant kind {b.kind!r}")
+        if tuple(x.shape) != tuple(b.shape) or tuple(out.shape) != tuple(x.shape):
+            _fail(
+                f"op {op.name!r}: add operands/output disagree — "
+                f"{tuple(x.shape)} + {tuple(b.shape)} -> {tuple(out.shape)}"
+            )
+    elif op.kind == "softmax":
+        if tuple(out.shape) != tuple(x.shape):
+            _fail(
+                f"op {op.name!r}: softmax must preserve shape, got "
+                f"{tuple(x.shape)} -> {tuple(out.shape)}"
+            )
+    elif op.kind == "reshape":
+        if out.elements != x.elements:
+            _fail(
+                f"op {op.name!r}: reshape changes element count "
+                f"{x.elements} -> {out.elements}"
+            )
+    elif op.kind in ("avg_pool", "max_pool"):
+        if "pool" not in op.attrs and "pool_h" not in op.attrs:
+            _fail(f"op {op.name!r} ({op.kind}): missing required 'pool' attribute")
+        if len(x.shape) != 3:
+            _fail(f"op {op.name!r}: pool input {x.name!r} must be rank 3, got {x.shape}")
+
+
+def validate_graph(graph: Graph) -> Graph:
+    """Check every graph invariant the deploy path relies on.
+
+    Raises :class:`~repro.errors.GraphError` (and bumps the
+    ``validate.rejects`` obs counter) on the first violation; returns the
+    graph unchanged so the call composes. Unlike :meth:`Graph.validate`,
+    op-less passthrough graphs are accepted — the planner supports them.
+
+    Checked invariants:
+
+    * boundary tensors exist; no duplicate graph inputs/outputs;
+    * every tensor is well-formed (known dtype/kind, non-negative shape,
+      data matching the declared shape, int4 values in range);
+    * quantization sanity (finite positive scales, per-channel counts
+      matching the channel axis, int4 bit-width parity);
+    * every op reference resolves; each tensor has at most one producer;
+    * per-op operand arity, kinds, shapes and channel counts agree;
+    * ops are in a valid topological schedule (no use-before-produce, which
+      also rules out dataflow cycles).
+    """
+    seen_boundary: Set[str] = set()
+    for t in list(graph.inputs) + list(graph.outputs):
+        if t not in graph.tensors:
+            _fail(f"graph {graph.name!r}: boundary tensor {t!r} missing")
+    for collection, label in ((graph.inputs, "input"), (graph.outputs, "output")):
+        seen_boundary.clear()
+        for t in collection:
+            if t in seen_boundary:
+                _fail(f"graph {graph.name!r}: duplicate graph {label} {t!r}")
+            seen_boundary.add(t)
+
+    for spec in graph.tensors.values():
+        if spec.name not in graph.tensors or graph.tensors[spec.name] is not spec:
+            _fail(f"graph {graph.name!r}: tensor table key/name mismatch for {spec.name!r}")
+        _check_tensor(spec)
+
+    producers: Dict[str, int] = {}
+    op_names: Set[str] = set()
+    for idx, op in enumerate(graph.ops):
+        if op.name in op_names:
+            _fail(f"graph {graph.name!r}: duplicate op name {op.name!r}")
+        op_names.add(op.name)
+        _check_op(graph, op)
+        for t in op.outputs:
+            if t in producers:
+                _fail(f"tensor {t!r} produced twice (ops {producers[t]} and {idx})")
+            producers[t] = idx
+
+    # Schedule-order scan: every consumed activation must already be defined.
+    # A graph whose dataflow contains a cycle cannot pass this scan, so this
+    # doubles as cycle detection without building an explicit DAG.
+    defined = set(graph.inputs) | {
+        name for name, spec in graph.tensors.items() if spec.kind in ("weight", "bias")
+    }
+    for op in graph.ops:
+        for t in op.inputs:
+            if t not in defined:
+                _fail(f"op {op.name!r}: input {t!r} used before it is produced")
+        defined.update(op.outputs)
+    for t in graph.outputs:
+        if t not in defined:
+            _fail(f"graph output {t!r} is never produced by any op and is not a graph input")
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Deploy-time budget guardrails.
+@dataclass(frozen=True)
+class LiveTensor:
+    """One tensor contributing to the SRAM peak, with its lifetime."""
+
+    name: str
+    size_bytes: int
+    first_use: int
+    last_use: int
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.size_bytes} B, live ops {self.first_use}..{self.last_use})"
+
+
+def peak_sram_tensors(graph: Graph) -> Tuple[int, int, List[LiveTensor]]:
+    """The planner's peak op index and the tensors live there.
+
+    Returns ``(peak_bytes, op_index, tensors)`` with tensors sorted
+    largest-first — exactly the allocations a smaller device would need
+    trimmed, which is why budget rejections name them.
+    """
+    from repro.runtime.planner import plan_arena
+
+    plan = plan_arena(graph)
+    steps = range(max((a.last_use for a in plan.allocations), default=0) + 1)
+    peak_bytes, peak_step = 0, 0
+    for step in steps:
+        live = sum(a.size for a in plan.allocations if a.first_use <= step <= a.last_use)
+        if live > peak_bytes:
+            peak_bytes, peak_step = live, step
+    offenders = [
+        LiveTensor(a.tensor, a.size, a.first_use, a.last_use)
+        for a in plan.allocations
+        if a.first_use <= peak_step <= a.last_use
+    ]
+    offenders.sort(key=lambda t: (-t.size_bytes, t.name))
+    return plan.arena_bytes, peak_step, offenders
+
+
+def validate_deployment(
+    graph: Graph,
+    device: MCUDevice,
+    memory: Optional["MemoryReport"] = None,  # noqa: F821 - forward ref
+):
+    """Enforce the device's SRAM/flash budgets at deploy time.
+
+    ``memory`` defaults to the interpreter-style
+    :func:`repro.runtime.reporting.memory_report`; the codegen path passes
+    its own report. Raises :class:`~repro.errors.DeploymentError` naming
+    the tensors live at the SRAM peak (largest first) or the flash
+    breakdown, and bumps the ``validate.rejects`` counter. Returns the
+    memory report on success.
+    """
+    validate_graph(graph)
+    if memory is None:
+        from repro.runtime.reporting import memory_report
+
+        memory = memory_report(graph)
+    problems: List[str] = []
+    if memory.total_sram > device.sram_bytes:
+        _, peak_step, offenders = peak_sram_tensors(graph)
+        worst = ", ".join(t.describe() for t in offenders[:6])
+        if len(offenders) > 6:
+            worst += f", … ({len(offenders) - 6} more)"
+        problems.append(
+            f"peak SRAM {memory.total_sram} B exceeds {device.name}'s "
+            f"{device.sram_bytes} B; peak at op {peak_step} with live tensors: {worst}"
+        )
+    if memory.total_flash > device.eflash_bytes:
+        problems.append(
+            f"flash {memory.total_flash} B (model {memory.model_flash_bytes} B "
+            f"+ code {memory.code_flash_bytes} B) exceeds {device.name}'s "
+            f"{device.eflash_bytes} B"
+        )
+    if problems:
+        obs.incr("validate.rejects")
+        raise DeploymentError(
+            f"model {graph.name!r} cannot deploy on {device.name} "
+            f"({device.budget_summary()}): " + "; ".join(problems)
+        )
+    return memory

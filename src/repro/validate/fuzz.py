@@ -1,0 +1,224 @@
+"""Deterministic mutation fuzzing of the microbuffer deserializer.
+
+The deployment contract this harness enforces: feeding **any** byte string
+to :func:`repro.runtime.serializer.deserialize` either yields a validated
+graph or raises a :class:`~repro.errors.ReproError` subclass — never a bare
+``struct.error``/``KeyError``/``UnicodeDecodeError``/numpy ``ValueError``,
+and never a silently-corrupted graph.
+
+Mutants are derived from a valid base model (the golden fixture corpus in
+``tests/fixtures``) by seeded mutators — byte flips, truncations, random
+field overwrites, blob insertions/deletions, zero runs, header corruption —
+so every run is reproducible: mutant ``i`` of seed ``s`` is a pure function
+of ``(base, s, i)`` (:func:`mutant_at`), which is also how the saved
+regression corpus replays historical crash classes without storing the
+mutated bytes themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ReproError
+from repro.utils.rng import new_rng
+
+#: Exception types that count as an escape even though Python would happily
+#: propagate them: these are exactly the raw failure modes the bounds-checked
+#: deserializer exists to eliminate.
+RAW_FAILURE_TYPES = ("struct.error", "KeyError", "UnicodeDecodeError", "ValueError")
+
+
+# ----------------------------------------------------------------------
+# Mutators. Each takes (bytearray, Generator) and returns mutated bytes.
+def _mut_bit_flip(buf: bytearray, rng: np.random.Generator) -> bytes:
+    for _ in range(int(rng.integers(1, 9))):
+        pos = int(rng.integers(0, len(buf)))
+        buf[pos] ^= 1 << int(rng.integers(0, 8))
+    return bytes(buf)
+
+
+def _mut_byte_set(buf: bytearray, rng: np.random.Generator) -> bytes:
+    for _ in range(int(rng.integers(1, 5))):
+        buf[int(rng.integers(0, len(buf)))] = int(rng.integers(0, 256))
+    return bytes(buf)
+
+
+def _mut_truncate(buf: bytearray, rng: np.random.Generator) -> bytes:
+    return bytes(buf[: int(rng.integers(0, len(buf)))])
+
+
+def _mut_extend(buf: bytearray, rng: np.random.Generator) -> bytes:
+    junk = rng.integers(0, 256, size=int(rng.integers(1, 64)), dtype=np.uint8)
+    return bytes(buf) + junk.tobytes()
+
+
+def _mut_field_overwrite(buf: bytearray, rng: np.random.Generator) -> bytes:
+    """Overwrite an aligned 2/4-byte little-endian field with an extreme."""
+    width = int(rng.choice([2, 4]))
+    pos = int(rng.integers(0, max(1, len(buf) - width)))
+    extreme = int(rng.choice([0, 1, 0x7F, 0xFF, 0xFFFF, 0x7FFFFFFF, 0xFFFFFFFF]))
+    buf[pos : pos + width] = int(extreme & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+    return bytes(buf)
+
+
+def _mut_blob_resize(buf: bytearray, rng: np.random.Generator) -> bytes:
+    """Insert or delete a chunk mid-stream, shearing all later offsets."""
+    pos = int(rng.integers(0, len(buf)))
+    size = int(rng.integers(1, 33))
+    if rng.random() < 0.5:
+        chunk = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        return bytes(buf[:pos]) + chunk + bytes(buf[pos:])
+    return bytes(buf[:pos]) + bytes(buf[pos + size :])
+
+
+def _mut_zero_run(buf: bytearray, rng: np.random.Generator) -> bytes:
+    pos = int(rng.integers(0, len(buf)))
+    size = int(rng.integers(1, 65))
+    buf[pos : pos + size] = b"\x00" * len(buf[pos : pos + size])
+    return bytes(buf)
+
+
+def _mut_header(buf: bytearray, rng: np.random.Generator) -> bytes:
+    """Corrupt the magic/version/count header region specifically."""
+    pos = int(rng.integers(0, min(16, len(buf))))
+    buf[pos] = int(rng.integers(0, 256))
+    return bytes(buf)
+
+
+MUTATORS = (
+    ("bit_flip", _mut_bit_flip),
+    ("byte_set", _mut_byte_set),
+    ("truncate", _mut_truncate),
+    ("extend", _mut_extend),
+    ("field_overwrite", _mut_field_overwrite),
+    ("blob_resize", _mut_blob_resize),
+    ("zero_run", _mut_zero_run),
+    ("header", _mut_header),
+)
+_MUTATORS_BY_NAME = dict(MUTATORS)
+
+
+def mutant_at(base: bytes, seed: int, index: int) -> Tuple[bytes, str]:
+    """The deterministic mutant ``index`` of ``seed``: ``(bytes, mutator)``.
+
+    Random-access: rebuilding mutant 731 does not require generating the
+    first 730, so regression-corpus entries are just ``(seed, index)``
+    pairs.
+    """
+    rng = new_rng(np.random.SeedSequence(entropy=[int(seed), int(index)]))
+    name = MUTATORS[int(rng.integers(0, len(MUTATORS)))][0]
+    mutated = _MUTATORS_BY_NAME[name](bytearray(base), rng)
+    return mutated, name
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """What one mutant did to the deserializer."""
+
+    index: int
+    mutator: str
+    status: str  # "rejected" | "accepted" | "escape"
+    error_type: Optional[str] = None
+    message: str = ""
+
+    def recipe(self, seed: int) -> Dict:
+        """Replayable regression-corpus entry for this mutant."""
+        return {
+            "seed": int(seed),
+            "index": int(self.index),
+            "mutator": self.mutator,
+            "error_type": self.error_type,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of one fuzzing run."""
+
+    seed: int
+    iterations: int
+    outcomes: List[FuzzOutcome] = field(default_factory=list)
+
+    @property
+    def escapes(self) -> List[FuzzOutcome]:
+        return [o for o in self.outcomes if o.status == "escape"]
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {"rejected": 0, "accepted": 0, "escape": 0}
+        for o in self.outcomes:
+            out[o.status] = out.get(o.status, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        c = self.counts
+        return (
+            f"fuzz seed={self.seed} iters={self.iterations}: "
+            f"{c['rejected']} rejected, {c['accepted']} accepted, "
+            f"{c['escape']} ESCAPES"
+        )
+
+
+def _try_mutant(mutated: bytes) -> Tuple[str, Optional[str], str]:
+    """Feed one mutant through deserialize; classify what happened."""
+    from repro.runtime.serializer import deserialize
+
+    try:
+        graph = deserialize(mutated)
+    except ReproError as exc:
+        obs.incr("validate.rejects")
+        return "rejected", type(exc).__name__, str(exc)[:200]
+    except Exception as exc:  # the bug class this harness exists to catch
+        obs.incr("validate.fuzz_escapes")
+        return "escape", type(exc).__name__, str(exc)[:200]
+    # Parsed: the mutation landed in a semantically inert spot (e.g. a
+    # weight value) and produced a *valid* different model. Re-serializing
+    # must not crash either; a failure here is a parser/printer mismatch.
+    try:
+        from repro.runtime.serializer import serialize
+
+        serialize(graph)
+    except ReproError as exc:
+        obs.incr("validate.fuzz_escapes")
+        return "escape", type(exc).__name__, f"accepted but unserializable: {exc}"[:200]
+    return "accepted", None, ""
+
+
+def fuzz_model_bytes(base: bytes, iterations: int = 1000, seed: int = 0) -> FuzzReport:
+    """Run ``iterations`` seeded mutants of ``base`` through deserialize.
+
+    Purely deterministic in ``(base, seed, iterations)``. Escapes are
+    recorded (with enough information to replay via :func:`mutant_at`)
+    rather than raised, so one run reports every failure class at once.
+    """
+    report = FuzzReport(seed=seed, iterations=iterations)
+    for index in range(iterations):
+        mutated, mutator = mutant_at(base, seed, index)
+        status, error_type, message = _try_mutant(mutated)
+        report.outcomes.append(
+            FuzzOutcome(
+                index=index, mutator=mutator, status=status,
+                error_type=error_type, message=message,
+            )
+        )
+    return report
+
+
+def replay_recipe(base: bytes, recipe: Dict) -> Tuple[str, Optional[str], str]:
+    """Replay one regression-corpus entry against the current deserializer.
+
+    Returns the same ``(status, error_type, message)`` triple as a live
+    fuzz iteration; the regression suite asserts ``status != "escape"``.
+    """
+    mutated, mutator = mutant_at(base, int(recipe["seed"]), int(recipe["index"]))
+    if recipe.get("mutator") not in (None, mutator):
+        raise ReproError(
+            f"regression recipe {recipe} no longer reproduces mutator "
+            f"{recipe['mutator']!r} (got {mutator!r}); regenerate the corpus"
+        )
+    return _try_mutant(mutated)

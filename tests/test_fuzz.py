@@ -1,0 +1,165 @@
+"""Deterministic mutation fuzzing of the microbuffer deserializer.
+
+The deployment contract under test: any byte string fed to ``deserialize``
+either yields a validated graph or raises a ``ReproError`` subclass — never
+a raw ``struct.error``/``KeyError``/``UnicodeDecodeError``/numpy
+``ValueError``, and never a silently corrupted graph.
+
+The smoke run covers 1000 seeded mutants per run in tier-1 (fast: the
+golden fixture is ~1.7 KB); set ``REPRO_FUZZ_ITERS`` to fuzz deeper::
+
+    REPRO_FUZZ_ITERS=20000 PYTHONPATH=src python -m pytest -m fuzz tests/test_fuzz.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.runtime.serializer import deserialize, serialize
+from repro.validate import (
+    MUTATORS,
+    fuzz_model_bytes,
+    mutant_at,
+    replay_recipe,
+)
+
+pytestmark = [pytest.mark.tier1, pytest.mark.fuzz]
+
+FIXTURE_DIR = pathlib.Path(__file__).parent / "fixtures"
+BASE = (FIXTURE_DIR / "golden_tiny.mbuf").read_bytes()
+CORPUS = json.loads((FIXTURE_DIR / "fuzz_regression.json").read_text())
+
+#: Bounded smoke depth by default; REPRO_FUZZ_ITERS unlocks full depth.
+ITERATIONS = int(os.environ.get("REPRO_FUZZ_ITERS", "1000"))
+
+
+class TestDeterminism:
+    def test_mutant_at_is_pure(self):
+        for index in (0, 1, 17, 731):
+            a_bytes, a_name = mutant_at(BASE, seed=3, index=index)
+            b_bytes, b_name = mutant_at(BASE, seed=3, index=index)
+            assert a_bytes == b_bytes and a_name == b_name
+
+    def test_distinct_indices_differ(self):
+        blobs = {mutant_at(BASE, seed=0, index=i)[0] for i in range(32)}
+        assert len(blobs) > 16  # mutators genuinely vary across indices
+
+    def test_fuzz_report_is_reproducible(self):
+        a = fuzz_model_bytes(BASE, iterations=64, seed=5)
+        b = fuzz_model_bytes(BASE, iterations=64, seed=5)
+        assert [(o.status, o.mutator, o.error_type) for o in a.outcomes] == [
+            (o.status, o.mutator, o.error_type) for o in b.outcomes
+        ]
+
+    def test_all_mutators_reachable(self):
+        names = {mutant_at(BASE, seed=0, index=i)[1] for i in range(128)}
+        assert names == {name for name, _ in MUTATORS}
+
+
+class TestFuzzContract:
+    def test_no_escapes(self):
+        """The acceptance criterion: mutants raise only ReproError subclasses."""
+        report = fuzz_model_bytes(BASE, iterations=ITERATIONS, seed=0)
+        assert report.counts["escape"] == 0, report.summary() + "".join(
+            f"\n  #{e.index} {e.mutator}: {e.error_type}: {e.message}"
+            for e in report.escapes[:10]
+        )
+        # A fixture this small still must reject the bulk of random damage.
+        assert report.counts["rejected"] > report.counts["accepted"]
+
+    def test_accepted_mutants_roundtrip(self):
+        """Accepted mutants are *valid different models*: they re-serialize
+        and re-parse, so acceptance is never silent corruption."""
+        report = fuzz_model_bytes(BASE, iterations=256, seed=1)
+        accepted = [o for o in report.outcomes if o.status == "accepted"]
+        assert accepted  # weight-byte flips should land sometimes
+        for outcome in accepted[:16]:
+            mutated, _ = mutant_at(BASE, seed=1, index=outcome.index)
+            graph = deserialize(mutated)
+            again = serialize(graph)
+            deserialize(again)  # parse(print(parse(x))) must close
+
+    def test_escape_counter_increments(self):
+        obs.enable()
+        try:
+            from repro.validate import fuzz as fuzz_mod
+
+            before = obs.REGISTRY.counter("validate.fuzz_escapes").value
+            status, error_type, _ = fuzz_mod._try_mutant(BASE)
+            assert status == "accepted"  # unmutated base parses
+            assert obs.REGISTRY.counter("validate.fuzz_escapes").value == before
+        finally:
+            obs.disable()
+
+
+class TestRegressionCorpus:
+    def test_corpus_points_at_this_fixture(self):
+        assert CORPUS["base_fixture"] == "golden_tiny.mbuf"
+        assert CORPUS["recipes"]
+
+    def test_corpus_covers_both_reject_classes(self):
+        kinds = {r["error_type"] for r in CORPUS["recipes"]}
+        assert {"ModelFormatError", "GraphError"} <= kinds
+        assert None in kinds  # plus accepted (valid-different-model) entries
+
+    @pytest.mark.parametrize(
+        "recipe",
+        CORPUS["recipes"],
+        ids=[f"s{r['seed']}i{r['index']}-{r['mutator']}" for r in CORPUS["recipes"]],
+    )
+    def test_replay(self, recipe):
+        status, error_type, message = replay_recipe(BASE, recipe)
+        assert status != "escape", f"{recipe} escaped: {error_type}: {message}"
+        if recipe["error_type"] is not None:
+            # Historically-rejected damage must stay rejected; the exact
+            # error class may legitimately tighten (GraphError -> subclass).
+            assert status == "rejected"
+        else:
+            assert status == "accepted"
+
+    def test_stale_recipe_detected(self):
+        recipe = dict(CORPUS["recipes"][0])
+        recipe["mutator"] = "not-a-mutator"
+        with pytest.raises(ReproError, match="no longer reproduces"):
+            replay_recipe(BASE, recipe)
+
+
+class TestRoundTripProperty:
+    """serialize(deserialize(b)) == b over the valid corpus."""
+
+    def test_golden_fixture(self):
+        assert serialize(deserialize(BASE)) == BASE
+
+    @pytest.mark.parametrize("quantized", [True, False])
+    def test_exported_graphs(self, quantized):
+        from repro.models.spec import (
+            ArchSpec,
+            ConvSpec,
+            DenseSpec,
+            GlobalPoolSpec,
+            export_float_graph,
+            export_graph,
+        )
+        from repro.tensor import backend_scope
+
+        arch = ArchSpec(
+            name="rt-tiny",
+            input_shape=(8, 8, 1),
+            layers=(ConvSpec(4, kernel=3, stride=2), GlobalPoolSpec(), DenseSpec(3)),
+        )
+        rng = np.random.default_rng(0)
+        calibration = rng.normal(size=(8, 8, 8, 1)).astype(np.float32)
+        with backend_scope("einsum"):
+            if quantized:
+                graph = export_graph(arch, calibration=calibration, bits=8)
+            else:
+                graph = export_float_graph(arch)
+        blob = serialize(graph)
+        assert serialize(deserialize(blob)) == blob

@@ -1,0 +1,518 @@
+"""The deploy-path hardening layer: ``repro.validate`` + its wiring.
+
+Covers the graph invariant checker (one test per invariant class), the
+deploy-time budget guardrails (:class:`DeploymentError` naming the tensors
+live at the SRAM peak), the interpreter's pre-dispatch operand checks, the
+training divergence watchdog with checkpoint rollback, and the ``repro
+validate`` CLI (happy path plus one rejection per error class).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import (
+    DeploymentError,
+    DivergenceError,
+    GraphError,
+    ModelFormatError,
+    ReproError,
+)
+from repro.hw.devices import MCUDevice
+from repro.quantization.params import QuantParams
+from repro.runtime.graph import Graph, OpNode, TensorSpec
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.serializer import serialize
+from repro.validate import peak_sram_tensors, validate_deployment, validate_graph
+
+pytestmark = pytest.mark.tier1
+
+
+def _dense_graph() -> Graph:
+    """Minimal valid float graph: x -> dense -> y."""
+    g = Graph(name="t")
+    g.add_tensor(TensorSpec("x", (4,), dtype="float32", kind="input"))
+    g.add_tensor(
+        TensorSpec(
+            "w", (4, 3), dtype="float32", kind="weight",
+            data=np.zeros((4, 3), dtype=np.float32),
+        )
+    )
+    g.add_tensor(
+        TensorSpec(
+            "b", (3,), dtype="float32", kind="bias",
+            data=np.zeros((3,), dtype=np.float32),
+        )
+    )
+    g.add_tensor(TensorSpec("y", (3,), dtype="float32", kind="output"))
+    g.add_op(OpNode("dense", "fc", ["x", "w", "b"], ["y"]))
+    g.inputs = ["x"]
+    g.outputs = ["y"]
+    return g
+
+
+def _tiny_device(sram: int = 1 << 30, flash: int = 1 << 30) -> MCUDevice:
+    return MCUDevice(
+        name="unit-test-mcu", core="cortex-m4", clock_hz=1e8,
+        sram_bytes=sram, eflash_bytes=flash,
+        active_power_w=0.1, sleep_power_w=0.001, dual_issue=False, price_usd=1.0,
+    )
+
+
+class TestValidateGraph:
+    def test_valid_graph_passes_and_returns_graph(self):
+        g = _dense_graph()
+        assert validate_graph(g) is g
+
+    def test_opless_passthrough_accepted(self):
+        # The planner supports op-less graphs (identity deployments); the
+        # deploy-path checker must not be stricter than the planner.
+        g = Graph(name="pass")
+        g.add_tensor(TensorSpec("x", (4,), dtype="float32", kind="input"))
+        g.inputs = ["x"]
+        g.outputs = ["x"]
+        assert validate_graph(g) is g
+
+    def test_missing_boundary_tensor(self):
+        g = _dense_graph()
+        g.outputs = ["ghost"]
+        with pytest.raises(GraphError, match="boundary tensor 'ghost' missing"):
+            validate_graph(g)
+
+    def test_duplicate_graph_input(self):
+        g = _dense_graph()
+        g.inputs = ["x", "x"]
+        with pytest.raises(GraphError, match="duplicate graph input"):
+            validate_graph(g)
+
+    def test_negative_dimension(self):
+        g = _dense_graph()
+        g.tensors["y"].shape = (-3,)
+        with pytest.raises(GraphError, match="negative dimension"):
+            validate_graph(g)
+
+    def test_unknown_dtype(self):
+        g = _dense_graph()
+        g.tensors["x"].dtype = "float64"
+        with pytest.raises(GraphError, match="unknown dtype"):
+            validate_graph(g)
+
+    def test_data_shape_mismatch(self):
+        g = _dense_graph()
+        g.tensors["w"].data = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(GraphError, match="stored data shape"):
+            validate_graph(g)
+
+    def test_nonfinite_float_weights(self):
+        g = _dense_graph()
+        g.tensors["w"].data = np.full((4, 3), np.nan, dtype=np.float32)
+        with pytest.raises(GraphError, match="non-finite"):
+            validate_graph(g)
+
+    def test_nan_quant_scale(self):
+        # QuantParams' own `scale <= 0` guard passes NaN through; the
+        # deploy-path checker must not.
+        g = _dense_graph()
+        q = QuantParams(scale=np.array([1.0]), zero_point=0, bits=8)
+        object.__setattr__(q, "scale", np.array([np.nan]))
+        g.tensors["y"].quant = q
+        with pytest.raises(GraphError, match="finite and > 0"):
+            validate_graph(g)
+
+    def test_per_channel_scale_count_mismatch(self):
+        g = _dense_graph()
+        g.tensors["w"].quant = QuantParams(
+            scale=np.array([0.1, 0.1]), zero_point=0, bits=8
+        )
+        with pytest.raises(GraphError, match="per-channel scale count"):
+            validate_graph(g)
+
+    def test_int4_bits_mismatch(self):
+        g = _dense_graph()
+        g.tensors["w"].dtype = "int4"
+        g.tensors["w"].data = np.zeros((4, 3), dtype=np.int8)
+        g.tensors["w"].quant = QuantParams(scale=np.array([0.1]), zero_point=0, bits=8)
+        with pytest.raises(GraphError, match="int4 tensor carries 8-bit"):
+            validate_graph(g)
+
+    def test_int4_data_out_of_range(self):
+        g = _dense_graph()
+        g.tensors["w"].dtype = "int4"
+        g.tensors["w"].data = np.full((4, 3), 100, dtype=np.int8)
+        g.tensors["w"].quant = QuantParams(scale=np.array([0.1]), zero_point=0, bits=4)
+        with pytest.raises(GraphError, match=r"int4 data outside \[-8, 7\]"):
+            validate_graph(g)
+
+    def test_wrong_weight_rank(self):
+        g = _dense_graph()
+        g.tensors["w"].shape = (2, 2, 3)
+        g.tensors["w"].data = np.zeros((2, 2, 3), dtype=np.float32)
+        with pytest.raises(GraphError, match="rank 3, expected 2"):
+            validate_graph(g)
+
+    def test_weight_operand_wrong_kind(self):
+        g = _dense_graph()
+        g.tensors["w"].kind = "activation"
+        with pytest.raises(GraphError, match="expected 'weight'"):
+            validate_graph(g)
+
+    def test_bias_size_mismatch(self):
+        g = _dense_graph()
+        g.tensors["b"].shape = (5,)
+        g.tensors["b"].data = np.zeros((5,), dtype=np.float32)
+        with pytest.raises(GraphError, match="bias 'b' has 5 elements"):
+            validate_graph(g)
+
+    def test_dense_feature_mismatch(self):
+        g = _dense_graph()
+        g.tensors["x"].shape = (6,)
+        with pytest.raises(GraphError, match="has 6 features, weight expects 4"):
+            validate_graph(g)
+
+    def test_add_shape_mismatch(self):
+        g = Graph(name="t")
+        g.add_tensor(TensorSpec("a", (4,), dtype="float32", kind="input"))
+        g.add_tensor(TensorSpec("b", (5,), dtype="float32", kind="input"))
+        g.add_tensor(TensorSpec("y", (4,), dtype="float32", kind="output"))
+        g.add_op(OpNode("add", "sum", ["a", "b"], ["y"]))
+        g.inputs = ["a", "b"]
+        g.outputs = ["y"]
+        with pytest.raises(GraphError, match="add operands/output disagree"):
+            validate_graph(g)
+
+    def test_reshape_element_count_change(self):
+        g = Graph(name="t")
+        g.add_tensor(TensorSpec("x", (4,), dtype="float32", kind="input"))
+        g.add_tensor(TensorSpec("y", (5,), dtype="float32", kind="output"))
+        g.add_op(OpNode("reshape", "r", ["x"], ["y"]))
+        g.inputs = ["x"]
+        g.outputs = ["y"]
+        with pytest.raises(GraphError, match="reshape changes element count"):
+            validate_graph(g)
+
+    def test_pool_missing_attr(self):
+        g = Graph(name="t")
+        g.add_tensor(TensorSpec("x", (4, 4, 2), dtype="float32", kind="input"))
+        g.add_tensor(TensorSpec("y", (2, 2, 2), dtype="float32", kind="output"))
+        g.add_op(OpNode("avg_pool", "p", ["x"], ["y"]))
+        g.inputs = ["x"]
+        g.outputs = ["y"]
+        with pytest.raises(GraphError, match="missing required 'pool'"):
+            validate_graph(g)
+
+    def test_duplicate_op_name(self):
+        g = _dense_graph()
+        g.add_tensor(TensorSpec("y2", (3,), dtype="float32", kind="output"))
+        g.add_op(OpNode("softmax", "fc", ["y"], ["y2"]))
+        with pytest.raises(GraphError, match="duplicate op name"):
+            validate_graph(g)
+
+    def test_use_before_produce_rules_out_cycles(self):
+        g = Graph(name="t")
+        for n in ("x", "t1", "t2"):
+            g.add_tensor(TensorSpec(n, (4,), dtype="float32",
+                                    kind="input" if n == "x" else "activation"))
+        # op1 consumes op2's output and vice versa: a dataflow cycle, which
+        # can never be put in a valid schedule order.
+        g.add_op(OpNode("add", "op1", ["x", "t2"], ["t1"]))
+        g.add_op(OpNode("add", "op2", ["t1", "x"], ["t2"]))
+        g.inputs = ["x"]
+        g.outputs = ["t2"]
+        with pytest.raises(GraphError, match="used before it is produced"):
+            validate_graph(g)
+
+    def test_output_never_produced(self):
+        g = _dense_graph()
+        g.add_tensor(TensorSpec("orphan", (3,), dtype="float32", kind="output"))
+        g.outputs = ["orphan"]
+        with pytest.raises(GraphError, match="never produced"):
+            validate_graph(g)
+
+    def test_reject_bumps_obs_counter(self):
+        obs.enable()
+        try:
+            before = obs.REGISTRY.counter("validate.rejects").value
+            g = _dense_graph()
+            g.outputs = ["ghost"]
+            with pytest.raises(GraphError):
+                validate_graph(g)
+            assert obs.REGISTRY.counter("validate.rejects").value == before + 1
+        finally:
+            obs.disable()
+
+
+class TestValidateDeployment:
+    def test_fitting_model_returns_memory_report(self):
+        memory = validate_deployment(_dense_graph(), _tiny_device())
+        assert memory.total_sram > 0 and memory.total_flash > 0
+
+    def test_sram_overflow_names_live_tensors(self):
+        g = _dense_graph()
+        device = _tiny_device(sram=64)
+        with pytest.raises(DeploymentError) as excinfo:
+            validate_deployment(g, device)
+        message = str(excinfo.value)
+        assert "peak SRAM" in message
+        assert "live tensors" in message
+        # The offenders at the peak are named with their lifetimes.
+        assert "x (" in message or "y (" in message
+        assert "unit-test-mcu" in message
+
+    def test_flash_overflow_reports_breakdown(self):
+        g = _dense_graph()
+        device = _tiny_device(flash=16)
+        with pytest.raises(DeploymentError, match="flash .* exceeds"):
+            validate_deployment(g, device)
+
+    def test_peak_sram_tensors_sorted_largest_first(self):
+        arena, peak_step, offenders = peak_sram_tensors(_dense_graph())
+        assert arena > 0
+        assert offenders
+        sizes = [t.size_bytes for t in offenders]
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(t.first_use <= peak_step <= t.last_use for t in offenders)
+
+    def test_require_deployable_uses_guardrail_message(self):
+        from repro.runtime.deploy import require_deployable
+
+        with pytest.raises(DeploymentError, match="live tensors"):
+            require_deployable(_dense_graph(), _tiny_device(sram=64))
+
+    def test_codegen_rejects_overbudget_device(self):
+        from repro.runtime.codegen import generate_c_source
+
+        with pytest.raises(DeploymentError):
+            generate_c_source(_dense_graph(), device=_tiny_device(sram=64))
+        assert "net_invoke" in generate_c_source(_dense_graph(), device=_tiny_device())
+
+
+class TestInterpreterOperandChecks:
+    def test_constant_data_shape_tampered_after_construction(self):
+        g = _dense_graph()
+        interp = Interpreter(g)
+        g.tensors["w"].data = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(GraphError, match="data shape"):
+            interp.invoke(np.zeros((1, 4), dtype=np.float32))
+
+    def test_constant_data_removed(self):
+        g = _dense_graph()
+        interp = Interpreter(g)
+        g.tensors["w"].data = None
+        with pytest.raises(GraphError, match="has no data"):
+            interp.invoke(np.zeros((1, 4), dtype=np.float32))
+
+    def test_activation_shape_mismatch(self):
+        g = _dense_graph()
+        g.add_tensor(TensorSpec("p", (3,), dtype="float32", kind="output"))
+        g.add_op(OpNode("softmax", "sm", ["y"], ["p"]))
+        g.outputs = ["p"]
+        interp = Interpreter(g)
+        g.tensors["y"].shape = (7,)  # lie about the intermediate's shape
+        with pytest.raises(GraphError, match="per example, spec says"):
+            interp.invoke(np.zeros((1, 4), dtype=np.float32))
+
+    def test_activation_dtype_family_mismatch(self):
+        g = _dense_graph()
+        interp = Interpreter(g)
+        g.tensors["x"].dtype = "int8"  # a float value where ints are declared
+        with pytest.raises(GraphError, match="requires an integer array"):
+            interp._check_operands(g.ops[0], {"x": np.zeros((1, 4), dtype=np.float32)})
+
+    def test_unknown_tensor_reference(self):
+        g = _dense_graph()
+        interp = Interpreter(g)
+        g.ops[0].inputs[0] = "ghost"
+        with pytest.raises(GraphError, match="unknown tensor 'ghost'"):
+            interp._check_operands(g.ops[0], {})
+
+    def test_malformed_graph_rejected_at_construction(self):
+        g = _dense_graph()
+        g.tensors["w"].data = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(GraphError):
+            Interpreter(g)
+
+
+class TestDivergenceWatchdog:
+    def _arch(self):
+        from repro.models.spec import ArchSpec, ConvSpec, DenseSpec, GlobalPoolSpec
+
+        return ArchSpec(
+            name="watchdog-tiny",
+            input_shape=(8, 8, 1),
+            layers=(ConvSpec(4, kernel=3, stride=2), GlobalPoolSpec(), DenseSpec(3)),
+        )
+
+    def _data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(16, 8, 8, 1)).astype(np.float32)
+        y = rng.integers(0, 3, size=16)
+        return x, y
+
+    def test_check_training_step_rejects_nonfinite_loss(self):
+        from repro.tasks.common import _check_training_step
+
+        with pytest.raises(DivergenceError, match="loss is nan"):
+            _check_training_step(float("nan"), [], "a", 0, 0)
+
+    def test_check_training_step_rejects_nonfinite_grads(self):
+        import types
+
+        from repro.tasks.common import _check_training_step
+
+        params = [types.SimpleNamespace(grad=np.array([np.inf], dtype=np.float32))]
+        with pytest.raises(DivergenceError, match="gradient norm"):
+            _check_training_step(0.5, params, "a", 1, 2)
+
+    def test_divergence_without_checkpoint_propagates(self, monkeypatch):
+        from repro.tasks import common
+        from repro.tasks.common import TrainConfig, train_classifier
+
+        def always_diverge(loss_value, params, arch_name, epoch, step):
+            raise DivergenceError("injected")
+
+        monkeypatch.setattr(common, "_check_training_step", always_diverge)
+        x, y = self._data()
+        config = TrainConfig(epochs=1, batch_size=8, qat_bits=None)
+        with pytest.raises(DivergenceError, match="injected"):
+            train_classifier(self._arch(), x, y, config, rng=0, num_classes=3)
+
+    def test_rollback_once_then_finish(self, tmp_path, monkeypatch):
+        from repro.resilience.checkpoint import CheckpointConfig
+        from repro.tasks import common
+        from repro.tasks.common import TrainConfig, train_classifier
+
+        real = common._check_training_step
+        injected = {"n": 0}
+
+        def diverge_once(loss_value, params, arch_name, epoch, step):
+            if epoch == 1 and injected["n"] == 0:
+                injected["n"] += 1
+                raise DivergenceError("injected NaN")
+            return real(loss_value, params, arch_name, epoch, step)
+
+        monkeypatch.setattr(common, "_check_training_step", diverge_once)
+        x, y = self._data()
+        config = TrainConfig(epochs=3, batch_size=8, qat_bits=None)
+        events = []
+        module = train_classifier(
+            self._arch(), x, y, config, rng=0, num_classes=3,
+            checkpoint=CheckpointConfig(path=str(tmp_path / "train.npz")),
+            events=events,
+        )
+        assert module is not None
+        assert injected["n"] == 1
+        assert len(events) == 1
+        event = events[0]
+        assert event["event"] == "divergence_rollback"
+        assert event["failed_epoch"] == 1
+        assert event["resume_epoch"] == 1  # epoch 0's snapshot -> retry epoch 1
+        assert event["lr_scale"] == 0.5  # retry is not a bit-identical replay
+        assert "injected NaN" in event["error"]
+
+    def test_second_divergence_propagates(self, tmp_path, monkeypatch):
+        from repro.resilience.checkpoint import CheckpointConfig
+        from repro.tasks import common
+        from repro.tasks.common import TrainConfig, train_classifier
+
+        def diverge_late(loss_value, params, arch_name, epoch, step):
+            if epoch >= 1:
+                raise DivergenceError("persistent")
+
+        monkeypatch.setattr(common, "_check_training_step", diverge_late)
+        x, y = self._data()
+        config = TrainConfig(epochs=3, batch_size=8, qat_bits=None)
+        with pytest.raises(DivergenceError, match="persistent"):
+            train_classifier(
+                self._arch(), x, y, config, rng=0, num_classes=3,
+                checkpoint=CheckpointConfig(path=str(tmp_path / "train.npz")),
+            )
+
+
+# ----------------------------------------------------------------------
+# The ``repro validate`` CLI.
+GOLDEN = "tests/fixtures/golden_tiny.mbuf"
+
+
+def _fat_model_bytes() -> bytes:
+    """A valid model whose activations dwarf a small MCU's SRAM."""
+    g = Graph(name="fat")
+    g.add_tensor(TensorSpec("x", (128, 128, 8), dtype="int8", kind="input"))
+    g.add_tensor(TensorSpec("y", (64, 64, 8), dtype="int8", kind="output"))
+    g.add_op(OpNode("avg_pool", "p", ["x"], ["y"], attrs={"pool": 2}))
+    g.inputs = ["x"]
+    g.outputs = ["y"]
+    return serialize(g)
+
+
+class TestValidateCli:
+    def _main(self, *argv):
+        from repro.__main__ import main
+
+        return main(list(argv))
+
+    def test_happy_path(self, capsys):
+        assert self._main("validate", GOLDEN) == 0
+        out = capsys.readouterr().out
+        assert "'golden-tiny': OK" in out
+        assert "peak SRAM" in out
+
+    def test_device_fits(self, capsys):
+        assert self._main("validate", GOLDEN, "--device", "STM32F446RE") == 0
+        out = capsys.readouterr().out
+        assert "fits STM32F446RE" in out
+        assert "SRAM margin" in out
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert self._main("validate", "no/such/model.mbuf") == 2
+        assert "no such model file" in capsys.readouterr().err
+
+    def test_unknown_device_is_usage_error(self, capsys):
+        assert self._main("validate", GOLDEN, "--device", "Z80") == 2
+        assert capsys.readouterr().err
+
+    def test_truncated_model_rejected(self, tmp_path, capsys):
+        blob = open(GOLDEN, "rb").read()
+        path = tmp_path / "trunc.mbuf"
+        path.write_bytes(blob[: len(blob) // 2])
+        assert self._main("validate", str(path)) == 1
+        err = capsys.readouterr().err
+        assert "REJECTED" in err and "ModelFormatError" in err
+
+    def test_bad_magic_rejected(self, tmp_path, capsys):
+        blob = bytearray(open(GOLDEN, "rb").read())
+        blob[:4] = b"NOPE"
+        path = tmp_path / "magic.mbuf"
+        path.write_bytes(bytes(blob))
+        assert self._main("validate", str(path)) == 1
+        assert "ModelFormatError" in capsys.readouterr().err
+
+    def test_sram_overflow_rejected_with_offending_tensors(self, tmp_path, capsys):
+        # Acceptance criterion: a model whose peak SRAM exceeds the device
+        # is rejected with a DeploymentError naming the offending tensors.
+        path = tmp_path / "fat.mbuf"
+        path.write_bytes(_fat_model_bytes())
+        assert self._main("validate", str(path), "--device", "STM32F446RE") == 1
+        captured = capsys.readouterr()
+        assert "REJECTED for STM32F446RE" in captured.err
+        assert "live tensors" in captured.err
+        assert "x (131072 B" in captured.err  # the offender, with its size
+
+    def test_fuzz_flag_reports_summary(self, capsys):
+        assert self._main("validate", GOLDEN, "--fuzz", "40", "--seed", "7") == 0
+        out = capsys.readouterr().out
+        assert "fuzz seed=7 iters=40" in out
+        assert "0 ESCAPES" in out
+
+
+class TestErrorTaxonomy:
+    def test_model_format_error_is_graph_and_repro_error(self):
+        err = ModelFormatError("boom", offset=12)
+        assert isinstance(err, GraphError)
+        assert isinstance(err, ReproError)
+        assert err.offset == 12
+        assert "byte offset 12" in str(err)
+
+    def test_divergence_error_is_repro_error(self):
+        assert isinstance(DivergenceError("x"), ReproError)
