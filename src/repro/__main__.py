@@ -17,6 +17,11 @@ Usage::
     python -m repro validate model.mbuf --fuzz 500
                                               # fuzz the deserializer with
                                               # mutants of this model
+    python -m repro compile model.mbuf        # run the graph compiler,
+                                              # print the pass-by-pass
+                                              # rewrite summary
+    python -m repro compile model.mbuf --level O1 -o out.mbuf
+                                              # write the compiled model
 """
 
 from __future__ import annotations
@@ -238,6 +243,58 @@ def _run_validate(args) -> int:
     return 1 if failures else 0
 
 
+def _run_compile(args) -> int:
+    """The ``repro compile`` command: optimize a .mbuf model file.
+
+    Deserializes the model, runs the pass pipeline at ``--level``, prints
+    the pass-by-pass rewrite summary plus the before/after memory map, and
+    round-trips the compiled graph through the serializer (writing it out
+    with ``-o``). Exit codes match ``repro validate``: 0 compiled, 1
+    rejected (malformed file or a pass produced an invalid graph), 2 usage
+    error.
+    """
+    import os
+
+    from repro.errors import ReproError
+    from repro.runtime.passes import canonical_level, compile_graph
+    from repro.runtime.reporting import memory_report
+    from repro.runtime.serializer import deserialize, serialize
+
+    if not os.path.exists(args.model):
+        print(f"no such model file: {args.model}", file=sys.stderr)
+        return 2
+    try:
+        level = canonical_level(args.level)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    with open(args.model, "rb") as handle:
+        buf = handle.read()
+
+    try:
+        graph = deserialize(buf)
+        compiled = compile_graph(graph, level=level)
+        # Round-trip: the compiled graph must survive serialization — the
+        # .mbuf on flash is the deployment artifact, not the in-memory IR.
+        out_buf = serialize(compiled.graph)
+        deserialize(out_buf)
+    except ReproError as exc:
+        print(f"REJECTED {args.model}: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    print(compiled.report.summary(verbose=not args.quiet))
+    before = memory_report(graph)
+    after = memory_report(compiled.graph)
+    print(f"  file          {len(buf)} -> {len(out_buf)} bytes")
+    print(f"  peak SRAM     {before.total_sram} -> {after.total_sram} bytes")
+    print(f"  flash         {before.total_flash} -> {after.total_flash} bytes")
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(out_buf)
+        print(f"compiled model -> {args.output}")
+    return 0
+
+
 def _run_resume(args) -> int:
     """Continue an interrupted ``repro search`` run from its checkpoint."""
     from repro.resilience.checkpoint import load_checkpoint
@@ -317,10 +374,27 @@ def main(argv: List[str] = None) -> int:
         help="additionally fuzz the deserializer with N seeded mutants of this model",
     )
     validate_parser.add_argument("--seed", type=int, default=0, help="fuzzing seed")
+    compile_parser = subparsers.add_parser(
+        "compile", help="optimize a .mbuf model with the graph compiler pass pipeline"
+    )
+    compile_parser.add_argument("model", help="path to a serialized microbuffer model")
+    compile_parser.add_argument(
+        "--level", default="O2", metavar="LVL",
+        help="optimization level: O0 (none), O1 (dead code), O2 (full; default)",
+    )
+    compile_parser.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the compiled model to this path",
+    )
+    compile_parser.add_argument(
+        "--quiet", action="store_true", help="omit the per-rewrite detail lines"
+    )
 
     args = parser.parse_args(argv)
     if args.command == "validate":
         return _run_validate(args)
+    if args.command == "compile":
+        return _run_compile(args)
     if args.command == "obs":
         return _run_obs(args)
     if args.command == "search":

@@ -725,6 +725,12 @@ def calibrate_ranges(graph: Graph, data: np.ndarray) -> Dict[str, Tuple[float, f
     values: Dict[str, np.ndarray] = {}
     in_name = graph.inputs[0]
     values[in_name] = np.asarray(data, dtype=np.float32)
+    # Constant-folded graphs read materialized weight constants as data
+    # operands; seed them as broadcast views, exactly as invoke() does.
+    n = values[in_name].shape[0]
+    for name in interp._const_data_inputs:
+        const = graph.tensors[name].data
+        values[name] = np.broadcast_to(const[None, ...], (n,) + const.shape)
     for op in graph.ops:
         interp._execute(op, values)
     return {
@@ -808,9 +814,11 @@ def quantize_graph(
     for op in float_graph.ops:
         q.add_op(OpNode(kind=op.kind, name=op.name, inputs=list(op.inputs), outputs=list(op.outputs), attrs=dict(op.attrs)))
 
-    # Second pass: quantize biases with the correct effective scales.
+    # Second pass: quantize biases with the correct effective scales. A
+    # batch_norm offset follows the conv-bias convention: int32 scaled by
+    # in_scale * scale_scale (its input[1] is the rank-1 scale "weight").
     for op in q.ops:
-        if op.kind in ("conv2d", "depthwise_conv2d", "dense") and len(op.inputs) > 2:
+        if op.kind in ("conv2d", "depthwise_conv2d", "dense", "batch_norm") and len(op.inputs) > 2:
             in_params = q.tensors[op.inputs[0]].quant
             w_params = q.tensors[op.inputs[1]].quant
             float_bias = float_graph.tensors[op.inputs[2]].data

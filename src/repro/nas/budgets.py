@@ -16,7 +16,7 @@ cost one tuple hash instead of a graph export.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.hw.devices import MCUDevice
 from repro.hw.latency import CacheInfo, CountedCache, LatencyModel
@@ -111,7 +111,11 @@ class ResourceProfile:
 RESOURCE_PROFILE_CACHE = CountedCache(metric="cache.resource_profile")
 
 
-def resource_profile(arch: "ArchSpec", bits: int = 8) -> ResourceProfile:
+def resource_profile(
+    arch: "ArchSpec",
+    bits: int = 8,
+    compile_level: Optional[Union[str, int]] = None,
+) -> ResourceProfile:
     """Profile an architecture's deployment cost, memoized on geometry.
 
     The op/param counts come from :func:`~repro.models.spec.arch_workload`
@@ -120,6 +124,12 @@ def resource_profile(arch: "ArchSpec", bits: int = 8) -> ResourceProfile:
     revisit an architecture — evolutionary offspring, BO pool re-scoring,
     genomes whose SKIP genes collapse to the same network — pay the planner
     cost exactly once per distinct geometry.
+
+    With ``compile_level`` set, the exported graph is run through
+    :func:`repro.runtime.passes.compile_graph` first, and arena/params/ops
+    are counted on the *compiled* graph — what actually deploys. The memo
+    key includes the level: the same geometry profiles differently at O0
+    and O2, and those entries must not collide.
     """
     # Imported here: models.spec pulls in the full layer/runtime stack, and
     # budgets must stay importable from lightweight hw-only contexts.
@@ -127,15 +137,30 @@ def resource_profile(arch: "ArchSpec", bits: int = 8) -> ResourceProfile:
     from repro.runtime.planner import plan_arena
 
     workload = arch_workload(arch)
-    key = (workload.signature, int(bits))
+    level_key = None
+    if compile_level is not None:
+        from repro.runtime.passes import canonical_level
+
+        level_key = canonical_level(compile_level)
+    key = (workload.signature, int(bits), level_key)
     profile = RESOURCE_PROFILE_CACHE.get(key)
     if profile is None:
         graph = export_graph(arch, bits=bits)
+        if level_key is not None:
+            from repro.runtime.passes import compile_graph
+
+            graph = compile_graph(graph, level=level_key).graph
+            compiled_workload = graph.to_workload()
+            params = sum(t.elements for t in graph.weight_tensors)
+            ops = compiled_workload.ops
+        else:
+            params = workload.params
+            ops = workload.ops
         arena = plan_arena(graph).arena_bytes
         profile = ResourceProfile(
-            params=int(workload.params),
+            params=int(params),
             activation_bytes=int(arena),
-            ops=int(workload.ops),
+            ops=int(ops),
         )
         RESOURCE_PROFILE_CACHE.put(key, profile)
     return profile

@@ -15,7 +15,9 @@ flash. This package reproduces that stack:
 * :mod:`repro.runtime.reporting` — the recording-API memory breakdown
   (paper Figure 2);
 * :mod:`repro.runtime.deploy` — fits a model against a device's SRAM/flash
-  and attaches modeled latency/energy.
+  and attaches modeled latency/energy;
+* :mod:`repro.runtime.passes` — the graph compiler: fusion / constant
+  folding / dead-code passes behind :func:`compile_graph`.
 """
 
 from repro.runtime.graph import Graph, OpNode, TensorSpec
@@ -24,6 +26,7 @@ from repro.runtime.serializer import serialize, deserialize, model_size_bytes
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.reporting import MemoryReport, memory_report, RUNTIME_SRAM_OVERHEAD, RUNTIME_CODE_FLASH
 from repro.runtime.deploy import DeploymentReport, check_deployable, deployment_report
+from repro.runtime.passes import CompiledModel, CompileReport, compile_graph
 
 __all__ = [
     "Graph",
@@ -43,4 +46,7 @@ __all__ = [
     "DeploymentReport",
     "check_deployable",
     "deployment_report",
+    "CompiledModel",
+    "CompileReport",
+    "compile_graph",
 ]

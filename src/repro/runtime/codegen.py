@@ -20,7 +20,7 @@ the trade-off can be measured instead of argued:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -49,6 +49,13 @@ _KERNEL_NAMES = {
     "add": "arm_elementwise_add_s8",
     "softmax": "arm_softmax_s8",
     "reshape": "memcpy",
+    # Unfused front-end forms; repro.runtime.passes normally removes these,
+    # but O0/O1 builds may still carry them.
+    "batch_norm": "arm_batch_norm_s8",
+    "relu": "arm_relu_s8",
+    "relu6": "arm_relu6_s8",
+    "quantize": "arm_quantize_f32_s8",
+    "dequantize": "arm_dequantize_s8_f32",
 }
 
 
@@ -83,7 +90,11 @@ def _op_call(graph: Graph, op: OpNode, plan) -> str:
     return f"    {kernel}({', '.join(args)});{comment}"
 
 
-def generate_c_source(graph: Graph, device: Optional[MCUDevice] = None) -> str:
+def generate_c_source(
+    graph: Graph,
+    device: Optional[MCUDevice] = None,
+    compile_level: Optional[Union[str, int]] = None,
+) -> str:
     """Emit C-style source for a quantized graph.
 
     The output is a faithful sketch of what tinyEngine/uTensor-style
@@ -93,7 +104,13 @@ def generate_c_source(graph: Graph, device: Optional[MCUDevice] = None) -> str:
     With ``device`` given, the generated build's memory map is checked
     against that device's budgets first (:class:`DeploymentError` on
     overflow) — generating C for a model that cannot flash is never useful.
+    ``compile_level`` runs :func:`repro.runtime.passes.compile_graph` first
+    so the emitted call sites are the optimized schedule.
     """
+    if compile_level is not None:
+        from repro.runtime.passes import compile_graph
+
+        graph = compile_graph(graph, level=compile_level).graph
     graph.validate()
     validate_graph(graph)
     if device is not None:

@@ -9,7 +9,7 @@ does one inference take?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.errors import DeploymentError
 from repro.hw.devices import DEVICES, MCUDevice
@@ -38,18 +38,36 @@ class DeploymentReport:
         return self.fits_sram and self.fits_flash
 
 
-def check_deployable(graph: Graph, device: MCUDevice) -> bool:
-    """Quick SRAM+flash fit check."""
-    report = memory_report(graph)
+def _maybe_compile(graph: Graph, compile_level: Optional[Union[str, int]]) -> Graph:
+    """Run the graph compiler when a level is given (deploy consumes the
+    compiled graph — what ships to the device is the optimized schedule)."""
+    if compile_level is None:
+        return graph
+    # Imported lazily: passes pulls in the interpreter for constant folding.
+    from repro.runtime.passes import compile_graph
+
+    return compile_graph(graph, level=compile_level).graph
+
+
+def check_deployable(
+    graph: Graph, device: MCUDevice, compile_level: Optional[Union[str, int]] = None
+) -> bool:
+    """Quick SRAM+flash fit check (optionally on the compiled graph)."""
+    report = memory_report(_maybe_compile(graph, compile_level))
     return report.total_sram <= device.sram_bytes and report.total_flash <= device.eflash_bytes
 
 
-def deployment_report(graph: Graph, device: MCUDevice) -> DeploymentReport:
+def deployment_report(
+    graph: Graph, device: MCUDevice, compile_level: Optional[Union[str, int]] = None
+) -> DeploymentReport:
     """Full deployment report: fit, memory map, latency and energy.
 
     Latency/energy are reported only for deployable models (the paper's
-    Table 4 marks undeployable combinations with a dash).
+    Table 4 marks undeployable combinations with a dash). When
+    ``compile_level`` is given the report describes the *compiled* graph —
+    the form that actually deploys.
     """
+    graph = _maybe_compile(graph, compile_level)
     memory = memory_report(graph)
     fits_sram = memory.total_sram <= device.sram_bytes
     fits_flash = memory.total_flash <= device.eflash_bytes
@@ -81,7 +99,9 @@ def deployment_matrix(
     return {device.name: deployment_report(graph, device) for device in devices}
 
 
-def require_deployable(graph: Graph, device: MCUDevice) -> DeploymentReport:
+def require_deployable(
+    graph: Graph, device: MCUDevice, compile_level: Optional[Union[str, int]] = None
+) -> DeploymentReport:
     """Like :func:`deployment_report` but raises if the model does not fit.
 
     Delegates the budget check to
@@ -93,6 +113,7 @@ def require_deployable(graph: Graph, device: MCUDevice) -> DeploymentReport:
     # this package (same pattern as the interpreter and planner).
     from repro.validate.checks import validate_deployment
 
+    graph = _maybe_compile(graph, compile_level)
     report = deployment_report(graph, device)
     if not report.deployable:
         validate_deployment(graph, device, memory=report.memory)

@@ -32,6 +32,12 @@ def _attr_pair(op: "OpNode", base: str, default: Tuple[int, int]) -> Tuple[int, 
     return default
 
 #: Operator kinds the interpreter implements.
+#:
+#: The last five (``batch_norm``, ``relu``, ``relu6``, ``quantize``,
+#: ``dequantize``) are the *unfused* forms that front-ends and hand-built
+#: graphs may emit; :mod:`repro.runtime.passes` folds/fuses/elides them so
+#: the deployed graph matches what :func:`repro.models.spec.export_graph`
+#: produces directly.
 OP_KINDS = (
     "conv2d",
     "depthwise_conv2d",
@@ -42,6 +48,11 @@ OP_KINDS = (
     "add",
     "softmax",
     "reshape",
+    "batch_norm",
+    "relu",
+    "relu6",
+    "quantize",
+    "dequantize",
 )
 
 
@@ -162,6 +173,36 @@ class Graph:
             raise GraphError(f"graph {self.name}: dataflow contains a cycle")
 
     # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Structural copy: fresh op/tensor objects, shared weight arrays.
+
+        Optimization passes treat graphs as immutable inputs and rewrite a
+        copy; tensor ``data`` arrays are shared (they are never mutated in
+        place — passes that change weights install new arrays).
+        """
+        out = Graph(name=self.name, inputs=list(self.inputs), outputs=list(self.outputs))
+        for spec in self.tensors.values():
+            out.tensors[spec.name] = TensorSpec(
+                name=spec.name,
+                shape=tuple(spec.shape),
+                dtype=spec.dtype,
+                kind=spec.kind,
+                data=spec.data,
+                quant=spec.quant,
+            )
+        for op in self.ops:
+            out.ops.append(
+                OpNode(
+                    kind=op.kind,
+                    name=op.name,
+                    inputs=list(op.inputs),
+                    outputs=list(op.outputs),
+                    attrs=dict(op.attrs),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
     @property
     def weight_tensors(self) -> List[TensorSpec]:
         return [t for t in self.tensors.values() if t.kind in ("weight", "bias")]
@@ -234,6 +275,12 @@ class Graph:
         if op.kind == "softmax":
             x = self.tensors[op.inputs[0]]
             return LayerWorkload.softmax(op.name, x.elements)
+        if op.kind in ("batch_norm", "relu", "relu6", "quantize", "dequantize"):
+            # One read-modify-write per element, the same device cost class
+            # as an elementwise add. The compiler is expected to remove
+            # these before deployment; leaving them in costs real cycles.
+            x = self.tensors[op.inputs[0]]
+            return LayerWorkload.add(op.name, x.shape)
         if op.kind == "reshape":
             return None
         raise GraphError(f"op {op.name}: no workload lowering for kind {op.kind}")

@@ -16,8 +16,9 @@ provides (arena size, per-tensor allocations) via :meth:`Interpreter.plan`.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -42,12 +43,24 @@ class Interpreter:
     Parameters
     ----------
     graph:
-        The model; :meth:`Graph.validate` plus the deploy-path invariant
-        checker :func:`repro.validate.validate_graph` run on construction,
-        and every op re-verifies its operands before dispatch.
+        The model; :meth:`Graph.validate`, the deploy-path invariant
+        checker :func:`repro.validate.validate_graph`, and a one-time
+        constant-operand sweep all run on construction. Per-op operand
+        re-verification is **not** in the dispatch hot loop: it runs only
+        with ``debug_checks`` (or ``REPRO_DEBUG_CHECKS=1``), because
+        construction-time validation already covers everything a static
+        graph can violate.
+    debug_checks:
+        Re-verify every operand before each op dispatch (shape, dtype
+        family, produced-ness). Defaults to the ``REPRO_DEBUG_CHECKS``
+        environment variable.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    # Class-level default so partially-constructed instances (tests build
+    # them via __new__ to drive _execute directly) still dispatch.
+    debug_checks = False
+
+    def __init__(self, graph: Graph, debug_checks: Optional[bool] = None) -> None:
         # Imported here (like planner.tensor_lifetimes) because repro.validate
         # imports the graph IR back from this package.
         from repro.validate.checks import validate_graph
@@ -55,17 +68,56 @@ class Interpreter:
         graph.validate()
         validate_graph(graph)
         self.graph = graph
-        self._plan: Optional[ArenaPlan] = None
+        self._check_constants()
+        if debug_checks is None:
+            debug_checks = os.environ.get("REPRO_DEBUG_CHECKS", "0") not in ("", "0")
+        self.debug_checks = bool(debug_checks)
+        #: Weight-kind constants consumed in *data* positions (products of
+        #: constant folding); invoke() seeds them into the value map.
+        self._const_data_inputs: List[str] = self._find_const_data_inputs()
+        self._plans: Dict[int, ArenaPlan] = {}
         #: Wall-clock seconds per op name from the most recent observed
         #: invoke (populated only while observability is enabled).
         self.last_op_timings: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
-    def plan(self) -> ArenaPlan:
-        """Arena plan for this graph (cached)."""
-        if self._plan is None:
-            self._plan = plan_arena(self.graph)
-        return self._plan
+    def plan(self, batch_size: int = 1) -> ArenaPlan:
+        """Arena plan for this graph at the given batch size (cached).
+
+        ``batch_size > 1`` models the vectorized serving mode: every
+        activation allocation scales by the batch while weights stay in
+        flash, so the plan answers "what arena does one batched dispatch
+        need?".
+        """
+        if batch_size not in self._plans:
+            self._plans[batch_size] = plan_arena(self.graph, batch_size=batch_size)
+        return self._plans[batch_size]
+
+    # ------------------------------------------------------------------
+    def _check_constants(self) -> None:
+        """One-time sweep: every constant operand carries well-shaped data."""
+        for op in self.graph.ops:
+            for t in op.inputs:
+                spec = self.graph.tensors[t]
+                if spec.kind not in ("weight", "bias"):
+                    continue
+                if spec.data is None:
+                    raise GraphError(f"op {op.name}: constant {t!r} has no data")
+                if tuple(spec.data.shape) != tuple(spec.shape):
+                    raise GraphError(
+                        f"op {op.name}: constant {t!r} data shape "
+                        f"{tuple(spec.data.shape)} != spec shape {tuple(spec.shape)}"
+                    )
+
+    def _find_const_data_inputs(self) -> List[str]:
+        names = set()
+        for op in self.graph.ops:
+            data_slots = op.inputs[:2] if op.kind == "add" else op.inputs[:1]
+            for t in data_slots:
+                spec = self.graph.tensors[t]
+                if spec.kind == "weight" and spec.data is not None:
+                    names.add(t)
+        return sorted(names)
 
     @property
     def is_quantized(self) -> bool:
@@ -95,6 +147,12 @@ class Interpreter:
             values[in_name] = quantize(batch, in_spec.quant)
         else:
             values[in_name] = batch
+        # Materialized constants (from constant folding) enter the value map
+        # as read-only broadcast views over the batch axis.
+        n = int(batch.shape[0])
+        for name in self._const_data_inputs:
+            data = self.graph.tensors[name].data
+            values[name] = np.broadcast_to(data[None, ...], (n,) + data.shape)
 
         if not obs.enabled():
             for op in self.graph.ops:
@@ -165,7 +223,8 @@ class Interpreter:
                 )
 
     def _execute(self, op: OpNode, values: Dict[str, np.ndarray]) -> None:
-        self._check_operands(op, values)
+        if self.debug_checks:
+            self._check_operands(op, values)
         tensors = self.graph.tensors
         out_name = op.outputs[0]
         out_spec = tensors[out_name]
@@ -274,6 +333,54 @@ class Interpreter:
         if op.kind == "reshape":
             x = values[op.inputs[0]]
             values[out_name] = x.reshape((x.shape[0],) + tuple(out_spec.shape))
+            return
+
+        if op.kind == "batch_norm":
+            # y = x * scale + offset, channelwise — the unfused front-end
+            # form; repro.runtime.passes folds it into the preceding conv.
+            x = values[op.inputs[0]]
+            scale_spec = tensors[op.inputs[1]]
+            offset_spec = tensors[op.inputs[2]]
+            activation = op.attrs.get("activation")
+            if quantized:
+                in_spec = tensors[op.inputs[0]]
+                if scale_spec.dtype == "float32":
+                    scale = scale_spec.data
+                else:
+                    scale = dequantize(scale_spec.data, scale_spec.quant)
+                if offset_spec.dtype == "float32":
+                    offset = offset_spec.data
+                else:
+                    # Offset follows the conv-bias convention: int32 scaled
+                    # by in_scale * scale_scale (quantize_graph second pass).
+                    effective = in_spec.quant.scale[0] * scale_spec.quant.scale
+                    offset = offset_spec.data.astype(np.float64) * effective
+                out = dequantize(x, in_spec.quant) * scale + offset
+                values[out_name] = quantize(
+                    _float_activation(out.astype(np.float32), activation), out_spec.quant
+                )
+            else:
+                out = x * scale_spec.data + offset_spec.data
+                values[out_name] = _float_activation(out, activation)
+            return
+
+        if op.kind in ("relu", "relu6"):
+            x = values[op.inputs[0]]
+            if quantized:
+                in_spec = tensors[op.inputs[0]]
+                out = _float_activation(dequantize(x, in_spec.quant), op.kind)
+                values[out_name] = quantize(out, out_spec.quant)
+            else:
+                values[out_name] = _float_activation(x, op.kind)
+            return
+
+        if op.kind == "quantize":
+            values[out_name] = quantize(values[op.inputs[0]], out_spec.quant)
+            return
+
+        if op.kind == "dequantize":
+            in_spec = tensors[op.inputs[0]]
+            values[out_name] = dequantize(values[op.inputs[0]], in_spec.quant)
             return
 
         raise GraphError(f"op {op.name}: interpreter has no kernel for kind {op.kind}")

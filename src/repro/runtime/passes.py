@@ -1,0 +1,646 @@
+"""Graph compiler: an ordered, composable optimization-pass pipeline.
+
+TFLite-Micro deployment leans on the converter having already optimized the
+graph — BN folded, activations fused, constants folded, quantize/dequantize
+chains collapsed — because on an MCU every dispatched op costs real cycles
+and every live tensor costs real SRAM. This module is that optimizer for our
+IR: each pass takes a :class:`~repro.runtime.graph.Graph`, returns a
+rewritten copy plus a structured rewrite log, and the pipeline re-runs
+:func:`repro.validate.validate_graph` on every intermediate graph so a
+broken rewrite can never reach the interpreter, planner, or codegen.
+
+Passes
+------
+``fuse_batch_norm``
+    Fold a ``batch_norm`` into the producing ``conv2d`` /
+    ``depthwise_conv2d`` / ``dense`` by scaling its weights and folding the
+    offset into the bias (creating one if the producer had none).
+``fuse_activation``
+    Absorb a standalone ``relu``/``relu6`` into the producing op's fused
+    ``activation`` attribute — the form the quantized kernels execute as a
+    clamp during requantization, for free.
+``fold_constants``
+    Evaluate ops whose data operands are all flash-resident constants and
+    materialize the result as a constant (weight-only subgraphs stop
+    costing arena space and dispatches).
+``elide_quant_pairs``
+    Remove ``quantize -> dequantize`` round trips (float stays float) and
+    ``dequantize -> quantize`` round trips whose parameters match exactly
+    (the integer tensor passes through unchanged).
+``eliminate_dead``
+    Drop ops whose outputs nothing consumes and tensors nothing references
+    — the cleanup that turns the fusion passes' orphans into flash/SRAM
+    savings.
+
+Entry point
+-----------
+:func:`compile_graph` runs a level's pass list (``O0`` none, ``O1`` dead
+code only, ``O2`` everything) and returns a :class:`CompiledModel` carrying
+the optimized graph and a :class:`CompileReport` whose :meth:`summary
+<CompileReport.summary>` is what ``repro compile`` prints. Observability:
+each pass runs under a ``compile/pass/<name>`` span and bumps
+``compile.pass.<name>.rewrites``; totals land in ``compile.ops_removed`` /
+``compile.tensors_removed``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.errors import GraphError
+from repro.quantization.params import QuantParams
+from repro.runtime.graph import Graph, OpNode, TensorSpec
+
+__all__ = [
+    "Rewrite",
+    "PassReport",
+    "CompileReport",
+    "CompiledModel",
+    "compile_graph",
+    "fuse_batch_norm",
+    "fuse_activation",
+    "fold_constants",
+    "elide_quant_pairs",
+    "eliminate_dead",
+    "PASS_REGISTRY",
+    "LEVELS",
+    "DEFAULT_LEVEL",
+]
+
+#: Ops that carry a fusable ``activation`` attribute.
+_FUSABLE_PRODUCERS = ("conv2d", "depthwise_conv2d", "dense", "add", "batch_norm")
+#: Ops a batch_norm folds into (weights scaled along the output channel).
+_BN_FOLDABLE = ("conv2d", "depthwise_conv2d", "dense")
+
+
+# ----------------------------------------------------------------------
+# Rewrite log and reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Rewrite:
+    """One structured rewrite-log entry.
+
+    Attributes
+    ----------
+    pass_name: which pass produced the rewrite.
+    kind: machine-readable action (``fold_bn``, ``fuse_activation``,
+        ``fold_constant``, ``elide_pair``, ``remove_op``, ``remove_tensor``).
+    anchor: the op or tensor name the rewrite anchors to.
+    detail: human-readable description.
+    """
+
+    pass_name: str
+    kind: str
+    anchor: str
+    detail: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "pass": self.pass_name,
+            "kind": self.kind,
+            "anchor": self.anchor,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class PassReport:
+    """One pass's before/after accounting plus its rewrite log."""
+
+    name: str
+    ops_before: int
+    ops_after: int
+    tensors_before: int
+    tensors_after: int
+    seconds: float
+    rewrites: List[Rewrite] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.rewrites)
+
+
+@dataclass
+class CompileReport:
+    """The full pipeline's report, pass by pass."""
+
+    model: str
+    level: str
+    passes: List[PassReport] = field(default_factory=list)
+
+    @property
+    def ops_removed(self) -> int:
+        return sum(p.ops_before - p.ops_after for p in self.passes)
+
+    @property
+    def tensors_removed(self) -> int:
+        return sum(p.tensors_before - p.tensors_after for p in self.passes)
+
+    @property
+    def rewrites(self) -> List[Rewrite]:
+        return [r for p in self.passes for r in p.rewrites]
+
+    def summary(self, verbose: bool = True) -> str:
+        """Pass-by-pass rewrite summary (what ``repro compile`` prints)."""
+        lines = [
+            f"compile {self.model!r} at {self.level}: "
+            f"{self.ops_removed} ops and {self.tensors_removed} tensors removed"
+        ]
+        if not self.passes:
+            lines.append("  (no passes at this level)")
+        for p in self.passes:
+            lines.append(
+                f"  pass {p.name:<18} ops {p.ops_before:>3} -> {p.ops_after:<3} "
+                f"tensors {p.tensors_before:>3} -> {p.tensors_after:<3} "
+                f"rewrites {len(p.rewrites)}"
+            )
+            if verbose:
+                for r in p.rewrites:
+                    lines.append(f"    - [{r.kind}] {r.detail}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompiledModel:
+    """A compiled graph plus the report describing how it got that way."""
+
+    graph: Graph
+    report: CompileReport
+
+    def interpreter(self, **kwargs):
+        """Convenience: an Interpreter over the compiled graph."""
+        from repro.runtime.interpreter import Interpreter
+
+        return Interpreter(self.graph, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _producer_index(graph: Graph) -> Dict[str, int]:
+    return {out: idx for idx, op in enumerate(graph.ops) for out in op.outputs}
+
+
+def _consumer_counts(graph: Graph) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for op in graph.ops:
+        for t in op.inputs:
+            counts[t] = counts.get(t, 0) + 1
+    return counts
+
+
+def _data_slots(op: OpNode) -> List[str]:
+    """The operand positions that carry activations (not weights/bias)."""
+    return list(op.inputs[:2]) if op.kind == "add" else list(op.inputs[:1])
+
+
+def _rewire(graph: Graph, old: str, new: str) -> int:
+    """Point every consumer of tensor ``old`` at ``new``; returns use count."""
+    uses = 0
+    for op in graph.ops:
+        for i, t in enumerate(op.inputs):
+            if t == old:
+                op.inputs[i] = new
+                uses += 1
+    return uses
+
+
+def _quant_equal(a: Optional[QuantParams], b: Optional[QuantParams]) -> bool:
+    if a is None or b is None:
+        return a is b
+    return (
+        a.zero_point == b.zero_point
+        and a.bits == b.bits
+        and np.array_equal(np.asarray(a.scale), np.asarray(b.scale))
+    )
+
+
+def _is_float_const(spec: TensorSpec) -> bool:
+    return spec.dtype == "float32" and spec.data is not None
+
+
+# ----------------------------------------------------------------------
+# Pass 1: conv/depthwise/dense + batch_norm folding
+# ----------------------------------------------------------------------
+def fuse_batch_norm(graph: Graph) -> Tuple[Graph, List[Rewrite]]:
+    """Fold ``y = conv(x) * scale + offset`` into the conv's weights.
+
+    Applies when the producer is a float ``conv2d``/``depthwise_conv2d``/
+    ``dense`` with no fused activation whose output feeds *only* the
+    batch_norm and is not a graph output. The producer's weights are scaled
+    along the output channel, the offset folds into the bias (one is
+    created if the producer had none), and the producer now writes the
+    batch_norm's output tensor directly. Quantized batch_norms are left for
+    the reference kernel — folding integer weights would change semantics.
+    """
+    out = graph.copy()
+    rewrites: List[Rewrite] = []
+    changed = True
+    while changed:
+        changed = False
+        producers = _producer_index(out)
+        consumers = _consumer_counts(out)
+        for idx, bn in enumerate(out.ops):
+            if bn.kind != "batch_norm":
+                continue
+            x_name = bn.inputs[0]
+            if x_name not in producers:
+                continue  # batch_norm directly on a graph input
+            prod = out.ops[producers[x_name]]
+            scale_spec = out.tensors[bn.inputs[1]]
+            offset_spec = out.tensors[bn.inputs[2]]
+            if (
+                prod.kind not in _BN_FOLDABLE
+                or prod.attrs.get("activation") is not None
+                or consumers.get(x_name, 0) != 1
+                or x_name in out.outputs
+                or not _is_float_const(out.tensors[prod.inputs[1]])
+                or not _is_float_const(scale_spec)
+                or not _is_float_const(offset_spec)
+            ):
+                continue
+            w_spec = out.tensors[prod.inputs[1]]
+            scale = scale_spec.data.astype(np.float32)
+            offset = offset_spec.data.astype(np.float32)
+            # Weight layouts all carry the output channel on the last axis:
+            # conv (KH,KW,C,OC), depthwise (KH,KW,C), dense (IN,OUT).
+            w_spec.data = (w_spec.data * scale).astype(np.float32)
+            if len(prod.inputs) > 2 and _is_float_const(out.tensors[prod.inputs[2]]):
+                b_spec = out.tensors[prod.inputs[2]]
+                b_spec.data = (b_spec.data * scale + offset).astype(np.float32)
+            else:
+                b_name = f"{prod.name}_bn_bias"
+                while b_name in out.tensors:
+                    b_name += "_"
+                out.add_tensor(
+                    TensorSpec(
+                        name=b_name,
+                        shape=offset.shape,
+                        dtype="float32",
+                        kind="bias",
+                        data=offset.copy(),
+                    )
+                )
+                prod.inputs = list(prod.inputs[:2]) + [b_name]
+            prod.outputs = list(bn.outputs)
+            prod.attrs["activation"] = bn.attrs.get("activation")
+            detail = (
+                f"folded {bn.name} (scale {scale_spec.name}, offset "
+                f"{offset_spec.name}) into {prod.name} ({prod.kind})"
+            )
+            rewrites.append(Rewrite("fuse_batch_norm", "fold_bn", prod.name, detail))
+            del out.ops[idx]
+            changed = True
+            break
+    return out, rewrites
+
+
+# ----------------------------------------------------------------------
+# Pass 2: ReLU/ReLU6 fusion into the producer's activation attribute
+# ----------------------------------------------------------------------
+def fuse_activation(graph: Graph) -> Tuple[Graph, List[Rewrite]]:
+    """Absorb standalone ``relu``/``relu6`` ops into the producing op.
+
+    The producer must carry a fusable ``activation`` attribute slot
+    (conv/depthwise/dense/add/batch_norm), currently hold no activation,
+    and feed only the activation op; the fused form clamps during the
+    producer's own output write — zero extra dispatches, zero extra arena.
+    Exactness guard: in quantized graphs the fusion is applied only when
+    the activation's input and output share dtype and quantization
+    parameters (then the int-domain clamp is an identity rewrite); with
+    different parameters, fusing would change the requantization grid.
+    """
+    out = graph.copy()
+    rewrites: List[Rewrite] = []
+    changed = True
+    while changed:
+        changed = False
+        producers = _producer_index(out)
+        consumers = _consumer_counts(out)
+        for idx, act in enumerate(out.ops):
+            if act.kind not in ("relu", "relu6"):
+                continue
+            x_name = act.inputs[0]
+            if x_name not in producers:
+                continue
+            prod = out.ops[producers[x_name]]
+            x_spec = out.tensors[x_name]
+            y_spec = out.tensors[act.outputs[0]]
+            exact = (x_spec.dtype == "float32" and y_spec.dtype == "float32") or (
+                x_spec.dtype == y_spec.dtype and _quant_equal(x_spec.quant, y_spec.quant)
+            )
+            if (
+                prod.kind not in _FUSABLE_PRODUCERS
+                or prod.attrs.get("activation") is not None
+                or consumers.get(x_name, 0) != 1
+                or x_name in out.outputs
+                or not exact
+            ):
+                continue
+            prod.attrs["activation"] = act.kind
+            prod.outputs = list(act.outputs)
+            rewrites.append(
+                Rewrite(
+                    "fuse_activation",
+                    "fuse_activation",
+                    prod.name,
+                    f"fused {act.kind} op {act.name} into {prod.name} ({prod.kind})",
+                )
+            )
+            del out.ops[idx]
+            changed = True
+            break
+    return out, rewrites
+
+
+# ----------------------------------------------------------------------
+# Pass 3: constant folding of weight-only subgraphs
+# ----------------------------------------------------------------------
+def fold_constants(graph: Graph) -> Tuple[Graph, List[Rewrite]]:
+    """Evaluate ops whose every data operand is a materialized constant.
+
+    The op is executed once through the interpreter's own kernels (one
+    synthetic batch element) and its output becomes a flash-resident
+    weight tensor; the op disappears from the schedule. Graph outputs are
+    never folded — they are the model's interface.
+    """
+    from repro.runtime.interpreter import Interpreter
+
+    out = graph.copy()
+    rewrites: List[Rewrite] = []
+    changed = True
+    while changed:
+        changed = False
+        interp = Interpreter(out)
+        for idx, op in enumerate(out.ops):
+            out_name = op.outputs[0]
+            if out_name in out.outputs or out.tensors[out_name].kind == "output":
+                continue
+            slots = _data_slots(op)
+            if not all(
+                out.tensors[t].kind == "weight" and out.tensors[t].data is not None
+                for t in slots
+            ):
+                continue
+            values = {
+                t: np.broadcast_to(
+                    out.tensors[t].data[None, ...], (1,) + out.tensors[t].data.shape
+                )
+                for t in slots
+            }
+            interp._execute(op, values)
+            result = np.ascontiguousarray(values[out_name][0])
+            spec = out.tensors[out_name]
+            spec.kind = "weight"
+            spec.data = result
+            rewrites.append(
+                Rewrite(
+                    "fold_constants",
+                    "fold_constant",
+                    op.name,
+                    f"folded {op.kind} op {op.name} into constant {out_name} "
+                    f"({result.size} elements)",
+                )
+            )
+            del out.ops[idx]
+            changed = True
+            break
+    return out, rewrites
+
+
+# ----------------------------------------------------------------------
+# Pass 4: quantize/dequantize pair elision
+# ----------------------------------------------------------------------
+def elide_quant_pairs(graph: Graph) -> Tuple[Graph, List[Rewrite]]:
+    """Collapse quantize->dequantize and dequantize->quantize round trips.
+
+    ``dequantize -> quantize`` with byte-identical parameters is an exact
+    integer identity and always elides. ``quantize -> dequantize`` removes
+    one rounding step — the float consumers read the pre-quantization
+    values, which is within the quantization error budget (the same
+    argument the TFLite converter makes). Pairs whose intermediate feeds
+    other consumers are still collapsed for the pair's own consumer; the
+    orphaned half is left for dead-code elimination.
+    """
+    out = graph.copy()
+    rewrites: List[Rewrite] = []
+    changed = True
+    while changed:
+        changed = False
+        producers = _producer_index(out)
+        for idx, op in enumerate(out.ops):
+            if op.kind not in ("quantize", "dequantize"):
+                continue
+            x_name = op.inputs[0]
+            if x_name not in producers:
+                continue
+            prev = out.ops[producers[x_name]]
+            pair_out = op.outputs[0]
+            if pair_out in out.outputs:
+                continue  # eliding would rename the graph interface
+            source = prev.inputs[0]
+            src_spec = out.tensors[source]
+            dst_spec = out.tensors[pair_out]
+            if op.kind == "dequantize" and prev.kind == "quantize":
+                # float -> int -> float: consumers read the original float.
+                if src_spec.dtype != "float32" or dst_spec.dtype != "float32":
+                    continue
+                if tuple(src_spec.shape) != tuple(dst_spec.shape):
+                    continue
+            elif op.kind == "quantize" and prev.kind == "dequantize":
+                # int -> float -> int: exact only when parameters match.
+                if src_spec.dtype != dst_spec.dtype:
+                    continue
+                if tuple(src_spec.shape) != tuple(dst_spec.shape):
+                    continue
+                if not _quant_equal(src_spec.quant, dst_spec.quant):
+                    continue
+            else:
+                continue
+            uses = _rewire(out, pair_out, source)
+            rewrites.append(
+                Rewrite(
+                    "elide_quant_pairs",
+                    "elide_pair",
+                    op.name,
+                    f"elided {prev.kind}->{op.kind} pair at {op.name}: "
+                    f"{uses} consumer(s) of {pair_out} now read {source}",
+                )
+            )
+            del out.ops[idx]
+            changed = True
+            break
+    return out, rewrites
+
+
+# ----------------------------------------------------------------------
+# Pass 5: dead op and dead tensor elimination
+# ----------------------------------------------------------------------
+def eliminate_dead(graph: Graph) -> Tuple[Graph, List[Rewrite]]:
+    """Remove ops with no live consumers and tensors with no references.
+
+    Liveness seeds from the graph outputs and every op input; removal
+    iterates to a fixpoint so dead chains unravel completely. Graph inputs
+    are part of the model's interface and always survive.
+    """
+    out = graph.copy()
+    rewrites: List[Rewrite] = []
+    changed = True
+    while changed:
+        changed = False
+        consumed = set()
+        for op in out.ops:
+            consumed.update(op.inputs)
+        live = consumed | set(out.outputs)
+        for idx in range(len(out.ops) - 1, -1, -1):
+            op = out.ops[idx]
+            if any(o in live for o in op.outputs):
+                continue
+            rewrites.append(
+                Rewrite(
+                    "eliminate_dead",
+                    "remove_op",
+                    op.name,
+                    f"removed dead {op.kind} op {op.name} "
+                    f"(outputs {', '.join(op.outputs)} unconsumed)",
+                )
+            )
+            del out.ops[idx]
+            changed = True
+            break  # liveness is stale after a removal; recompute
+
+    referenced = set(out.inputs) | set(out.outputs)
+    for op in out.ops:
+        referenced.update(op.inputs)
+        referenced.update(op.outputs)
+    for name in [n for n in out.tensors if n not in referenced]:
+        spec = out.tensors.pop(name)
+        rewrites.append(
+            Rewrite(
+                "eliminate_dead",
+                "remove_tensor",
+                name,
+                f"removed dead {spec.kind} tensor {name} ({spec.size_bytes} B)",
+            )
+        )
+    return out, rewrites
+
+
+# ----------------------------------------------------------------------
+# Pipeline driver
+# ----------------------------------------------------------------------
+PASS_REGISTRY: Dict[str, Callable[[Graph], Tuple[Graph, List[Rewrite]]]] = {
+    "fuse_batch_norm": fuse_batch_norm,
+    "fuse_activation": fuse_activation,
+    "fold_constants": fold_constants,
+    "elide_quant_pairs": elide_quant_pairs,
+    "eliminate_dead": eliminate_dead,
+}
+
+#: Optimization levels: ordered pass lists.
+LEVELS: Dict[str, Tuple[str, ...]] = {
+    "O0": (),
+    "O1": ("eliminate_dead",),
+    "O2": (
+        "fuse_batch_norm",
+        "fuse_activation",
+        "fold_constants",
+        "elide_quant_pairs",
+        "eliminate_dead",
+    ),
+}
+
+DEFAULT_LEVEL = "O2"
+
+
+def canonical_level(level: Union[str, int, None]) -> str:
+    """Normalize ``"O2"`` / ``"o2"`` / ``2`` / ``None`` to a level key."""
+    if level is None:
+        return DEFAULT_LEVEL
+    if isinstance(level, int):
+        key = f"O{level}"
+    else:
+        key = str(level).strip().upper()
+        if key.isdigit():
+            key = f"O{key}"
+    if key not in LEVELS:
+        raise GraphError(
+            f"unknown compile level {level!r} (known: {', '.join(sorted(LEVELS))})"
+        )
+    return key
+
+
+def compile_graph(
+    graph: Graph,
+    level: Union[str, int, None] = DEFAULT_LEVEL,
+    passes: Optional[Sequence[str]] = None,
+) -> CompiledModel:
+    """Run the optimization pipeline over a validated graph.
+
+    Parameters
+    ----------
+    graph:
+        Input model; validated before the first pass and never mutated.
+    level:
+        ``"O0"`` (no passes), ``"O1"`` (dead code only) or ``"O2"`` (full
+        pipeline, the default). Ints 0/1/2 are accepted.
+    passes:
+        Explicit ordered pass-name list; overrides ``level``'s list (the
+        level is still recorded on the report as ``custom``).
+
+    Every pass output is re-validated with
+    :func:`repro.validate.validate_graph`; a pass that produces a broken
+    graph raises :class:`~repro.errors.GraphError` naming the pass.
+    """
+    from repro.validate.checks import validate_graph
+
+    validate_graph(graph)
+    if passes is None:
+        key = canonical_level(level)
+        names: Sequence[str] = LEVELS[key]
+    else:
+        key = "custom"
+        names = list(passes)
+        for name in names:
+            if name not in PASS_REGISTRY:
+                raise GraphError(
+                    f"unknown pass {name!r} (known: {', '.join(sorted(PASS_REGISTRY))})"
+                )
+
+    report = CompileReport(model=graph.name, level=key)
+    current = graph
+    obs.incr("compile.invocations")
+    for name in names:
+        fn = PASS_REGISTRY[name]
+        start = time.perf_counter()
+        with obs.span(f"compile/pass/{name}", model=graph.name):
+            next_graph, rewrites = fn(current)
+            try:
+                validate_graph(next_graph)
+            except GraphError as exc:
+                raise GraphError(
+                    f"pass {name!r} produced an invalid graph for "
+                    f"{graph.name!r}: {exc}"
+                ) from exc
+        elapsed = time.perf_counter() - start
+        pass_report = PassReport(
+            name=name,
+            ops_before=len(current.ops),
+            ops_after=len(next_graph.ops),
+            tensors_before=len(current.tensors),
+            tensors_after=len(next_graph.tensors),
+            seconds=elapsed,
+            rewrites=rewrites,
+        )
+        report.passes.append(pass_report)
+        obs.incr(f"compile.pass.{name}.rewrites", len(rewrites))
+        obs.observe(f"compile.pass_seconds.{name}", elapsed)
+        current = next_graph
+    obs.incr("compile.ops_removed", report.ops_removed)
+    obs.incr("compile.tensors_removed", report.tensors_removed)
+    return CompiledModel(graph=current, report=report)

@@ -13,8 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.errors import GraphError
-from repro.runtime.graph import Graph
+from repro.runtime.graph import DTYPE_BYTES, Graph
 
 #: Arena allocations are aligned, as on device (TFLM uses 16-byte alignment).
 ARENA_ALIGNMENT = 16
@@ -113,13 +115,23 @@ class ArenaPlan:
                     )
 
 
-def plan_arena(graph: Graph) -> ArenaPlan:
-    """Greedy best-fit arena planning over tensor lifetimes."""
+def plan_arena(graph: Graph, batch_size: int = 1) -> ArenaPlan:
+    """Greedy best-fit arena planning over tensor lifetimes.
+
+    ``batch_size`` sizes the plan for the interpreter's vectorized batch
+    mode: every activation allocation is ``batch_size`` per-sample slabs
+    (per-sample byte counts rounded up individually, matching how a batched
+    int4 buffer is laid out), while weights stay flash-resident and do not
+    appear in the arena at any batch size.
+    """
+    if batch_size < 1:
+        raise GraphError(f"batch_size must be >= 1, got {batch_size}")
     lifetimes = tensor_lifetimes(graph)
     requests = []
     for name, (first, last) in lifetimes.items():
         spec = graph.tensors[name]
-        requests.append((name, _align(spec.size_bytes), first, last))
+        per_sample = int(np.ceil(spec.elements * DTYPE_BYTES[spec.dtype]))
+        requests.append((name, _align(per_sample * batch_size), first, last))
     # Largest first; ties broken by earlier first-use for determinism.
     requests.sort(key=lambda r: (-r[1], r[2], r[0]))
 

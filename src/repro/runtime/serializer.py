@@ -54,6 +54,12 @@ _OP_CODES = {
     "add": 6,
     "softmax": 7,
     "reshape": 8,
+    # Unfused front-end ops (new codes append; existing files are unchanged).
+    "batch_norm": 9,
+    "relu": 10,
+    "relu6": 11,
+    "quantize": 12,
+    "dequantize": 13,
 }
 _OP_NAMES = {v: k for k, v in _OP_CODES.items()}
 

@@ -35,7 +35,15 @@ _OP_ARITY = {
     "add": (2, 2, 1),
     "softmax": (1, 1, 1),
     "reshape": (1, 1, 1),
+    "batch_norm": (3, 3, 1),
+    "relu": (1, 1, 1),
+    "relu6": (1, 1, 1),
+    "quantize": (1, 1, 1),
+    "dequantize": (1, 1, 1),
 }
+
+#: Integer dtypes an activation tensor may carry.
+_INT_DTYPES = ("int4", "int8", "int16", "int32")
 
 #: Expected weight-operand rank per op kind (None = no weight operand).
 _WEIGHT_RANK = {"conv2d": 4, "depthwise_conv2d": 3, "dense": 2}
@@ -87,6 +95,22 @@ def _check_tensor(spec: TensorSpec) -> None:
             _fail(f"tensor {spec.name!r}: non-finite float32 weights")
 
 
+def _check_data_input(op: OpNode, spec: TensorSpec) -> None:
+    """A data operand must be an activation — or a *materialized* constant.
+
+    Constant folding (:mod:`repro.runtime.passes`) legitimately leaves
+    weight-kind tensors feeding data operands, exactly as TFLite graphs may
+    read flash-resident constants; those must carry their data. A bias or a
+    data-less weight in a data position is still the corruption this check
+    has always caught.
+    """
+    if spec.kind == "bias" or (spec.kind == "weight" and spec.data is None):
+        _fail(
+            f"op {op.name!r}: data input {spec.name!r} has constant kind "
+            f"{spec.kind!r}" + (" and no data" if spec.kind == "weight" else "")
+        )
+
+
 def _check_op(graph: Graph, op: OpNode) -> None:
     if op.kind not in _OP_ARITY:
         _fail(f"op {op.name!r}: unknown kind {op.kind!r}")
@@ -104,8 +128,7 @@ def _check_op(graph: Graph, op: OpNode) -> None:
 
     x = graph.tensors[op.inputs[0]]
     out = graph.tensors[op.outputs[0]]
-    if x.kind in ("weight", "bias"):
-        _fail(f"op {op.name!r}: data input {x.name!r} has constant kind {x.kind!r}")
+    _check_data_input(op, x)
     if out.kind in ("weight", "bias"):
         _fail(f"op {op.name!r}: output {out.name!r} has constant kind {out.kind!r}")
 
@@ -161,8 +184,7 @@ def _check_op(graph: Graph, op: OpNode) -> None:
                 )
     elif op.kind == "add":
         b = graph.tensors[op.inputs[1]]
-        if b.kind in ("weight", "bias"):
-            _fail(f"op {op.name!r}: add operand {b.name!r} has constant kind {b.kind!r}")
+        _check_data_input(op, b)
         if tuple(x.shape) != tuple(b.shape) or tuple(out.shape) != tuple(x.shape):
             _fail(
                 f"op {op.name!r}: add operands/output disagree — "
@@ -185,6 +207,67 @@ def _check_op(graph: Graph, op: OpNode) -> None:
             _fail(f"op {op.name!r} ({op.kind}): missing required 'pool' attribute")
         if len(x.shape) != 3:
             _fail(f"op {op.name!r}: pool input {x.name!r} must be rank 3, got {x.shape}")
+    elif op.kind == "batch_norm":
+        scale = graph.tensors[op.inputs[1]]
+        offset = graph.tensors[op.inputs[2]]
+        if scale.kind != "weight":
+            _fail(
+                f"op {op.name!r}: batch_norm scale {scale.name!r} has kind "
+                f"{scale.kind!r}, expected 'weight'"
+            )
+        if offset.kind != "bias":
+            _fail(
+                f"op {op.name!r}: batch_norm offset {offset.name!r} has kind "
+                f"{offset.kind!r}, expected 'bias'"
+            )
+        channels = x.shape[-1] if x.shape else 1
+        if len(scale.shape) != 1 or scale.elements != channels:
+            _fail(
+                f"op {op.name!r}: batch_norm scale {scale.name!r} must be rank 1 "
+                f"with {channels} elements, got shape {tuple(scale.shape)}"
+            )
+        if offset.elements != channels:
+            _fail(
+                f"op {op.name!r}: batch_norm offset {offset.name!r} has "
+                f"{offset.elements} elements, input has {channels} channels"
+            )
+        if tuple(out.shape) != tuple(x.shape):
+            _fail(
+                f"op {op.name!r}: batch_norm must preserve shape, got "
+                f"{tuple(x.shape)} -> {tuple(out.shape)}"
+            )
+    elif op.kind in ("relu", "relu6"):
+        if tuple(out.shape) != tuple(x.shape):
+            _fail(
+                f"op {op.name!r}: {op.kind} must preserve shape, got "
+                f"{tuple(x.shape)} -> {tuple(out.shape)}"
+            )
+    elif op.kind == "quantize":
+        if x.dtype != "float32":
+            _fail(f"op {op.name!r}: quantize input {x.name!r} must be float32, is {x.dtype}")
+        if out.dtype not in _INT_DTYPES or out.quant is None:
+            _fail(
+                f"op {op.name!r}: quantize output {out.name!r} must be an integer "
+                f"tensor with quantization params (dtype {out.dtype})"
+            )
+        if tuple(out.shape) != tuple(x.shape):
+            _fail(
+                f"op {op.name!r}: quantize must preserve shape, got "
+                f"{tuple(x.shape)} -> {tuple(out.shape)}"
+            )
+    elif op.kind == "dequantize":
+        if x.dtype not in _INT_DTYPES or x.quant is None:
+            _fail(
+                f"op {op.name!r}: dequantize input {x.name!r} must be an integer "
+                f"tensor with quantization params (dtype {x.dtype})"
+            )
+        if out.dtype != "float32":
+            _fail(f"op {op.name!r}: dequantize output {out.name!r} must be float32, is {out.dtype}")
+        if tuple(out.shape) != tuple(x.shape):
+            _fail(
+                f"op {op.name!r}: dequantize must preserve shape, got "
+                f"{tuple(x.shape)} -> {tuple(out.shape)}"
+            )
 
 
 def validate_graph(graph: Graph) -> Graph:

@@ -23,6 +23,7 @@ def test_hotpath_bench_smoke(tmp_path):
         "conv_training_step",
         "supernet_dnas_step",
         "characterization_sweep",
+        "serving_throughput",
         "resilience_overhead",
     }
     for row in sections.values():
@@ -40,6 +41,26 @@ def test_hotpath_bench_smoke(tmp_path):
     assert resilience["search_checkpointed_s"] > 0
     assert resilience["checkpoint_overhead_ratio"] < 3.0
 
+    # Serving throughput schema: one entry per batch size with loop vs
+    # batched timings, plus the op counts the compiler reduced.
+    serving = sections["serving_throughput"]
+    assert set(serving["batches"]) == {"1", "16", "128"}
+    for at in serving["batches"].values():
+        assert set(at) == {
+            "uncompiled_loop_s",
+            "compiled_batched_s",
+            "uncompiled_models_per_s",
+            "compiled_models_per_s",
+            "speedup",
+        }
+        assert at["uncompiled_loop_s"] > 0 and at["compiled_batched_s"] > 0
+        assert at["speedup"] > 0
+    assert serving["compiled_ops"] < serving["uncompiled_ops"]
+    assert serving["arena_bytes_batch_max"] > 0
+    assert serving["speedup"] == serving["batches"]["128"]["speedup"]
+    # The smoke floor is conservative; the full bench enforces the 3x bar.
+    assert serving["batches"]["128"]["speedup"] >= 1.5
+
     # Observability fields: cache hit rates and workspace reuse ride along.
     assert 0.0 <= sections["conv_training_step"]["workspace_reuse_rate"] <= 1.0
     assert sections["characterization_sweep"]["layer_cache_hit_rate"] > 0.0
@@ -47,6 +68,12 @@ def test_hotpath_bench_smoke(tmp_path):
     stats = result["cache_stats"]
     assert stats["cache.layer_latency.hits"] > 0
     assert 0.0 <= stats["workspace.reuse_rate"] <= 1.0
+    # The row's reuse rate and cache_stats come from one snapshot: equal,
+    # not merely close — this is the drift regression guard.
+    assert (
+        sections["conv_training_step"]["workspace_reuse_rate"]
+        == stats["workspace.reuse_rate"]
+    )
 
     # Archiving produces both artifacts, and the JSON round-trips.
     archive_hotpath_result(result, results_dir=str(tmp_path), json_dir=str(tmp_path))

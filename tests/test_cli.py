@@ -95,3 +95,78 @@ class TestSearchResumeCommands:
                                                                     "total_epochs": 1}))
         assert main(["resume", str(path)]) == 2
         assert "lacks run settings" in capsys.readouterr().err
+
+
+class TestCompileCommand:
+    def _unfused_mbuf(self, tmp_path):
+        import numpy as np
+
+        from repro.runtime.graph import Graph, OpNode, TensorSpec
+        from repro.runtime.serializer import serialize
+
+        rng = np.random.default_rng(0)
+        g = Graph(name="cli-compile", inputs=["x"], outputs=["y"])
+        g.add_tensor(TensorSpec("x", (6, 6, 2), "float32", "input"))
+        w = rng.normal(0, 0.3, (3, 3, 2, 4)).astype(np.float32)
+        b = np.zeros(4, np.float32)
+        g.add_tensor(TensorSpec("w", w.shape, "float32", "weight", data=w))
+        g.add_tensor(TensorSpec("b", b.shape, "float32", "bias", data=b))
+        g.add_tensor(TensorSpec("conv", (6, 6, 4), "float32", "activation"))
+        g.add_op(OpNode(kind="conv2d", name="conv", inputs=["x", "w", "b"], outputs=["conv"],
+                        attrs={"stride": 1, "padding": "same", "activation": None}))
+        scale = rng.uniform(0.5, 1.5, (4,)).astype(np.float32)
+        offset = rng.normal(0, 0.1, (4,)).astype(np.float32)
+        g.add_tensor(TensorSpec("s", scale.shape, "float32", "weight", data=scale))
+        g.add_tensor(TensorSpec("o", offset.shape, "float32", "bias", data=offset))
+        g.add_tensor(TensorSpec("bn", (6, 6, 4), "float32", "activation"))
+        g.add_op(OpNode(kind="batch_norm", name="bn", inputs=["conv", "s", "o"], outputs=["bn"]))
+        g.add_tensor(TensorSpec("y", (6, 6, 4), "float32", "output"))
+        g.add_op(OpNode(kind="relu", name="y", inputs=["bn"], outputs=["y"]))
+        path = tmp_path / "model.mbuf"
+        path.write_bytes(serialize(g))
+        return path
+
+    def test_compile_prints_summary_and_roundtrips(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.runtime.interpreter import Interpreter
+        from repro.runtime.serializer import deserialize
+
+        path = self._unfused_mbuf(tmp_path)
+        out_path = tmp_path / "model.O2.mbuf"
+        assert main(["compile", str(path), "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pass fuse_batch_norm" in out
+        assert "[fold_bn]" in out and "[fuse_activation]" in out
+        assert "peak SRAM" in out
+        # The written artifact deserializes and matches the original model.
+        original = deserialize(path.read_bytes())
+        compiled = deserialize(out_path.read_bytes())
+        assert len(compiled.ops) < len(original.ops)
+        x = np.random.default_rng(1).normal(0, 1, (2, 6, 6, 2)).astype(np.float32)
+        np.testing.assert_allclose(
+            Interpreter(compiled).invoke(x), Interpreter(original).invoke(x),
+            rtol=1e-4, atol=1e-5,
+        )
+
+    def test_compile_o0_is_identity(self, capsys, tmp_path):
+        path = self._unfused_mbuf(tmp_path)
+        out_path = tmp_path / "model.O0.mbuf"
+        assert main(["compile", str(path), "--level", "O0", "-o", str(out_path)]) == 0
+        assert "(no passes at this level)" in capsys.readouterr().out
+        assert out_path.read_bytes() == path.read_bytes()
+
+    def test_compile_missing_file(self, capsys):
+        assert main(["compile", "nope.mbuf"]) == 2
+        assert "no such model file" in capsys.readouterr().err
+
+    def test_compile_unknown_level(self, capsys, tmp_path):
+        path = self._unfused_mbuf(tmp_path)
+        assert main(["compile", str(path), "--level", "O7"]) == 2
+        assert "unknown compile level" in capsys.readouterr().err
+
+    def test_compile_rejects_malformed_file(self, capsys, tmp_path):
+        path = tmp_path / "junk.mbuf"
+        path.write_bytes(b"MBUF" + b"\x00" * 32)
+        assert main(["compile", str(path)]) == 1
+        assert "REJECTED" in capsys.readouterr().err

@@ -289,16 +289,19 @@ class TestValidateDeployment:
 
 
 class TestInterpreterOperandChecks:
+    # Operand re-verification runs per dispatch only under debug_checks
+    # (construction-time validation covers static graphs); these tamper
+    # with the graph *after* construction, so they opt in.
     def test_constant_data_shape_tampered_after_construction(self):
         g = _dense_graph()
-        interp = Interpreter(g)
+        interp = Interpreter(g, debug_checks=True)
         g.tensors["w"].data = np.zeros((2, 2), dtype=np.float32)
         with pytest.raises(GraphError, match="data shape"):
             interp.invoke(np.zeros((1, 4), dtype=np.float32))
 
     def test_constant_data_removed(self):
         g = _dense_graph()
-        interp = Interpreter(g)
+        interp = Interpreter(g, debug_checks=True)
         g.tensors["w"].data = None
         with pytest.raises(GraphError, match="has no data"):
             interp.invoke(np.zeros((1, 4), dtype=np.float32))
@@ -308,10 +311,16 @@ class TestInterpreterOperandChecks:
         g.add_tensor(TensorSpec("p", (3,), dtype="float32", kind="output"))
         g.add_op(OpNode("softmax", "sm", ["y"], ["p"]))
         g.outputs = ["p"]
-        interp = Interpreter(g)
+        interp = Interpreter(g, debug_checks=True)
         g.tensors["y"].shape = (7,)  # lie about the intermediate's shape
         with pytest.raises(GraphError, match="per example, spec says"):
             interp.invoke(np.zeros((1, 4), dtype=np.float32))
+
+    def test_debug_checks_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_CHECKS", "1")
+        assert Interpreter(_dense_graph()).debug_checks
+        monkeypatch.setenv("REPRO_DEBUG_CHECKS", "0")
+        assert not Interpreter(_dense_graph()).debug_checks
 
     def test_activation_dtype_family_mismatch(self):
         g = _dense_graph()
