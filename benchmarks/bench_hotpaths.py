@@ -16,6 +16,11 @@ dedicated optimization in the tensor/hw/runtime layers:
    vs one vectorized batched dispatch of the ``O2``-compiled graph
    (:mod:`repro.runtime.passes`), at batch 1 / 16 / 128.
 
+A fifth section, ``serving_latency``, replays a seeded load trace through
+the micro-batching ``repro.serve`` server (batched vs unbatched) on a
+deterministic FakeClock and reports p50/p95/p99 latency, queue depth, and
+shed rate — see :mod:`repro.serve.bench`.
+
 A further section, ``resilience_overhead``, guards the checkpoint/fault
 hooks threaded through those loops: a disabled ``fault_point`` must stay a
 single-branch no-op and checkpoint-free runs must pay nothing.
@@ -407,6 +412,13 @@ def run_hotpath_bench(scale: Optional[Scale] = None, smoke: bool = False) -> Dic
     serving = _time_serving_throughput(mode)
     rows.append({"section": "serving_throughput", **serving})
 
+    # Serving latency under load: the micro-batching server replaying a
+    # seeded diurnal+burst trace (batched vs unbatched) on a FakeClock
+    # with a calibrated service-time model. See repro.serve.bench.
+    from repro.serve.bench import run_serving_latency_bench
+
+    rows.append(run_serving_latency_bench(mode=mode))
+
     resilience = _time_resilience_overhead(mode)
     rows.append(
         {
@@ -454,6 +466,10 @@ def format_hotpath_table(result: Dict) -> str:
             at = row["batches"][key]
             baseline = at["uncompiled_loop_s"] / int(key)
             optimized = at["compiled_batched_s"] / int(key)
+        elif row["section"] == "serving_latency":
+            # p50 request latency under the replayed load trace.
+            baseline = row["modes"]["unbatched"]["p50_ms"] / 1e3
+            optimized = row["modes"]["batched"]["p50_ms"] / 1e3
         else:
             baseline = row.get("einsum_s", row.get("uncached_s"))
             optimized = row.get("gemm_s", row.get("memoized_s"))
@@ -468,6 +484,17 @@ def format_hotpath_table(result: Dict) -> str:
                 f"serving at batch {key}: {at['uncompiled_models_per_s']:.0f} -> "
                 f"{at['compiled_models_per_s']:.0f} models/s "
                 f"({row['uncompiled_ops']} -> {row['compiled_ops']} ops after O2)"
+            )
+        if row["section"] == "serving_latency":
+            batched = row["modes"]["batched"]
+            unbatched = row["modes"]["unbatched"]
+            lines.append(
+                f"serving {row['requests']} reqs at max_batch {row['max_batch']}: "
+                f"{unbatched['throughput_rps']:.0f} -> "
+                f"{batched['throughput_rps']:.0f} req/s, p50 "
+                f"{unbatched['p50_ms']:.2f} -> {batched['p50_ms']:.2f} ms, "
+                f"shed {unbatched['shed_rate'] * 100:.0f}% -> "
+                f"{batched['shed_rate'] * 100:.0f}%"
             )
     if any(row["section"] == "resilience_overhead" for row in result["rows"]):
         res = next(r for r in result["rows"] if r["section"] == "resilience_overhead")
@@ -505,6 +532,10 @@ def bench_hotpaths(scale):
     # The graph compiler + batched dispatch must buy >= 3x per-sample at the
     # largest serving batch (the issue's acceptance threshold).
     assert by_section["serving_throughput"]["speedup"] >= 3.0
+    # Micro-batching must buy >= 2x throughput over unbatched serving on
+    # the replayed load trace, without losing a single request.
+    assert by_section["serving_latency"]["speedup"] >= 2.0
+    assert by_section["serving_latency"]["conservation_ok"]
     assert (
         by_section["conv_training_step"]["workspace_reuse_rate"]
         == result["cache_stats"]["workspace.reuse_rate"]

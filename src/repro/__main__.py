@@ -22,6 +22,11 @@ Usage::
                                               # rewrite summary
     python -m repro compile model.mbuf --level O1 -o out.mbuf
                                               # write the compiled model
+    python -m repro serve-bench               # replay a seeded load trace
+                                              # through the micro-batching
+                                              # server; p50/p95/p99 + shed
+    python -m repro serve-bench --requests 100000 --max-batch 16
+                                              # full-depth load replay
 """
 
 from __future__ import annotations
@@ -295,6 +300,41 @@ def _run_compile(args) -> int:
     return 0
 
 
+def _run_serve_bench(args) -> int:
+    """The ``repro serve-bench`` command: replay a synthetic traffic trace
+    through the micro-batching server and print the latency table.
+
+    Runs the same seeded trace twice (batched vs unbatched) under a
+    deterministic FakeClock with a calibrated service-time model; exit 1
+    when the replay violates request conservation.
+    """
+    import json
+
+    from repro.errors import ReproError
+    from repro.serve.bench import format_serving_latency, run_serving_latency_bench
+
+    try:
+        section = run_serving_latency_bench(
+            mode=args.mode,
+            requests=args.requests,
+            max_batch=args.max_batch,
+            seed=args.seed,
+        )
+    except ReproError as exc:
+        print(f"serve-bench failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    print(format_serving_latency(section))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(section, handle, indent=2)
+            handle.write("\n")
+        print(f"serving_latency section -> {args.json}")
+    if not section["conservation_ok"]:
+        print("request conservation violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_resume(args) -> int:
     """Continue an interrupted ``repro search`` run from its checkpoint."""
     from repro.resilience.checkpoint import load_checkpoint
@@ -389,8 +429,28 @@ def main(argv: List[str] = None) -> int:
     compile_parser.add_argument(
         "--quiet", action="store_true", help="omit the per-rewrite detail lines"
     )
+    serve_parser = subparsers.add_parser(
+        "serve-bench",
+        help="replay a synthetic load trace through the micro-batching server",
+    )
+    serve_parser.add_argument(
+        "--mode", default="ci", choices=["smoke", "ci", "paper"],
+        help="workload preset (model size + default request count)",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="override the preset's trace length",
+    )
+    serve_parser.add_argument("--max-batch", type=int, default=16, metavar="N")
+    serve_parser.add_argument("--seed", type=int, default=0, help="trace seed")
+    serve_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the serving_latency section as JSON",
+    )
 
     args = parser.parse_args(argv)
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
     if args.command == "validate":
         return _run_validate(args)
     if args.command == "compile":

@@ -154,6 +154,10 @@ class _BlackBoxSearch:
     between attempts when nonzero); if it keeps failing it is recorded in
     ``result.failures`` and treated as infeasible, so one bad candidate
     cannot kill a long sweep.
+
+    ``sleeper`` is the backoff wait function — ``time.sleep`` by default,
+    injectable (e.g. a :class:`repro.serve.clock.FakeClock`'s ``sleep``)
+    so retry tests assert the exact backoff schedule without real delays.
     """
 
     def __init__(
@@ -163,6 +167,7 @@ class _BlackBoxSearch:
         max_evaluations: int = 16,
         max_eval_retries: int = 2,
         retry_backoff_s: float = 0.0,
+        sleeper: Callable[[float], None] = time.sleep,
     ) -> None:
         if max_evaluations < 1:
             raise SearchError("need at least one evaluation")
@@ -173,6 +178,7 @@ class _BlackBoxSearch:
         self.max_evaluations = max_evaluations
         self.max_eval_retries = max_eval_retries
         self.retry_backoff_s = retry_backoff_s
+        self._sleep = sleeper
         self._cache: Dict[Tuple[int, ...], Optional[float]] = {}
         self._rejected = 0
 
@@ -196,7 +202,7 @@ class _BlackBoxSearch:
                 if attempt <= self.max_eval_retries:
                     obs.incr("nas.blackbox.eval_retries")
                     if self.retry_backoff_s > 0:
-                        time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+                        self._sleep(self.retry_backoff_s * 2 ** (attempt - 1))
         return None, last_error, attempt
 
     def _evaluate(

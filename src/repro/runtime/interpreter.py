@@ -54,13 +54,26 @@ class Interpreter:
         Re-verify every operand before each op dispatch (shape, dtype
         family, produced-ness). Defaults to the ``REPRO_DEBUG_CHECKS``
         environment variable.
+    max_batch:
+        The planned batch size, when set: the arena plan is computed for
+        it eagerly and :meth:`invoke` refuses a larger request batch with
+        a clear :class:`GraphError` instead of letting it run past the
+        planned arena (on device that is memory corruption; here it used
+        to surface as a shape/broadcast error deep in dispatch). The
+        serving layer's pooled interpreters always set this.
     """
 
-    # Class-level default so partially-constructed instances (tests build
+    # Class-level defaults so partially-constructed instances (tests build
     # them via __new__ to drive _execute directly) still dispatch.
     debug_checks = False
+    max_batch: Optional[int] = None
 
-    def __init__(self, graph: Graph, debug_checks: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        debug_checks: Optional[bool] = None,
+        max_batch: Optional[int] = None,
+    ) -> None:
         # Imported here (like planner.tensor_lifetimes) because repro.validate
         # imports the graph IR back from this package.
         from repro.validate.checks import validate_graph
@@ -76,6 +89,10 @@ class Interpreter:
         #: constant folding); invoke() seeds them into the value map.
         self._const_data_inputs: List[str] = self._find_const_data_inputs()
         self._plans: Dict[int, ArenaPlan] = {}
+        self.max_batch = None
+        if max_batch is not None:
+            self.max_batch = _check_batch_size(max_batch, "max_batch")
+            self.plan(batch_size=self.max_batch)  # plan the arena up front
         #: Wall-clock seconds per op name from the most recent observed
         #: invoke (populated only while observability is enabled).
         self.last_op_timings: Dict[str, float] = {}
@@ -89,6 +106,7 @@ class Interpreter:
         flash, so the plan answers "what arena does one batched dispatch
         need?".
         """
+        batch_size = _check_batch_size(batch_size, "batch_size")
         if batch_size not in self._plans:
             self._plans[batch_size] = plan_arena(self.graph, batch_size=batch_size)
         return self._plans[batch_size]
@@ -141,6 +159,12 @@ class Interpreter:
         expected = (batch.shape[0],) + tuple(in_spec.shape)
         if batch.shape != expected:
             raise GraphError(f"input shape {batch.shape} != expected {expected}")
+        if self.max_batch is not None and batch.shape[0] > self.max_batch:
+            raise GraphError(
+                f"request batch {batch.shape[0]} exceeds the planned batch "
+                f"size {self.max_batch}: the arena was planned with "
+                f"plan(batch_size={self.max_batch}); re-plan or split the batch"
+            )
 
         values: Dict[str, np.ndarray] = {}
         if self.is_quantized:
@@ -384,6 +408,20 @@ class Interpreter:
             return
 
         raise GraphError(f"op {op.name}: interpreter has no kernel for kind {op.kind}")
+
+
+def _check_batch_size(value, what: str) -> int:
+    """Validate a batch-size argument: a positive integral count.
+
+    Rejects bools, floats, and sub-1 values with a clear GraphError —
+    before PR 7 a bad value surfaced as an arena-size arithmetic error (or
+    a broadcast failure deep in dispatch) far from the caller.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise GraphError(f"{what} must be a positive int, got {value!r}")
+    if value < 1:
+        raise GraphError(f"{what} must be >= 1, got {value}")
+    return int(value)
 
 
 def _op_stride(op: OpNode):

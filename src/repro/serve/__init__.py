@@ -1,0 +1,66 @@
+"""``repro.serve``: a multi-tenant micro-batching model server.
+
+The serving layer the ROADMAP's item 2 asks for, built over the compiled
+runtime (PR 6) and the deployment guardrails (PR 5):
+
+``repro.serve.clock``
+    injectable time sources — :class:`MonotonicClock` for production,
+    :class:`FakeClock` for deterministic tests and trace replay.
+``repro.serve.registry``
+    content-addressed model store keyed by the blake2b digest of the
+    ``.mbuf`` bytes; deserialize + validate + compile exactly once.
+``repro.serve.pool``
+    per-model interpreter pools sized by ``plan_arena(batch_size=N)``.
+``repro.serve.server``
+    the micro-batching :class:`ModelServer`: deadline-aware (EDF)
+    coalescing, admission control via ``validate_deployment`` plus a
+    multi-tenant SRAM arena budget, shed-on-overload with structured
+    reasons, and a request-conservation ledger.
+``repro.serve.traffic``
+    seeded diurnal+burst synthetic traces.
+``repro.serve.bench``
+    the replayable load benchmark behind ``repro serve-bench`` and the
+    ``serving_latency`` section of ``BENCH_hotpaths.json``.
+
+Architecture, tuning knobs, and the FakeClock testing recipe are in
+``docs/serving.md``.
+"""
+
+from repro.serve.clock import Clock, FakeClock, MonotonicClock
+from repro.serve.pool import InterpreterPool
+from repro.serve.registry import ModelRegistry, RegisteredModel, model_digest
+from repro.serve.server import (
+    ModelServer,
+    Request,
+    Response,
+    ServerStats,
+    ShedReason,
+    TenantConfig,
+    SHED_DEADLINE,
+    SHED_EXECUTION,
+    SHED_QUEUE_FULL,
+)
+from repro.serve.traffic import Arrival, TrafficConfig, make_payload_pool, synthetic_trace
+
+__all__ = [
+    "Clock",
+    "FakeClock",
+    "MonotonicClock",
+    "InterpreterPool",
+    "ModelRegistry",
+    "RegisteredModel",
+    "model_digest",
+    "ModelServer",
+    "Request",
+    "Response",
+    "ServerStats",
+    "ShedReason",
+    "TenantConfig",
+    "SHED_DEADLINE",
+    "SHED_EXECUTION",
+    "SHED_QUEUE_FULL",
+    "Arrival",
+    "TrafficConfig",
+    "make_payload_pool",
+    "synthetic_trace",
+]

@@ -1,0 +1,74 @@
+"""Injectable time sources for the serving layer.
+
+Every serve-side decision that reads or waits on the clock goes through a
+:class:`Clock`, never ``time.*`` directly, so the whole server can run
+under a :class:`FakeClock` in tests: scheduling, coalescing timeouts,
+deadline expiry, and retry backoff all become deterministic functions of
+an explicitly-advanced virtual timeline. Production uses
+:class:`MonotonicClock`, whose ``now``/``sleep`` are the real monotonic
+clock — the server code cannot tell the difference.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+
+class Clock:
+    """Protocol: a monotonic ``now()`` plus a blocking ``sleep()``.
+
+    ``advance()`` is optional — only virtual clocks implement it; callers
+    that simulate service time probe for it with ``hasattr``.
+    """
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real wall clock: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A deterministic virtual clock for tests and trace replay.
+
+    ``sleep`` and ``advance`` both move time forward instantly; ``sleeps``
+    records every sleep request so tests can assert backoff schedules.
+    Time never moves unless the test (or the replay harness) moves it.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        #: Every duration passed to :meth:`sleep`, in call order.
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative duration: {seconds}")
+        self.sleeps.append(float(seconds))
+        self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards: {seconds}")
+        self._now += float(seconds)
+
+    def advance_to(self, timestamp: float) -> None:
+        """Jump to an absolute time (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = float(timestamp)

@@ -1,0 +1,81 @@
+"""Per-model interpreter pools with arena accounting.
+
+Each registered model gets a pool of interpreters over the *same* shared
+compiled graph (the graph is immutable; interpreters only hold per-invoke
+dispatch state). Every pooled interpreter is constructed with
+``max_batch`` so its arena plan is sized once via
+:func:`~repro.runtime.planner.plan_arena` and a request batch can never
+exceed the planned batch — that invariant is enforced inside
+:meth:`~repro.runtime.interpreter.Interpreter.invoke`.
+
+``arena_bytes`` is the pool's SRAM claim at full batch; the server sums
+these claims across tenants for multi-tenant admission control.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List
+
+from repro import obs
+from repro.errors import GraphError
+from repro.runtime.graph import Graph
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.planner import plan_arena
+
+
+class InterpreterPool:
+    """A checkout pool of interpreters over one compiled graph."""
+
+    def __init__(self, graph: Graph, max_batch: int, size: int = 1) -> None:
+        if size < 1:
+            raise GraphError(f"pool size must be >= 1, got {size}")
+        self.graph = graph
+        self.max_batch = int(max_batch)
+        self.size = int(size)
+        #: SRAM the arena needs for one full-batch dispatch.
+        self.arena_bytes = plan_arena(graph, batch_size=self.max_batch).arena_bytes
+        self._idle: List[Interpreter] = [self._build()]
+        self._created = 1
+        self._in_use = 0
+
+    def _build(self) -> Interpreter:
+        obs.incr("serve.pool.interpreters_built")
+        return Interpreter(self.graph, max_batch=self.max_batch)
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> Interpreter:
+        """Check out an interpreter (lazily grown up to ``size``)."""
+        if not self._idle:
+            if self._created >= self.size:
+                raise GraphError(
+                    f"interpreter pool for {self.graph.name!r} exhausted "
+                    f"({self.size} in use)"
+                )
+            self._idle.append(self._build())
+            self._created += 1
+        self._in_use += 1
+        return self._idle.pop()
+
+    def release(self, interp: Interpreter) -> None:
+        if interp.graph is not self.graph:
+            raise GraphError("released interpreter does not belong to this pool")
+        self._in_use -= 1
+        self._idle.append(interp)
+
+    @contextmanager
+    def checkout(self):
+        interp = self.acquire()
+        try:
+            yield interp
+        finally:
+            self.release(interp)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def idle(self) -> int:
+        return len(self._idle)

@@ -1,0 +1,103 @@
+"""Model registry: digest-keyed, deserialize/validate/compile exactly once.
+
+Tenants address models by the blake2b digest of the serialized ``.mbuf``
+bytes, the way a fleet addresses immutable artifacts — two tenants pushing
+byte-identical models share one deserialization, one
+:func:`~repro.validate.validate_graph` run, one
+:func:`~repro.runtime.passes.compile_graph` pipeline, and (downstream) one
+interpreter pool over the shared immutable graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.errors import GraphError
+from repro.runtime.graph import Graph
+from repro.runtime.passes import CompileReport, compile_graph
+from repro.runtime.serializer import deserialize, serialize
+
+
+def model_digest(buf: bytes) -> str:
+    """Content address of a serialized model (32-hex-char blake2b)."""
+    return hashlib.blake2b(buf, digest_size=16).hexdigest()
+
+
+@dataclass
+class RegisteredModel:
+    """One immutable compiled model shared by every tenant that pushed it."""
+
+    digest: str
+    name: str
+    graph: Graph  #: the compiled graph (never mutated after registration)
+    report: CompileReport
+    source_bytes: int
+    source_ops: int
+    #: How many times this digest was (re-)registered.
+    registrations: int = 1
+
+
+class ModelRegistry:
+    """Content-addressed store of compiled models.
+
+    ``register`` is idempotent per digest: the expensive
+    deserialize → validate → compile path runs once, re-registrations are
+    a dictionary hit (counted on ``serve.registry.hits``).
+    """
+
+    def __init__(self, compile_level: str = "O2") -> None:
+        self.compile_level = compile_level
+        self._models: Dict[str, RegisteredModel] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, buf: bytes) -> RegisteredModel:
+        """Register serialized model bytes; returns the shared entry."""
+        digest = model_digest(buf)
+        if digest in self._models:
+            entry = self._models[digest]
+            entry.registrations += 1
+            obs.incr("serve.registry.hits")
+            return entry
+        with obs.span("serve/registry/load", digest=digest):
+            graph = deserialize(buf)  # bounds-checked + validate_graph
+            compiled = compile_graph(graph, level=self.compile_level)
+        entry = RegisteredModel(
+            digest=digest,
+            name=graph.name,
+            graph=compiled.graph,
+            report=compiled.report,
+            source_bytes=len(buf),
+            source_ops=len(graph.ops),
+        )
+        self._models[digest] = entry
+        obs.incr("serve.registry.loads")
+        return entry
+
+    def register_graph(self, graph: Graph) -> RegisteredModel:
+        """Convenience for tests/benches: serialize then register."""
+        return self.register(serialize(graph))
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> RegisteredModel:
+        try:
+            return self._models[digest]
+        except KeyError:
+            raise GraphError(
+                f"unknown model digest {digest!r} "
+                f"(registered: {', '.join(sorted(self._models)) or 'none'})"
+            ) from None
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def digests(self) -> List[str]:
+        return sorted(self._models)
+
+    def entries(self) -> List[RegisteredModel]:
+        return [self._models[d] for d in self.digests()]

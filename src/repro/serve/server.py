@@ -1,0 +1,580 @@
+"""Multi-tenant micro-batching model server over the compiled runtime.
+
+Design
+------
+The server is a *discrete-event* machine driven entirely through its
+injected :class:`~repro.serve.clock.Clock`: requests enter via
+:meth:`ModelServer.submit`, sit in a per-model queue, and are drained by
+:meth:`poll` (dispatch everything ready now) / :meth:`run_until_idle`
+(advance the clock between dispatches). Nothing happens between calls, so
+a :class:`~repro.serve.clock.FakeClock` makes every scheduling decision a
+deterministic function of the submitted trace — the property suites in
+``tests/test_serve.py`` depend on exactly that.
+
+Batching and scheduling semantics:
+
+* A model's queue is **dispatchable** when it holds ``max_batch`` requests
+  or its oldest request has waited ``max_wait_s``.
+* Across models, dispatch order is earliest-deadline-first (EDF) over the
+  queue heads; within a batch, requests are ordered by
+  ``(deadline, arrival sequence)`` — a stable order, so same-deadline
+  requests are served strictly FIFO.
+* One dispatch stacks up to ``max_batch`` payloads and pushes them through
+  the pooled interpreter's vectorized batch mode in a single invoke.
+
+Overload behaves like the bounded-degradation patterns in
+``nas/blackbox.py``: a full queue sheds at admission, an expired deadline
+sheds at dispatch, a raising interpreter is retried with exponential
+backoff (through the injected clock) and then sheds — every shed response
+carries a structured :class:`ShedReason` and the conservation invariant
+``admitted + shed_at_admission == submitted`` (and globally
+``completed + shed == submitted``) is checkable at any drain point via
+:meth:`ServerStats.verify_conservation`.
+
+Admission control reuses the deploy-time guardrails: registering a model
+runs :func:`repro.validate.validate_deployment` against the server's
+device, and the sum of per-tenant full-batch arena claims must fit the
+device's SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.errors import DeploymentError, GraphError
+from repro.hw.devices import MCUDevice
+from repro.runtime.graph import Graph
+from repro.serve.clock import Clock, MonotonicClock
+from repro.serve.pool import InterpreterPool
+from repro.serve.registry import ModelRegistry, RegisteredModel
+
+#: Structured shed reason codes (the full closed set).
+SHED_QUEUE_FULL = "queue_full"
+SHED_DEADLINE = "deadline_expired"
+SHED_EXECUTION = "execution_error"
+
+
+@dataclass(frozen=True)
+class ShedReason:
+    """Why a request was shed instead of served."""
+
+    code: str  #: one of the SHED_* codes
+    detail: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"code": self.code, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Per-model serving knobs.
+
+    max_batch:
+        Coalescing ceiling; also sizes the interpreter pool's arena plan.
+    max_wait_s:
+        Longest a request may wait for co-batched company before the
+        scheduler dispatches a partial batch.
+    queue_depth:
+        Admission bound; a submit against a full queue sheds immediately.
+    default_deadline_s:
+        Relative deadline stamped on requests submitted without one.
+    max_retries / retry_backoff_s:
+        Bounded-backoff retry of a raising interpreter invoke (the
+        ``nas/blackbox.py`` degradation pattern); backoff sleeps go
+        through the server clock so tests see them deterministically.
+    pool_size:
+        Interpreters kept for this model (all share the one graph).
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 0.005
+    queue_depth: int = 256
+    default_deadline_s: float = 0.25
+    max_retries: int = 1
+    retry_backoff_s: float = 0.0
+    pool_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise GraphError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.queue_depth < 1:
+            raise GraphError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.max_wait_s < 0 or self.default_deadline_s <= 0:
+            raise GraphError("max_wait_s must be >= 0 and default_deadline_s > 0")
+        if self.max_retries < 0 or self.retry_backoff_s < 0:
+            raise GraphError("max_retries and retry_backoff_s must be >= 0")
+
+
+@dataclass
+class Request:
+    """One enqueued inference request (a single sample)."""
+
+    id: int
+    model: str
+    payload: np.ndarray
+    arrival_s: float
+    deadline_s: float  #: absolute, on the server clock
+    seq: int  #: global admission order, the FIFO tie-breaker
+    tag: Optional[object] = None
+
+
+@dataclass
+class Response:
+    """Terminal outcome of exactly one request — served or shed."""
+
+    request_id: int
+    model: str
+    status: str  #: ``"ok"`` | ``"shed"``
+    arrival_s: float
+    finish_s: float
+    output: Optional[np.ndarray] = None
+    shed: Optional[ShedReason] = None
+    batch_size: int = 0  #: how many requests rode the dispatch (0 if shed)
+    queue_s: float = 0.0  #: time spent queued before dispatch
+    tag: Optional[object] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def total_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+@dataclass
+class ServerStats:
+    """Request-conservation ledger (always on, independent of obs)."""
+
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    dispatches: int = 0
+    retries: int = 0
+    shed: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def shed_at_admission(self) -> int:
+        return self.shed.get(SHED_QUEUE_FULL, 0)
+
+    def verify_conservation(self, queued: int = 0, responses: int = 0) -> None:
+        """Raise :class:`GraphError` on any conservation violation.
+
+        With ``queued`` in-flight requests still waiting, every submitted
+        request must be exactly one of: admitted or shed-at-admission; and
+        completed + shed + queued must add back up to submitted. When a
+        response count is given it must match the terminal outcomes.
+        """
+        problems = []
+        if self.admitted + self.shed_at_admission != self.submitted:
+            problems.append(
+                f"admitted {self.admitted} + shed-at-admission "
+                f"{self.shed_at_admission} != submitted {self.submitted}"
+            )
+        if self.completed + self.shed_total + queued != self.submitted:
+            problems.append(
+                f"completed {self.completed} + shed {self.shed_total} + "
+                f"queued {queued} != submitted {self.submitted}"
+            )
+        if responses and responses != self.completed + self.shed_total:
+            problems.append(
+                f"{responses} responses != completed {self.completed} + "
+                f"shed {self.shed_total}"
+            )
+        if problems:
+            raise GraphError("request conservation violated: " + "; ".join(problems))
+
+    def as_dict(self) -> Dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "dispatches": self.dispatches,
+            "retries": self.retries,
+            "shed": dict(sorted(self.shed.items())),
+            "shed_total": self.shed_total,
+        }
+
+
+class ModelServer:
+    """Deterministic multi-tenant micro-batching server.
+
+    Parameters
+    ----------
+    clock:
+        Time source for every scheduling decision (default: the real
+        monotonic clock). Tests pass a ``FakeClock``.
+    device:
+        When given, model registration enforces
+        :func:`~repro.validate.validate_deployment` *and* the multi-tenant
+        SRAM rule: the summed full-batch arena claims of every tenant pool
+        must fit ``device.sram_bytes``.
+    compile_level:
+        Pass-pipeline level models are compiled at on registration.
+    service_time_fn:
+        Optional simulated service-time model ``(digest, batch) ->
+        seconds``. When the clock supports ``advance`` (virtual clocks),
+        each dispatch moves time forward by that much, so replayed traces
+        produce realistic latency distributions deterministically. Ignored
+        on real clocks, where service time flows by itself.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        device: Optional[MCUDevice] = None,
+        compile_level: str = "O2",
+        registry: Optional[ModelRegistry] = None,
+        service_time_fn: Optional[Callable[[str, int], float]] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.device = device
+        self.registry = registry if registry is not None else ModelRegistry(compile_level)
+        self.service_time_fn = service_time_fn
+        self.stats = ServerStats()
+        self._tenants: Dict[str, TenantConfig] = {}
+        self._pools: Dict[str, InterpreterPool] = {}
+        self._queues: Dict[str, List[Request]] = {}
+        self._responses: List[Response] = []
+        self._next_id = 0
+        self._next_seq = 0
+        #: Queue depth observed at each dispatch (for the load bench).
+        self.queue_depth_samples: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Registration + admission control
+    # ------------------------------------------------------------------
+    def register(self, model, tenant: Optional[TenantConfig] = None) -> str:
+        """Register model bytes (or a Graph) as a tenant; returns the digest.
+
+        Raises :class:`~repro.errors.DeploymentError` when the server has a
+        device and the model fails the deploy-time budget guardrails or
+        would push the summed tenant arenas past the device's SRAM.
+        """
+        tenant = tenant or TenantConfig()
+        if isinstance(model, Graph):
+            entry = self.registry.register_graph(model)
+        else:
+            entry = self.registry.register(model)
+        digest = entry.digest
+        if digest in self._pools:
+            return digest
+
+        pool = InterpreterPool(entry.graph, max_batch=tenant.max_batch,
+                               size=tenant.pool_size)
+        if self.device is not None:
+            self._admit_model(entry, pool)
+        self._tenants[digest] = tenant
+        self._pools[digest] = pool
+        self._queues[digest] = []
+        obs.incr("serve.models_registered")
+        return digest
+
+    def _admit_model(self, entry: RegisteredModel, pool: InterpreterPool) -> None:
+        from repro.validate.checks import validate_deployment
+
+        validate_deployment(entry.graph, self.device)
+        claimed = sum(p.arena_bytes for p in self._pools.values())
+        if claimed + pool.arena_bytes > self.device.sram_bytes:
+            obs.incr("validate.rejects")
+            raise DeploymentError(
+                f"cannot admit model {entry.name!r} ({entry.digest}): tenant "
+                f"arenas would claim {claimed + pool.arena_bytes} B of "
+                f"{self.device.name}'s {self.device.sram_bytes} B SRAM "
+                f"({len(self._pools)} tenants already claim {claimed} B at "
+                f"full batch)"
+            )
+
+    def tenant(self, digest: str) -> TenantConfig:
+        self._require(digest)
+        return self._tenants[digest]
+
+    def pool(self, digest: str) -> InterpreterPool:
+        self._require(digest)
+        return self._pools[digest]
+
+    def _require(self, digest: str) -> None:
+        if digest not in self._pools:
+            raise GraphError(
+                f"model {digest!r} is not registered with this server "
+                f"(registered: {', '.join(sorted(self._pools)) or 'none'})"
+            )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        digest: str,
+        payload: np.ndarray,
+        deadline_s: Optional[float] = None,
+        tag: Optional[object] = None,
+    ) -> int:
+        """Enqueue one single-sample request; returns its request id.
+
+        ``deadline_s`` is relative to now. A malformed payload raises
+        :class:`GraphError` (caller bug — not counted against
+        conservation); overload sheds with a structured reason and still
+        produces a response.
+        """
+        self._require(digest)
+        graph = self._pools[digest].graph
+        in_spec = graph.tensors[graph.inputs[0]]
+        payload = np.asarray(payload, dtype=np.float32)
+        if payload.shape == (1,) + tuple(in_spec.shape):
+            payload = payload[0]
+        if payload.shape != tuple(in_spec.shape):
+            raise GraphError(
+                f"payload shape {payload.shape} != model input "
+                f"{tuple(in_spec.shape)} (submit takes one sample, not a batch)"
+            )
+        tenant = self._tenants[digest]
+        now = self.clock.now()
+        if deadline_s is None:
+            deadline_s = tenant.default_deadline_s
+        if deadline_s <= 0:
+            raise GraphError(f"deadline_s must be > 0, got {deadline_s}")
+
+        request = Request(
+            id=self._next_id,
+            model=digest,
+            payload=payload,
+            arrival_s=now,
+            deadline_s=now + deadline_s,
+            seq=self._next_seq,
+            tag=tag,
+        )
+        self._next_id += 1
+        self._next_seq += 1
+        self.stats.submitted += 1
+        obs.incr("serve.submitted")
+
+        queue = self._queues[digest]
+        if len(queue) >= tenant.queue_depth:
+            self._shed(
+                request,
+                ShedReason(
+                    SHED_QUEUE_FULL,
+                    f"queue for {digest} at depth {len(queue)} "
+                    f"(limit {tenant.queue_depth})",
+                ),
+            )
+            return request.id
+        queue.append(request)
+        self.stats.admitted += 1
+        obs.incr("serve.admitted")
+        return request.id
+
+    def _shed(self, request: Request, reason: ShedReason) -> None:
+        self.stats.shed[reason.code] = self.stats.shed.get(reason.code, 0) + 1
+        obs.incr("serve.shed")
+        obs.incr(f"serve.shed.{reason.code}")
+        self._responses.append(
+            Response(
+                request_id=request.id,
+                model=request.model,
+                status="shed",
+                arrival_s=request.arrival_s,
+                finish_s=self.clock.now(),
+                shed=reason,
+                tag=request.tag,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _queue_ready(self, digest: str, now: float) -> bool:
+        queue = self._queues[digest]
+        if not queue:
+            return False
+        tenant = self._tenants[digest]
+        if len(queue) >= tenant.max_batch:
+            return True
+        oldest = min(r.arrival_s for r in queue)
+        return now - oldest >= tenant.max_wait_s
+
+    def _select_ready(self, now: float) -> Optional[str]:
+        """EDF across models: the ready queue with the most urgent head."""
+        best: Optional[str] = None
+        best_key = None
+        for digest, queue in self._queues.items():
+            if not self._queue_ready(digest, now):
+                continue
+            head = min((r.deadline_s, r.seq) for r in queue)
+            if best_key is None or head < best_key:
+                best, best_key = digest, head
+        return best
+
+    def next_wake(self) -> Optional[float]:
+        """Earliest absolute time any queue becomes dispatchable.
+
+        ``None`` when every queue is empty. A queue that is ready *now*
+        wakes at now; otherwise it wakes when its oldest request's
+        coalescing window (``max_wait_s``) closes.
+        """
+        now = self.clock.now()
+        wake: Optional[float] = None
+        for digest, queue in self._queues.items():
+            if not queue:
+                continue
+            if self._queue_ready(digest, now):
+                return now
+            oldest = min(r.arrival_s for r in queue)
+            candidate = oldest + self._tenants[digest].max_wait_s
+            if wake is None or candidate < wake:
+                wake = candidate
+        return wake
+
+    def queued(self) -> int:
+        """Requests currently waiting across all tenant queues."""
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """Dispatch every batch that is ready *now*; returns requests drained."""
+        drained = 0
+        while True:
+            digest = self._select_ready(self.clock.now())
+            if digest is None:
+                return drained
+            drained += self._dispatch(digest)
+
+    def _dispatch(self, digest: str) -> int:
+        tenant = self._tenants[digest]
+        queue = self._queues[digest]
+        now = self.clock.now()
+        self.queue_depth_samples.append(len(queue))
+        obs.observe("serve.queue_depth", len(queue))
+
+        # Deadline-aware batch formation: stable (deadline, seq) order, so
+        # equal deadlines preserve strict arrival order.
+        queue.sort(key=lambda r: (r.deadline_s, r.seq))
+        batch: List[Request] = []
+        expired = 0
+        while queue and len(batch) < tenant.max_batch:
+            request = queue.pop(0)
+            if request.deadline_s < now:
+                expired += 1
+                self._shed(
+                    request,
+                    ShedReason(
+                        SHED_DEADLINE,
+                        f"deadline {request.deadline_s:.6f} passed at "
+                        f"{now:.6f} after {now - request.arrival_s:.6f}s queued",
+                    ),
+                )
+                continue
+            batch.append(request)
+        if not batch:
+            return expired  # only expired requests were drained
+
+        outputs = self._invoke_batch(digest, tenant, batch)
+        if self.service_time_fn is not None and hasattr(self.clock, "advance"):
+            self.clock.advance(self.service_time_fn(digest, len(batch)))
+        finish = self.clock.now()
+        self.stats.dispatches += 1
+        obs.incr("serve.dispatches")
+        obs.observe("serve.batch_size", len(batch))
+
+        if outputs is None:  # retries exhausted — shed the whole batch
+            for request in batch:
+                self._shed(
+                    request,
+                    ShedReason(
+                        SHED_EXECUTION,
+                        f"invoke failed after {tenant.max_retries + 1} attempts",
+                    ),
+                )
+            return expired + len(batch)
+
+        for i, request in enumerate(batch):
+            self.stats.completed += 1
+            obs.incr("serve.completed")
+            queue_s = now - request.arrival_s
+            obs.observe("serve.queue_wait_s", queue_s)
+            obs.observe("serve.latency_s", finish - request.arrival_s)
+            self._responses.append(
+                Response(
+                    request_id=request.id,
+                    model=digest,
+                    status="ok",
+                    arrival_s=request.arrival_s,
+                    finish_s=finish,
+                    output=outputs[i],
+                    batch_size=len(batch),
+                    queue_s=queue_s,
+                    tag=request.tag,
+                )
+            )
+        return expired + len(batch)
+
+    def _invoke_batch(
+        self, digest: str, tenant: TenantConfig, batch: List[Request]
+    ) -> Optional[np.ndarray]:
+        """Vectorized dispatch with bounded-backoff retry; None when it
+        keeps failing (the caller sheds the batch)."""
+        stacked = np.stack([r.payload for r in batch])
+        pool = self._pools[digest]
+        for attempt in range(1, tenant.max_retries + 2):
+            try:
+                with obs.span("serve/dispatch", model=digest, batch=len(batch)):
+                    with pool.checkout() as interp:
+                        return interp.invoke(stacked)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                obs.incr("serve.invoke_errors")
+                if attempt <= tenant.max_retries:
+                    self.stats.retries += 1
+                    obs.incr("serve.invoke_retries")
+                    if tenant.retry_backoff_s > 0:
+                        self.clock.sleep(tenant.retry_backoff_s * 2 ** (attempt - 1))
+        return None
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def run_until_idle(self, max_steps: int = 10_000_000) -> int:
+        """Advance the clock and dispatch until every queue is empty.
+
+        With a virtual clock this *is* the event loop: sleep jumps to the
+        next coalescing-window expiry. Returns total requests drained.
+        """
+        drained = 0
+        for _ in range(max_steps):
+            if self.queued() == 0:
+                return drained
+            progressed = self.poll()
+            drained += progressed
+            if self.queued() == 0:
+                return drained
+            if progressed == 0:
+                wake = self.next_wake()
+                delta = wake - self.clock.now()
+                if delta <= 0:
+                    raise GraphError(
+                        "scheduler stalled: queues non-empty but nothing "
+                        "dispatchable and no future wake time"
+                    )
+                self.clock.sleep(delta)
+        raise GraphError(f"run_until_idle exceeded {max_steps} steps")
+
+    def drain(self) -> List[Response]:
+        """Take every terminal response produced so far (FIFO by finish)."""
+        responses, self._responses = self._responses, []
+        return responses
+
+    @property
+    def pending_responses(self) -> int:
+        return len(self._responses)

@@ -24,6 +24,7 @@ def test_hotpath_bench_smoke(tmp_path):
         "supernet_dnas_step",
         "characterization_sweep",
         "serving_throughput",
+        "serving_latency",
         "resilience_overhead",
     }
     for row in sections.values():
@@ -58,6 +59,26 @@ def test_hotpath_bench_smoke(tmp_path):
     assert serving["compiled_ops"] < serving["uncompiled_ops"]
     assert serving["arena_bytes_batch_max"] > 0
     assert serving["speedup"] == serving["batches"]["128"]["speedup"]
+
+    # Serving latency schema: batched + unbatched replay of the same
+    # seeded trace, each with the full latency/queue/shed statistics, and
+    # the conservation flag (admitted + shed == submitted in both modes).
+    latency = sections["serving_latency"]
+    assert latency["requests"] > 0 and latency["max_batch"] == 16
+    assert latency["conservation_ok"] is True
+    assert set(latency["modes"]) == {"unbatched", "batched"}
+    for mode_row in latency["modes"].values():
+        for key in (
+            "p50_ms", "p95_ms", "p99_ms", "mean_ms", "completed", "shed",
+            "shed_rate", "throughput_rps", "mean_queue_depth",
+            "max_queue_depth", "makespan_s", "wall_s", "max_batch",
+        ):
+            assert key in mode_row, f"serving_latency missing {key}"
+        assert mode_row["p50_ms"] <= mode_row["p95_ms"] <= mode_row["p99_ms"]
+        assert mode_row["completed"] + mode_row["shed"] == latency["requests"]
+    assert latency["modes"]["unbatched"]["max_batch"] == 1
+    # The smoke bar is conservative; the full bench asserts >= 2x.
+    assert latency["speedup"] > 1.0
     # The smoke floor is conservative; the full bench enforces the 3x bar.
     assert serving["batches"]["128"]["speedup"] >= 1.5
 

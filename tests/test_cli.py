@@ -170,3 +170,28 @@ class TestCompileCommand:
         path.write_bytes(b"MBUF" + b"\x00" * 32)
         assert main(["compile", str(path)]) == 1
         assert "REJECTED" in capsys.readouterr().err
+
+
+class TestServeBench:
+    def test_serve_bench_smoke(self, capsys, tmp_path):
+        json_path = tmp_path / "serving.json"
+        assert main(["serve-bench", "--mode", "smoke", "--requests", "200",
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serving latency" in out
+        assert "micro-batching throughput gain" in out
+
+        import json
+
+        section = json.loads(json_path.read_text())
+        assert section["section"] == "serving_latency"
+        assert section["requests"] == 200
+        assert section["conservation_ok"] is True
+        assert set(section["modes"]) == {"unbatched", "batched"}
+
+    def test_serve_bench_unknown_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--mode", "warp"])
+
+    def test_serve_bench_bad_requests(self, capsys):
+        assert main(["serve-bench", "--mode", "smoke", "--requests", "-5"]) == 2

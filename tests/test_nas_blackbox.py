@@ -150,3 +150,73 @@ class TestSearchers:
         far = np.array([[200.0, 200.0, 200.0, 200.0]])
         _, far_var = searcher._posterior(x, y, far)
         assert far_var[0] > var.max()  # uncertainty grows away from data
+
+
+class TestRetryBackoff:
+    """The bounded-retry degradation path, with an injected sleeper."""
+
+    def test_default_sleeper_is_time_sleep(self, space, budget):
+        import time
+
+        searcher = RandomSearch(space, budget, max_evaluations=4)
+        assert searcher._sleep is time.sleep
+
+    def test_backoff_schedule_goes_through_injected_sleeper(self, space, budget):
+        sleeps = []
+        failures = {"left": 2}
+
+        def flaky_fitness(arch):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("transient oracle failure")
+            return param_count_fitness(arch)
+
+        searcher = RandomSearch(
+            space,
+            budget,
+            max_evaluations=4,
+            max_eval_retries=2,
+            retry_backoff_s=0.25,
+            sleeper=sleeps.append,
+        )
+        result = searcher.run(flaky_fitness, rng=0)
+        # Two failed attempts, then success: exponential schedule, and the
+        # recovered candidate still counts as a normal evaluation.
+        assert sleeps == [0.25, 0.5]
+        assert result.evaluations == 4
+        assert not result.failures
+
+    def test_exhausted_retries_record_failure_without_real_sleep(self, space, budget):
+        from repro.serve import FakeClock
+
+        clock = FakeClock()
+
+        def always_fails(arch):
+            raise RuntimeError("dead oracle")
+
+        searcher = RandomSearch(
+            space,
+            budget,
+            max_evaluations=2,
+            max_eval_retries=1,
+            retry_backoff_s=1.0,
+            sleeper=clock.sleep,
+        )
+        result = searcher.run(always_fails, rng=0)
+        assert result.evaluations == 0
+        assert result.failures  # every candidate degraded to a recorded failure
+        assert all(f.attempts == 2 for f in result.failures)
+        # One backoff sleep per failing candidate, all on the fake clock.
+        assert clock.sleeps == [1.0] * len(result.failures)
+
+    def test_zero_backoff_never_sleeps(self, space, budget):
+        sleeps = []
+
+        def always_fails(arch):
+            raise RuntimeError("dead oracle")
+
+        searcher = RandomSearch(
+            space, budget, max_evaluations=2, max_eval_retries=2, sleeper=sleeps.append
+        )
+        searcher.run(always_fails, rng=1)
+        assert sleeps == []

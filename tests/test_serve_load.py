@@ -1,0 +1,150 @@
+"""Replayable load tests: synthetic traffic through the serving stack.
+
+Tier-1 runs a bounded smoke (``REPRO_LOAD_ITERS`` requests, default 2000)
+of the full trace-replay pipeline under a :class:`FakeClock`: seeded
+diurnal/burst traffic, micro-batched dispatch with a calibrated service
+model, conservation verification, and bitwise parity of every completed
+response against serial batch-1 execution (cheap because arrivals draw
+from a small payload pool — one reference invoke per pool entry covers
+the whole trace). CI can raise the depth:
+
+    REPRO_LOAD_ITERS=100000 pytest tests/test_serve_load.py -m load
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.runtime.interpreter import Interpreter
+from repro.serve import FakeClock, ModelServer, TenantConfig, TrafficConfig, synthetic_trace
+from repro.serve.bench import ServiceModel, replay_trace, serving_model
+from repro.runtime.passes import compile_graph
+from repro.serve.traffic import make_payload_pool
+
+pytestmark = [pytest.mark.tier1, pytest.mark.load]
+
+ITERATIONS = int(os.environ.get("REPRO_LOAD_ITERS", "2000"))
+
+
+@pytest.fixture(scope="module")
+def served_graph():
+    return compile_graph(serving_model((8, 8, 1), width=8, blocks=1), level="O2").graph
+
+
+def _replay(graph, requests, max_batch, rate_hz, seed=0):
+    """Run one seeded trace through a fresh server; returns (result, pool)."""
+    service = ServiceModel({1: 1e-4, max_batch: 1e-4 * max(1, max_batch // 2)})
+    clock = FakeClock()
+    server = ModelServer(
+        clock=clock,
+        service_time_fn=lambda digest, n: service.seconds_for(n),
+    )
+    config = TrafficConfig(
+        requests=requests,
+        mean_rate_hz=rate_hz,
+        deadline_s=0.5,
+        payload_pool=64,
+        seed=seed,
+    )
+    trace = synthetic_trace(config)
+    in_shape = tuple(graph.tensors[graph.inputs[0]].shape)
+    payloads = make_payload_pool(in_shape, config.payload_pool, seed=seed)
+    digest = server.register(
+        graph,
+        TenantConfig(
+            max_batch=max_batch,
+            max_wait_s=service.seconds_for(max_batch),
+            queue_depth=max(64, 4 * max_batch),
+            default_deadline_s=0.5,
+        ),
+    )
+    result = replay_trace(server, digest, trace, payloads)
+    return result, payloads
+
+
+def test_trace_replay_conserves_and_matches_serial(served_graph):
+    result, payloads = _replay(served_graph, ITERATIONS, max_batch=16, rate_hz=4000.0)
+
+    # Conservation: replay_trace already verified the ledger; re-check the
+    # response-level bookkeeping here so a broken drain can't hide it.
+    responses = result.responses
+    assert len(responses) == ITERATIONS
+    completed = [r for r in responses if r.ok]
+    shed = [r for r in responses if not r.ok]
+    assert len(completed) + len(shed) == ITERATIONS
+    assert result.stats["completed"] == len(completed)
+    assert result.stats["shed_total"] == len(shed)
+    for response in shed:
+        assert response.shed is not None and response.shed.code
+
+    # Bitwise parity: every completed response equals serial batch-1
+    # execution of its payload (tag == payload-pool index).
+    serial = Interpreter(served_graph)
+    reference = {
+        i: serial.invoke(payloads[i][np.newaxis])[0] for i in range(len(payloads))
+    }
+    assert completed, "saturating trace still completed nothing"
+    for response in completed:
+        assert np.array_equal(response.output, reference[response.tag]), (
+            f"request {response.request_id} (payload {response.tag}) diverged "
+            "from serial execution"
+        )
+
+
+def test_trace_replay_is_deterministic(served_graph):
+    requests = min(ITERATIONS, 500)
+    a, _ = _replay(served_graph, requests, max_batch=8, rate_hz=3000.0, seed=7)
+    b, _ = _replay(served_graph, requests, max_batch=8, rate_hz=3000.0, seed=7)
+    assert a.makespan_s == b.makespan_s
+    assert a.stats == b.stats
+    assert [r.request_id for r in a.responses] == [r.request_id for r in b.responses]
+    assert [r.finish_s for r in a.responses] == [r.finish_s for r in b.responses]
+    assert a.latency_quantiles() == b.latency_quantiles()
+
+
+def test_traffic_trace_is_seeded_and_shaped():
+    config = TrafficConfig(requests=1000, mean_rate_hz=500.0, seed=3)
+    first = synthetic_trace(config)
+    second = synthetic_trace(config)
+    assert [a.time_s for a in first] == [a.time_s for a in second]
+    assert len(first) == 1000
+    times = [a.time_s for a in first]
+    assert times == sorted(times)
+    assert all(a.payload_index < config.payload_pool for a in first)
+    kinds = {a.kind for a in first}
+    assert "base" in kinds  # bursts are probabilistic; base load always present
+
+    shifted = synthetic_trace(TrafficConfig(requests=1000, mean_rate_hz=500.0, seed=4))
+    assert [a.time_s for a in shifted] != times
+
+
+def test_bursty_traffic_still_conserves(served_graph):
+    """A burst-heavy trace overruns small queues; shedding must stay exact."""
+    service = ServiceModel({1: 5e-4, 4: 1e-3})
+    server = ModelServer(
+        clock=FakeClock(), service_time_fn=lambda d, n: service.seconds_for(n)
+    )
+    config = TrafficConfig(
+        requests=min(ITERATIONS, 1000),
+        mean_rate_hz=8000.0,
+        burst_prob=0.05,
+        burst_size=32,
+        deadline_s=0.02,
+        seed=11,
+    )
+    trace = synthetic_trace(config)
+    in_shape = tuple(served_graph.tensors[served_graph.inputs[0]].shape)
+    payloads = make_payload_pool(in_shape, config.payload_pool, seed=11)
+    digest = server.register(
+        served_graph,
+        TenantConfig(max_batch=4, max_wait_s=1e-3, queue_depth=8,
+                     default_deadline_s=0.02),
+    )
+    result = replay_trace(server, digest, trace, payloads)
+    assert result.stats["shed_total"] > 0, "overload trace was expected to shed"
+    assert result.stats["completed"] + result.stats["shed_total"] == config.requests
+    codes = set(result.stats["shed"])
+    assert codes <= {"queue_full", "deadline_expired", "execution_error"}
