@@ -180,6 +180,81 @@ def _search_run(
     return 0
 
 
+def _fabric_search_run(
+    seed: int,
+    evaluations: int,
+    workers: int,
+    proxy: bool,
+    checkpoint_path: str = None,
+    resume: bool = True,
+) -> int:
+    """A black-box sweep on the distributed search fabric.
+
+    Evolutionary search over a compact DS-CNN space with a real (tiny)
+    training oracle; ``--workers N`` shards each generation across N forked
+    workers, ``--proxy`` pre-screens generations with zero-cost scores.
+    Like the DNAS path, the run is rebuilt deterministically from (seed,
+    evaluations), so ``repro resume`` can continue it from the checkpoint's
+    recorded settings alone.
+    """
+    from repro.nas.blackbox import DSCNNSearchSpace, EvolutionarySearch
+    from repro.nas.budgets import ResourceBudget
+    from repro.nas.fabric import MiniTaskOracle, run_sweep
+    from repro.resilience.checkpoint import CheckpointConfig
+
+    space = DSCNNSearchSpace(
+        input_shape=(16, 8, 1), num_classes=4, width_options=(8, 16, 24),
+        num_blocks=3, stem_kernel=(4, 4), stem_stride=(2, 2),
+    )
+    budget = ResourceBudget(params=60_000, activation_bytes=40_000, ops=4_000_000)
+    searcher = EvolutionarySearch(
+        space, budget, max_evaluations=evaluations, population_size=4,
+        generation_size=4,
+    )
+    checkpoint = None
+    if checkpoint_path:
+        checkpoint = CheckpointConfig(
+            path=checkpoint_path,
+            resume=resume,
+            metadata={
+                "mode": "fabric", "seed": seed, "evaluations": evaluations,
+                "workers": workers, "proxy": proxy,
+            },
+        )
+    sweep = run_sweep(
+        searcher,
+        MiniTaskOracle(train_size=48, test_size=24, epochs=1, batch_size=16),
+        rng=seed,
+        workers=workers,
+        proxy=True if proxy else None,
+        checkpoint=checkpoint,
+    )
+    result = sweep.result
+    print(
+        f"fabric sweep: {result.evaluations} evaluations over "
+        f"{sweep.generations} generations ({sweep.workers} worker(s))"
+    )
+    print(
+        f"  proposed {result.proposed}, screened {result.screened}, "
+        f"rejected {result.rejected_infeasible}, failures {len(result.failures)}"
+    )
+    if sweep.resumed:
+        print(f"  resumed: replayed {sweep.replayed}, re-ran {sweep.evaluated}")
+    if sweep.shared_cache_hits:
+        print(f"  shared cache entries transferred: {sweep.shared_cache_hits}")
+    print(f"best fitness: {result.best_fitness:.4f} ({result.best_arch.name})")
+    print("pareto front (accuracy vs params/memory/ops):")
+    for point in sweep.front:
+        params, memory, ops = point.costs
+        print(
+            f"  {point.name:24s} acc={point.score:.4f} "
+            f"params={params:.0f} mem={memory:.0f} ops={ops:.0f}"
+        )
+    if checkpoint_path:
+        print(f"checkpoint -> {checkpoint_path}")
+    return 0
+
+
 def _run_validate(args) -> int:
     """The ``repro validate`` command: model-file validation + guardrails.
 
@@ -336,11 +411,44 @@ def _run_serve_bench(args) -> int:
 
 
 def _run_resume(args) -> int:
-    """Continue an interrupted ``repro search`` run from its checkpoint."""
+    """Continue an interrupted ``repro search`` run from its checkpoint.
+
+    Dispatches on the checkpoint's recorded kind: ``dnas`` checkpoints
+    restart the gradient search, ``fabric`` checkpoints restart the
+    black-box sweep (journal replay included).
+    """
     from repro.resilience.checkpoint import load_checkpoint
 
-    snapshot = load_checkpoint(args.checkpoint, expect_kind="dnas")
+    snapshot = load_checkpoint(args.checkpoint)
     settings = snapshot.payload.get("user") or {}
+    if snapshot.kind == "fabric":
+        missing = [k for k in ("seed", "evaluations", "workers", "proxy") if k not in settings]
+        if missing:
+            print(
+                f"checkpoint {args.checkpoint!r} lacks run settings {missing}; "
+                "it was not written by 'repro search --workers'",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"resuming fabric sweep from {args.checkpoint} "
+            f"(generation {snapshot.payload['generations']})"
+        )
+        return _fabric_search_run(
+            seed=int(settings["seed"]),
+            evaluations=int(settings["evaluations"]),
+            workers=int(settings["workers"]),
+            proxy=bool(settings["proxy"]),
+            checkpoint_path=args.checkpoint,
+            resume=True,
+        )
+    if snapshot.kind != "dnas":
+        print(
+            f"checkpoint {args.checkpoint!r} holds a {snapshot.kind!r} run; "
+            "'repro resume' handles 'dnas' and 'fabric' checkpoints",
+            file=sys.stderr,
+        )
+        return 2
     missing = [k for k in ("seed", "epochs", "samples") if k not in settings]
     if missing:
         print(
@@ -396,6 +504,21 @@ def main(argv: List[str] = None) -> int:
     search_parser.add_argument(
         "--fresh", action="store_true",
         help="ignore an existing checkpoint instead of resuming from it",
+    )
+    search_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the black-box search fabric instead of DNAS, sharding each "
+        "generation over N forked workers (0 = in-process; default from "
+        "REPRO_FABRIC_WORKERS when --proxy is given)",
+    )
+    search_parser.add_argument(
+        "--proxy", action="store_true",
+        help="pre-screen each fabric generation with zero-cost proxies "
+        "(implies the fabric sweep)",
+    )
+    search_parser.add_argument(
+        "--evaluations", type=int, default=8, metavar="N",
+        help="fabric sweep evaluation budget (fabric mode only)",
     )
     resume_parser = subparsers.add_parser(
         "resume", help="continue an interrupted 'repro search' run from its checkpoint"
@@ -458,6 +581,17 @@ def main(argv: List[str] = None) -> int:
     if args.command == "obs":
         return _run_obs(args)
     if args.command == "search":
+        if args.workers is not None or args.proxy:
+            import os
+
+            workers = args.workers
+            if workers is None:
+                workers = int(os.environ.get("REPRO_FABRIC_WORKERS", "0"))
+            return _fabric_search_run(
+                seed=args.seed, evaluations=args.evaluations, workers=workers,
+                proxy=args.proxy, checkpoint_path=args.checkpoint,
+                resume=not args.fresh,
+            )
         return _search_run(
             seed=args.seed, epochs=args.epochs, samples=args.samples,
             checkpoint_path=args.checkpoint, resume=not args.fresh,

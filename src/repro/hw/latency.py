@@ -134,6 +134,30 @@ class CountedCache:
     def info(self) -> CacheInfo:
         return CacheInfo(hits=self.hits, misses=self.misses, entries=len(self._data))
 
+    def export_entries(self) -> Dict[Hashable, Any]:
+        """A shallow copy of the stored entries (for cross-worker sharing).
+
+        The NAS fabric ships these to worker processes so a geometry another
+        worker already profiled is a dict lookup everywhere, not a re-plan.
+        Values are immutable (profiles, floats), so sharing the references
+        is safe.
+        """
+        return dict(self._data)
+
+    def install_entries(self, entries: Iterable) -> int:
+        """Merge ``(key, value)`` pairs, keeping existing entries.
+
+        Returns the number of *new* keys installed — the count of profile or
+        latency computations this process now gets for free. Installs do not
+        touch the hit/miss counters: they are transfers, not queries.
+        """
+        installed = 0
+        for key, value in entries:
+            if key not in self._data:
+                self.put(key, value)
+                installed += 1
+        return installed
+
     def clear(self) -> None:
         self._data.clear()
         self.hits = 0

@@ -27,6 +27,13 @@ from repro.nas.budgets import (
 )
 from repro.nas.supernet import DSCNNSupernet, IBNSupernet, SupernetCosts
 from repro.nas.search import SearchConfig, DNASResult, search
+from repro.nas.blackbox import (
+    BayesianSearch,
+    BlackBoxResult,
+    DSCNNSearchSpace,
+    EvolutionarySearch,
+    RandomSearch,
+)
 
 __all__ = [
     "ChoiceDecision",
@@ -43,4 +50,9 @@ __all__ = [
     "SearchConfig",
     "DNASResult",
     "search",
+    "BayesianSearch",
+    "BlackBoxResult",
+    "DSCNNSearchSpace",
+    "EvolutionarySearch",
+    "RandomSearch",
 ]

@@ -1,0 +1,35 @@
+"""The distributed NAS search fabric.
+
+Shards black-box candidate evaluations across workers behind one executor
+protocol, shares geometry memo caches between them, pre-screens
+generations with zero-cost proxies, and checkpoints sweeps so a killed
+fleet resumes bitwise-identically. See ``docs/search_fabric.md``.
+"""
+
+from repro.nas.fabric.executor import MultiprocessExecutor, SerialExecutor, execute_request
+from repro.nas.fabric.oracle import MiniTaskOracle
+from repro.nas.fabric.schedule import ScheduleResult, simulate_schedule
+from repro.nas.fabric.store import SHARED_CACHES, SharedResultStore
+from repro.nas.fabric.sweep import (
+    FabricEvaluator,
+    ResultJournal,
+    SweepResult,
+    pareto_front_of,
+    run_sweep,
+)
+
+__all__ = [
+    "SHARED_CACHES",
+    "FabricEvaluator",
+    "MiniTaskOracle",
+    "MultiprocessExecutor",
+    "ResultJournal",
+    "ScheduleResult",
+    "SerialExecutor",
+    "SharedResultStore",
+    "SweepResult",
+    "execute_request",
+    "pareto_front_of",
+    "run_sweep",
+    "simulate_schedule",
+]

@@ -1,0 +1,178 @@
+"""Evaluation executors: where a generation's candidates actually run.
+
+One protocol, two implementations::
+
+    outcomes = executor.run(requests, space, evaluate, broadcast)
+
+``requests`` are :class:`repro.nas.blackbox.EvalRequest`s (pure values),
+``broadcast`` is the shared-store snapshot to install before evaluating,
+and ``outcomes`` come back **in request order** — never completion order —
+each carrying the memo-cache delta its evaluation produced.
+
+:class:`SerialExecutor` runs in-process (deterministic, debuggable, zero
+setup); its ``permutation_seed`` deliberately shuffles *execution* order to
+prove results don't depend on it. :class:`MultiprocessExecutor` fans out
+over a ``fork`` worker pool; because every candidate draws its RNG stream
+from ``(sweep seed, candidate index)`` and outcomes merge in request
+order, an N-worker sweep is bitwise identical to the serial one.
+
+Worker-side caveats (by design): obs counters incremented inside a worker
+live in that worker's registry and are not merged back (the parent counts
+dispatches/failures itself), and fault plans are cleared in workers —
+fault-injection sites for the fabric are parent-side (``fabric_enqueue``,
+``fabric_complete``, ``checkpoint_write``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import replace
+from typing import Callable, List, Optional
+
+from repro.errors import SearchError
+from repro.nas.blackbox import DSCNNSearchSpace, EvalOutcome, EvalRequest, run_eval_request
+from repro.nas.fabric.store import (
+    CacheDelta,
+    cache_key_snapshot,
+    collect_cache_delta,
+    install_cache_delta,
+)
+from repro.resilience import faults
+from repro.utils.rng import new_rng
+
+
+def execute_request(
+    request: EvalRequest,
+    space: DSCNNSearchSpace,
+    evaluate: Callable,
+    broadcast: Optional[CacheDelta] = None,
+    sleeper: Callable[[float], None] = time.sleep,
+) -> EvalOutcome:
+    """Install the broadcast, run one request, return outcome + cache delta.
+
+    This is the complete per-task work unit — the same function body runs
+    inline under :class:`SerialExecutor` and as the pool task under
+    :class:`MultiprocessExecutor`.
+    """
+    installed = install_cache_delta(broadcast) if broadcast else 0
+    baseline = cache_key_snapshot()
+    outcome = run_eval_request(request, space, evaluate, sleeper=sleeper)
+    return replace(
+        outcome,
+        shared_installs=installed,
+        cache_delta=collect_cache_delta(baseline),
+    )
+
+
+def _pool_worker_init() -> None:
+    # Forked workers inherit the parent's process-global fault plan; firing
+    # it inside a worker would make hit counts depend on task placement.
+    faults.clear()
+
+
+def _pool_run_task(args) -> EvalOutcome:
+    request, space, evaluate, broadcast = args
+    return execute_request(request, space, evaluate, broadcast)
+
+
+class SerialExecutor:
+    """In-process executor: the deterministic reference implementation.
+
+    ``permutation_seed`` (optional) shuffles the order requests *execute*
+    in, while outcomes still return in request order — the harness uses it
+    to prove sweep results are independent of completion order. ``sleeper``
+    is forwarded to the retry backoff (injectable for tests).
+    """
+
+    workers = 1
+
+    def __init__(
+        self,
+        permutation_seed: Optional[int] = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._order_rng = (
+            new_rng(permutation_seed) if permutation_seed is not None else None
+        )
+        self._sleep = sleeper
+
+    def run(
+        self,
+        requests: List[EvalRequest],
+        space: DSCNNSearchSpace,
+        evaluate: Callable,
+        broadcast: Optional[CacheDelta] = None,
+    ) -> List[EvalOutcome]:
+        order = list(range(len(requests)))
+        if self._order_rng is not None and len(order) > 1:
+            self._order_rng.shuffle(order)
+        outcomes: List[Optional[EvalOutcome]] = [None] * len(requests)
+        for slot, position in enumerate(order):
+            # Only the first task of the generation sees a non-empty install
+            # count: the broadcast is idempotent within one process.
+            outcomes[position] = execute_request(
+                requests[position],
+                space,
+                evaluate,
+                broadcast if slot == 0 else None,
+                sleeper=self._sleep,
+            )
+        return outcomes  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Nothing to tear down for the in-process executor."""
+
+
+class MultiprocessExecutor:
+    """Fork-pool executor: shards a generation across worker processes.
+
+    The pool is created lazily on first use (workers inherit whatever the
+    parent caches already hold at that point — later discoveries travel via
+    the broadcast) and must be :meth:`close`\\ d when the sweep ends;
+    :func:`repro.nas.fabric.run_sweep` does both. ``evaluate`` must be
+    picklable — a module-level function or a dataclass oracle like
+    :class:`repro.nas.fabric.MiniTaskOracle`.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise SearchError("MultiprocessExecutor needs at least 1 worker")
+        self.workers = workers
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(self.workers, initializer=_pool_worker_init)
+        return self._pool
+
+    def run(
+        self,
+        requests: List[EvalRequest],
+        space: DSCNNSearchSpace,
+        evaluate: Callable,
+        broadcast: Optional[CacheDelta] = None,
+    ) -> List[EvalOutcome]:
+        if not requests:
+            return []
+        pool = self._ensure_pool()
+        pending = [
+            pool.apply_async(_pool_run_task, ((request, space, evaluate, broadcast),))
+            for request in requests
+        ]
+        # Collect in submission order: whichever worker finishes first, the
+        # merged result sequence is fixed by the request order.
+        return [task.get() for task in pending]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "MultiprocessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

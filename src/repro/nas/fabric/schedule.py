@@ -1,0 +1,74 @@
+"""Deterministic discrete-event simulation of a fabric schedule.
+
+The bench needs ``candidates/sec`` at several worker counts, but CI boxes
+(often single-core) cannot *demonstrate* a real 4-worker speedup — and a
+wall-clock measurement would be noisy and non-reproducible anyway. So the
+bench measures each evaluation's real serial duration once, then replays
+the sweep's per-generation timeline through this simulator: greedy
+least-loaded assignment within each generation, a synchronization barrier
+between generations (the engine merges a full generation before proposing
+the next), plus a fixed per-generation coordination overhead.
+
+The simulation is a pure function of the timeline, so 1-vs-4-worker
+numbers are exactly comparable: same evaluations, same durations, only the
+schedule differs. Ties in worker availability break by worker id and tasks
+are assigned in dispatch-index order, so the result is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class ScheduleResult:
+    """Simulated execution of one sweep timeline on ``workers`` workers."""
+
+    workers: int
+    #: Total simulated wall-clock for the whole sweep (seconds).
+    makespan_s: float
+    #: Simulated completion time of each evaluation, by dispatch index.
+    completion_s: Dict[int, float] = field(default_factory=dict)
+    #: Sum of evaluation durations (work content, schedule-independent).
+    busy_s: float = 0.0
+
+    def time_to(self, indices: List[int]) -> float:
+        """When the last of ``indices`` finished (0.0 for an empty set)."""
+        if not indices:
+            return 0.0
+        return max(self.completion_s[int(index)] for index in indices)
+
+
+def simulate_schedule(
+    timeline: List[List[Tuple[int, float]]],
+    workers: int,
+    generation_overhead_s: float = 0.0,
+) -> ScheduleResult:
+    """Schedule a sweep's evaluation timeline onto ``workers`` workers.
+
+    ``timeline`` is :attr:`repro.nas.fabric.FabricEvaluator.timeline`:
+    one list of ``(dispatch index, duration seconds)`` per generation.
+    Within a generation, evaluations are assigned in dispatch order to the
+    least-loaded worker; the next generation starts only after the current
+    one fully drains (matching the engine's merge barrier).
+    """
+    if workers < 1:
+        raise ValueError("simulate_schedule needs at least 1 worker")
+    clock = 0.0
+    busy = 0.0
+    completion: Dict[int, float] = {}
+    for generation in timeline:
+        if not generation:
+            continue
+        clock += generation_overhead_s
+        loads = [clock] * workers
+        for index, duration in generation:
+            slot = min(range(workers), key=lambda w: (loads[w], w))
+            loads[slot] += float(duration)
+            busy += float(duration)
+            completion[int(index)] = loads[slot]
+        clock = max(loads)
+    return ScheduleResult(
+        workers=workers, makespan_s=clock, completion_s=completion, busy_s=busy
+    )

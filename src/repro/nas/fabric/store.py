@@ -1,0 +1,109 @@
+"""Shared memo-result store for the distributed search fabric.
+
+The expensive, *reusable* byproducts of candidate evaluation are the
+geometry-keyed memo caches: resource profiles
+(:data:`repro.nas.budgets.RESOURCE_PROFILE_CACHE` — a graph export plus an
+arena plan per distinct geometry) and the layer/model latency memos
+(:mod:`repro.hw.latency`). In a single process they make revisited
+geometries free; across worker processes each worker would re-profile from
+scratch. The store closes that gap:
+
+* before a generation is dispatched, the parent snapshots the caches into a
+  **broadcast** — a plain ``{cache name: [(key, value), ...]}`` payload that
+  workers install on arrival (idempotent; already-known keys are skipped);
+* after each evaluation, the worker diffs its caches against the snapshot it
+  took before running and returns the **delta** of new entries, which the
+  parent merges back — so the next broadcast carries every worker's
+  discoveries to every other worker.
+
+Entries are immutable values (profiles, floats) keyed by hashable geometry
+signatures, so shipping them through pickle is safe and cheap. The
+installed-entry counts surface as the ``fabric.cache.shared_hits`` obs
+counter: each one is a graph-export/arena-plan (or latency-model) run some
+process did *not* repeat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.hw.latency import LAYER_LATENCY_CACHE, MODEL_LATENCY_CACHE, CountedCache
+from repro.nas.budgets import RESOURCE_PROFILE_CACHE
+
+#: The process-wide memo caches the fabric shares, by stable name.
+SHARED_CACHES: Dict[str, CountedCache] = {
+    "resource_profile": RESOURCE_PROFILE_CACHE,
+    "layer_latency": LAYER_LATENCY_CACHE,
+    "model_latency": MODEL_LATENCY_CACHE,
+}
+
+#: A broadcast/delta payload: cache name -> [(key, value), ...].
+CacheDelta = Dict[str, List[Tuple]]
+
+
+def cache_key_snapshot() -> Dict[str, Set]:
+    """The current key sets of the shared caches (delta baseline)."""
+    return {name: set(cache.export_entries()) for name, cache in SHARED_CACHES.items()}
+
+
+def collect_cache_delta(baseline: Dict[str, Set]) -> CacheDelta:
+    """Entries added to the shared caches since ``baseline`` was taken."""
+    delta: CacheDelta = {}
+    for name, cache in SHARED_CACHES.items():
+        before = baseline.get(name, set())
+        added = [
+            (key, value)
+            for key, value in cache.export_entries().items()
+            if key not in before
+        ]
+        if added:
+            delta[name] = added
+    return delta
+
+
+def install_cache_delta(delta: CacheDelta) -> int:
+    """Merge a delta into this process's caches; count newly installed."""
+    installed = 0
+    for name, entries in delta.items():
+        cache = SHARED_CACHES.get(name)
+        if cache is not None:
+            installed += cache.install_entries(entries)
+    return installed
+
+
+class SharedResultStore:
+    """Parent-side view of the shared caches, with transfer accounting.
+
+    The parent's caches *are* the authoritative store — workers inherit
+    them at fork and stay synchronized through broadcast/merge. This class
+    wraps the broadcast/merge operations and keeps counters for the bench
+    and the obs bridge.
+    """
+
+    def __init__(self) -> None:
+        self.broadcasts = 0
+        self.merged_entries = 0
+
+    def broadcast(self) -> CacheDelta:
+        """A full snapshot of the shared caches for this generation.
+
+        Broadcasting everything (rather than per-worker diffs) keeps
+        correctness trivially independent of which pooled worker picks up
+        which task; installs are idempotent, and at search scale the caches
+        hold tens of entries. Incremental per-worker deltas are a future
+        optimization, not a semantic change.
+        """
+        self.broadcasts += 1
+        return {
+            name: list(cache.export_entries().items())
+            for name, cache in SHARED_CACHES.items()
+        }
+
+    def merge(self, delta: CacheDelta) -> int:
+        """Install a worker's delta into the parent caches."""
+        installed = install_cache_delta(delta)
+        self.merged_entries += installed
+        return installed
+
+    def entry_counts(self) -> Dict[str, int]:
+        return {name: cache.info().entries for name, cache in SHARED_CACHES.items()}

@@ -1,0 +1,479 @@
+"""The fabric sweep driver: distribution, journaling, checkpoint/resume.
+
+:func:`run_sweep` wraps any black-box searcher in the fabric machinery:
+
+* a pluggable :mod:`executor <repro.nas.fabric.executor>` shards each
+  generation's evaluations across workers, and the
+  :class:`~repro.nas.fabric.store.SharedResultStore` keeps every worker's
+  geometry memo caches synchronized;
+* an optional zero-cost :class:`~repro.nas.proxies.ProxyScreen` drops the
+  weakest feasible candidates before they reach the executor;
+* with a :class:`~repro.resilience.checkpoint.CheckpointConfig`, the full
+  session (RNG state, searcher phase, memo cache, partial result) is
+  snapshotted atomically after every generation, and every completed
+  evaluation is additionally appended to a **result journal** — so a fleet
+  killed *mid-generation* resumes without repeating finished work and still
+  produces a bitwise-identical final result.
+
+Crash-consistency model (the fault harness kills at each boundary):
+
+=================== ==========================================================
+killed at           on resume
+=================== ==========================================================
+``fabric_enqueue``  checkpoint == journal; the generation re-proposes
+                    identically from the restored RNG and runs normally.
+``fabric_complete`` the journal holds the lost generation's outcomes but the
+                    checkpoint predates it; the re-proposed generation is
+                    satisfied from the journal (**replayed**, not re-run).
+``checkpoint_write`` same as ``fabric_complete`` — the torn snapshot never
+                    replaces the previous one (atomic rename).
+=================== ==========================================================
+
+Replay is keyed on the candidate's dispatch index and validates the genome
+recorded in the journal against the re-proposed one — a divergent resume
+(wrong seed, different searcher settings) fails loudly with
+:class:`~repro.errors.CheckpointError` instead of silently mixing runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import CheckpointError
+from repro.nas.blackbox import (
+    BlackBoxResult,
+    DSCNNSearchSpace,
+    EvalFailure,
+    EvalOutcome,
+    EvalRequest,
+    Genome,
+    SearchSession,
+    _BlackBoxSearch,
+)
+from repro.nas.budgets import resource_profile
+from repro.nas.fabric.executor import MultiprocessExecutor, SerialExecutor
+from repro.nas.fabric.store import SharedResultStore
+from repro.nas.pareto import ModelPoint, pareto_front
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    load_checkpoint,
+    require_payload_match,
+    save_checkpoint,
+)
+from repro.resilience.faults import fault_point
+from repro.utils.rng import RngLike, get_rng_state, rng_from_state
+
+
+class ResultJournal:
+    """Append-only JSONL record of completed evaluations.
+
+    Lives next to the checkpoint file (``<checkpoint>.journal``). Each line
+    is one finished evaluation — flushed and fsynced before the outcome is
+    folded into the session, so the journal never lags what the sweep has
+    consumed. A torn trailing line (crash mid-append) is tolerated on load:
+    everything before it parses, the fragment is discarded, and the lost
+    evaluation simply re-runs.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, request: EvalRequest, outcome: EvalOutcome) -> None:
+        record = {
+            "index": request.index,
+            "genome": list(request.genome),
+            "fitness": outcome.fitness,
+            "error": outcome.error,
+            "attempts": outcome.attempts,
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> List[Dict]:
+        if not os.path.exists(self.path):
+            return []
+        records: List[Dict] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break  # torn trailing write from a crash mid-append
+        return records
+
+    def reset(self) -> None:
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+
+class FabricEvaluator:
+    """The evaluator the engine hands each generation's requests to.
+
+    Responsibilities, in order: satisfy replayable requests from the
+    journal of a previous (killed) run; broadcast the shared caches; run
+    the rest through the executor; merge worker cache deltas back; journal
+    every fresh outcome. Also the accounting point for the fabric's obs
+    counters and the per-generation duration timeline the bench's schedule
+    simulator consumes.
+    """
+
+    def __init__(
+        self,
+        executor,
+        store: Optional[SharedResultStore] = None,
+        journal: Optional[ResultJournal] = None,
+        replay: Optional[Dict[int, Dict]] = None,
+    ) -> None:
+        self.executor = executor
+        self.store = store or SharedResultStore()
+        self.journal = journal
+        self.replay = replay or {}
+        self.evaluated = 0
+        self.replayed = 0
+        self.shared_cache_hits = 0
+        #: Per generation: [(dispatch index, duration seconds), ...] for the
+        #: evaluations that actually ran (replays cost nothing).
+        self.timeline: List[List[Tuple[int, float]]] = []
+        #: First dispatch index per genome (for time-to-front accounting).
+        self.eval_index: Dict[Genome, int] = {}
+
+    def _replay_outcome(self, request: EvalRequest) -> Optional[EvalOutcome]:
+        record = self.replay.pop(request.index, None)
+        if record is None:
+            return None
+        recorded = tuple(int(g) for g in record["genome"])
+        if recorded != tuple(request.genome):
+            raise CheckpointError(
+                f"journal replay mismatch at candidate {request.index}: "
+                f"recorded genome {recorded} but the resumed sweep proposed "
+                f"{tuple(request.genome)}; the journal belongs to a different run"
+            )
+        self.replayed += 1
+        obs.incr("fabric.replayed")
+        return EvalOutcome(
+            fitness=None if record["fitness"] is None else float(record["fitness"]),
+            error=record["error"],
+            attempts=int(record["attempts"]),
+            replayed=True,
+        )
+
+    def submit_generation(
+        self,
+        requests: List[EvalRequest],
+        space: DSCNNSearchSpace,
+        evaluate: Callable,
+    ) -> List[EvalOutcome]:
+        outcomes: List[Optional[EvalOutcome]] = [None] * len(requests)
+        fresh: List[Tuple[int, EvalRequest]] = []
+        for position, request in enumerate(requests):
+            replayed = self._replay_outcome(request)
+            if replayed is not None:
+                outcomes[position] = replayed
+            else:
+                fresh.append((position, request))
+
+        durations: List[Tuple[int, float]] = []
+        if fresh:
+            broadcast = self.store.broadcast()
+            results = self.executor.run(
+                [request for _, request in fresh], space, evaluate, broadcast
+            )
+            for (position, request), outcome in zip(fresh, results):
+                if outcome.cache_delta:
+                    self.store.merge(outcome.cache_delta)
+                self.evaluated += 1
+                obs.incr("fabric.evaluated")
+                if outcome.shared_installs:
+                    self.shared_cache_hits += outcome.shared_installs
+                    obs.incr("fabric.cache.shared_hits", outcome.shared_installs)
+                if self.journal is not None:
+                    self.journal.append(request, outcome)
+                self.eval_index.setdefault(request.genome, request.index)
+                durations.append((request.index, outcome.duration_s))
+                outcomes[position] = outcome
+        self.timeline.append(durations)
+        return outcomes  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Session <-> checkpoint payload
+# ----------------------------------------------------------------------
+def _session_payload(
+    searcher: _BlackBoxSearch,
+    session: SearchSession,
+    generations: int,
+    metadata: Optional[Dict],
+) -> Dict[str, Any]:
+    result = session.result
+    return {
+        "searcher": type(searcher).__name__,
+        "max_evaluations": searcher.max_evaluations,
+        "generation_size": searcher.generation_size,
+        "generations": generations,
+        "session": {
+            "sweep_seed": session.sweep_seed,
+            "next_index": session.next_index,
+            "finished": session.finished,
+            "rejected": session.rejected,
+            "rng": get_rng_state(session.rng),
+            "state": searcher._state_to_json(session.state),
+            "cache": [[list(genome), fitness] for genome, fitness in session.cache.items()],
+            "best_genome": list(session.best_genome) if session.best_genome else None,
+            "result": {
+                # json round-trips -Infinity (the pre-first-success best)
+                # and repr-shortest floats exactly, so a restored session is
+                # bitwise-equal to the one that was snapshotted.
+                "best_fitness": result.best_fitness,
+                "evaluations": result.evaluations,
+                "proposed": result.proposed,
+                "screened": result.screened,
+                "history": [[list(genome), fitness] for genome, fitness in result.history],
+                "failures": [
+                    [list(failure.genome), failure.error, failure.attempts]
+                    for failure in result.failures
+                ],
+            },
+        },
+        "user": metadata or {},
+    }
+
+
+def _restore_session(
+    path: str, searcher: _BlackBoxSearch
+) -> Tuple[SearchSession, int]:
+    snapshot = load_checkpoint(path, expect_kind="fabric")
+    payload = snapshot.payload
+    require_payload_match(
+        path,
+        payload,
+        {
+            "searcher": type(searcher).__name__,
+            "max_evaluations": searcher.max_evaluations,
+            "generation_size": searcher.generation_size,
+        },
+    )
+    stored = payload["session"]
+
+    def genome_of(values) -> Genome:
+        return tuple(int(g) for g in values)
+
+    stored_result = stored["result"]
+    best_genome = genome_of(stored["best_genome"]) if stored["best_genome"] else None
+    result = BlackBoxResult(
+        best_arch=searcher.space.to_arch(best_genome) if best_genome else None,
+        best_fitness=float(stored_result["best_fitness"]),
+        evaluations=int(stored_result["evaluations"]),
+        rejected_infeasible=0,
+        history=[
+            (genome_of(genome), float(fitness))
+            for genome, fitness in stored_result["history"]
+        ],
+        failures=[
+            EvalFailure(genome=genome_of(genome), error=str(error), attempts=int(attempts))
+            for genome, error, attempts in stored_result["failures"]
+        ],
+        proposed=int(stored_result["proposed"]),
+        screened=int(stored_result["screened"]),
+    )
+    session = SearchSession(
+        rng=rng_from_state(stored["rng"]),
+        result=result,
+        state=searcher._state_from_json(stored["state"]),
+        sweep_seed=int(stored["sweep_seed"]),
+        cache={
+            genome_of(genome): (None if fitness is None else float(fitness))
+            for genome, fitness in stored["cache"]
+        },
+        rejected=int(stored["rejected"]),
+        next_index=int(stored["next_index"]),
+        best_genome=best_genome,
+        finished=bool(stored["finished"]),
+    )
+    return session, int(payload["generations"])
+
+
+def pareto_front_of(result: BlackBoxResult, space: DSCNNSearchSpace) -> List[ModelPoint]:
+    """The accuracy/params/memory/ops Pareto front of a sweep's history.
+
+    Cost vectors come from the memoized resource profiler, so this is free
+    for every genome the sweep already touched.
+    """
+    points = []
+    for genome, fitness in result.history:
+        profile = resource_profile(space.to_arch(genome), bits=8)
+        points.append(
+            ModelPoint(
+                name=str(genome),
+                score=fitness,
+                costs=(
+                    float(profile.params),
+                    float(profile.activation_bytes),
+                    float(profile.ops),
+                ),
+            )
+        )
+    return pareto_front(points)
+
+
+@dataclass
+class SweepResult:
+    """What :func:`run_sweep` returns: the search result plus fabric stats."""
+
+    result: BlackBoxResult
+    front: List[ModelPoint]
+    generations: int
+    evaluated: int
+    replayed: int
+    shared_cache_hits: int
+    timeline: List[List[Tuple[int, float]]]
+    eval_index: Dict[Genome, int] = field(default_factory=dict)
+    workers: int = 1
+    resumed: bool = False
+
+
+def run_sweep(
+    searcher: _BlackBoxSearch,
+    evaluate: Callable,
+    *,
+    rng: RngLike = 0,
+    workers: int = 0,
+    proxy: Any = None,
+    executor: Any = None,
+    checkpoint: Optional[CheckpointConfig] = None,
+    store: Optional[SharedResultStore] = None,
+) -> SweepResult:
+    """Run a black-box sweep on the fabric.
+
+    Parameters
+    ----------
+    searcher: any :class:`~repro.nas.blackbox._BlackBoxSearch` subclass;
+        its ``generation_size`` controls how much parallelism each
+        generation exposes.
+    evaluate: the accuracy oracle; must be picklable when ``workers >= 2``.
+    workers: 0/1 → in-process :class:`SerialExecutor`; N ≥ 2 → a fork-pool
+        :class:`MultiprocessExecutor` (closed before returning).
+    proxy: ``True`` for a default :class:`~repro.nas.proxies.ProxyScreen`
+        seeded with the sweep seed, a :class:`~repro.nas.proxies.ProxyConfig`
+        to customize it, or a ready-made screen callable.
+    executor: overrides ``workers`` with a caller-owned executor (the
+        caller keeps responsibility for closing it).
+    checkpoint: enables per-generation snapshots + the result journal; with
+        ``resume=True`` and an existing file, the sweep continues from it.
+
+    Guarantee: for the same searcher settings, seed and oracle, the
+    returned result and front are bitwise identical regardless of
+    ``workers``, executor scheduling, or how many times the run was
+    killed and resumed (see ``docs/search_fabric.md``).
+    """
+    owns_executor = executor is None
+    if executor is None:
+        executor = MultiprocessExecutor(workers) if workers >= 2 else SerialExecutor()
+
+    journal = ResultJournal(checkpoint.path + ".journal") if checkpoint else None
+    resumed = False
+    generations = 0
+    replay: Dict[int, Dict] = {}
+    if checkpoint is not None and checkpoint.resume and os.path.exists(checkpoint.path):
+        session, generations = _restore_session(checkpoint.path, searcher)
+        # Journal entries past the snapshot's dispatch cursor belong to
+        # generations the checkpoint never captured: satisfy them by replay.
+        replay = {
+            int(record["index"]): record
+            for record in journal.load()
+            if int(record["index"]) >= session.next_index
+        }
+        resumed = True
+        obs.incr("resilience.fabric_resumes")
+    else:
+        session = searcher.start(rng)
+        if journal is not None:
+            if checkpoint.resume:
+                # A journal without a checkpoint means the run died after
+                # journaling evaluations but before its first snapshot: the
+                # fresh session re-proposes the same candidates (same seed),
+                # so every journaled outcome is still replayable. A journal
+                # from a *different* run fails the replay genome check.
+                replay = {int(record["index"]): record for record in journal.load()}
+                if replay:
+                    resumed = True
+                    obs.incr("resilience.fabric_resumes")
+            else:
+                journal.reset()
+
+    screen = proxy
+    if proxy is not None and not callable(proxy):
+        from repro.nas.proxies import ProxyConfig, ProxyScreen
+
+        if isinstance(proxy, ProxyConfig):
+            screen = ProxyScreen(proxy, seed=session.sweep_seed)
+        elif proxy is True:
+            screen = ProxyScreen(seed=session.sweep_seed)
+        else:
+            raise TypeError(f"proxy must be True, a ProxyConfig or a callable, got {proxy!r}")
+
+    evaluator = FabricEvaluator(executor, store=store, journal=journal, replay=replay)
+    prior_evaluator, prior_screen = searcher._evaluator, searcher._screen
+    searcher._evaluator = evaluator
+    if screen is not None:
+        searcher._screen = screen
+    try:
+        with obs.span("fabric/sweep", searcher=type(searcher).__name__, workers=executor.workers):
+            while True:
+                # Crash model boundary 1: a kill here loses nothing — the
+                # next generation has not been proposed yet.
+                fault_point("fabric_enqueue")
+                if not searcher.step(session, evaluate):
+                    break
+                # Boundary 2: the generation's outcomes are journaled and
+                # folded in, but the snapshot below has not happened yet.
+                fault_point("fabric_complete")
+                generations += 1
+                if checkpoint is not None and checkpoint.due(generations - 1, 10**9):
+                    save_checkpoint(
+                        checkpoint.path,
+                        Checkpoint(
+                            kind="fabric",
+                            payload=_session_payload(
+                                searcher, session, generations, checkpoint.metadata
+                            ),
+                        ),
+                    )
+    finally:
+        searcher._evaluator = prior_evaluator
+        searcher._screen = prior_screen
+        if owns_executor:
+            executor.close()
+
+    result = searcher.finish(session)
+    if checkpoint is not None:
+        # Final snapshot: resuming a finished sweep is a no-op that returns
+        # the identical result instead of re-running anything.
+        save_checkpoint(
+            checkpoint.path,
+            Checkpoint(
+                kind="fabric",
+                payload=_session_payload(searcher, session, generations, checkpoint.metadata),
+            ),
+        )
+    return SweepResult(
+        result=result,
+        front=pareto_front_of(result, searcher.space),
+        generations=generations,
+        evaluated=evaluator.evaluated,
+        replayed=evaluator.replayed,
+        shared_cache_hits=evaluator.shared_cache_hits,
+        timeline=evaluator.timeline,
+        eval_index=evaluator.eval_index,
+        workers=executor.workers,
+        resumed=resumed,
+    )

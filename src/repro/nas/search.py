@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro import obs
-from repro.errors import CheckpointError, SearchError
+from repro.errors import SearchError
 from repro.models.spec import ArchSpec
 from repro.nas.budgets import ResourceBudget, ResourceProfile, resource_profile
 from repro.nas.supernet import DSCNNSupernet, IBNSupernet, SupernetCosts
@@ -29,6 +29,7 @@ from repro.resilience.checkpoint import (
     module_state_from_arrays,
     optimizer_state_arrays,
     optimizer_state_from_arrays,
+    require_payload_match,
     save_checkpoint,
 )
 from repro.resilience.faults import fault_point
@@ -150,14 +151,14 @@ def _restore_search_state(
     """Restore a snapshot in place; returns the epoch to continue from."""
     snapshot = load_checkpoint(path, expect_kind="dnas")
     payload = snapshot.payload
-    if payload["total_epochs"] != max(search_config.epochs, 1) or (
-        payload["batch_size"] != search_config.batch_size
-    ):
-        raise CheckpointError(
-            f"checkpoint {path!r} was written by a run with epochs="
-            f"{payload['total_epochs']} batch_size={payload['batch_size']}; "
-            f"resuming with a different schedule would not be reproducible"
-        )
+    require_payload_match(
+        path,
+        payload,
+        {
+            "total_epochs": max(search_config.epochs, 1),
+            "batch_size": search_config.batch_size,
+        },
+    )
     supernet.load_state_dict(module_state_from_arrays(snapshot.arrays, "model."))
     opt_w.load_state_dict(
         optimizer_state_from_arrays(

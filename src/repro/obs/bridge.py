@@ -128,6 +128,9 @@ def collect_cache_stats() -> Dict[str, float]:
         stats[f"{label}.hits"] = float(info.hits)
         stats[f"{label}.misses"] = float(info.misses)
         stats[f"{label}.hit_rate"] = info.hit_rate
+        # Entry counts double as the search fabric's shared-store size: the
+        # same three caches are what its broadcast/merge protocol ships.
+        stats[f"{label}.entries"] = float(info.entries)
     workspace = default_workspace()
     total = workspace.allocations + workspace.reuses
     stats["workspace.allocations"] = float(workspace.allocations)

@@ -125,6 +125,28 @@ def load_checkpoint(path: str, expect_kind: Optional[str] = None) -> Checkpoint:
     return Checkpoint(kind=meta["kind"], payload=meta["payload"], arrays=arrays)
 
 
+def require_payload_match(path: str, payload: Dict, expected: Dict) -> None:
+    """Reject a checkpoint whose recorded run settings differ from the caller's.
+
+    Every resumable loop (DNAS search, the fabric sweep) stores the settings
+    that determine its trajectory — epochs, batch size, generation size —
+    in the payload, and must refuse to resume under different ones: the
+    resumed run would silently diverge from the uninterrupted run it claims
+    to reproduce. ``expected`` maps payload keys to the caller's values.
+    """
+    mismatched = [
+        f"{key}={payload.get(key)!r} (expected {value!r})"
+        for key, value in expected.items()
+        if payload.get(key) != value
+    ]
+    if mismatched:
+        raise CheckpointError(
+            f"checkpoint {path!r} was written by a run with "
+            + ", ".join(mismatched)
+            + "; resuming with a different schedule would not be reproducible"
+        )
+
+
 # ----------------------------------------------------------------------
 # Flattening helpers: module/optimizer state <-> namespaced npz arrays.
 def module_state_arrays(state: Dict[str, np.ndarray], prefix: str = "model.") -> Dict[str, np.ndarray]:

@@ -21,6 +21,10 @@ Instrumented sites
 ``candidate_eval``  each black-box candidate evaluation (:mod:`repro.nas.blackbox`)
 ``experiment_row``  each experiment row computation (:mod:`repro.experiments.base`)
 ``checkpoint_write``  inside the atomic checkpoint write, before publish
+``fabric_enqueue``  before a fabric sweep generation is proposed/dispatched
+                    (:mod:`repro.nas.fabric.sweep`)
+``fabric_complete``  after a fabric generation's outcomes are merged and
+                    journaled, before the checkpoint (:mod:`repro.nas.fabric.sweep`)
 ==================  ====================================================
 
 Usage::
@@ -47,6 +51,8 @@ SITES = (
     "candidate_eval",
     "experiment_row",
     "checkpoint_write",
+    "fabric_enqueue",
+    "fabric_complete",
 )
 
 

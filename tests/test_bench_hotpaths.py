@@ -25,6 +25,7 @@ def test_hotpath_bench_smoke(tmp_path):
         "characterization_sweep",
         "serving_throughput",
         "serving_latency",
+        "search_fabric",
         "resilience_overhead",
     }
     for row in sections.values():
@@ -81,6 +82,25 @@ def test_hotpath_bench_smoke(tmp_path):
     assert latency["speedup"] > 1.0
     # The smoke floor is conservative; the full bench enforces the 3x bar.
     assert serving["batches"]["128"]["speedup"] >= 1.5
+
+    # Search fabric schema: simulated 1-vs-4-worker throughput over a real
+    # proxy-screened sweep. Smoke floors are conservative; the full bench
+    # enforces the issue's >= 2x speedup and <= 50% eval-fraction bars.
+    fabric = sections["search_fabric"]
+    assert set(fabric["workers"]) == {"1", "4"}
+    for at in fabric["workers"].values():
+        assert set(at) == {"makespan_s", "candidates_per_s", "time_to_pareto_s"}
+        assert at["makespan_s"] > 0 and at["candidates_per_s"] > 0
+    assert fabric["evaluations"] > 0
+    assert fabric["proposed"] >= fabric["evaluations"] + fabric["screened_out"]
+    assert 0.0 < fabric["eval_fraction"] <= 0.6
+    assert fabric["screened_out"] > 0
+    assert fabric["time_to_pareto_s"] <= fabric["workers"]["4"]["makespan_s"]
+    assert fabric["speedup"] >= 1.3
+    assert (
+        fabric["workers"]["4"]["candidates_per_s"]
+        >= fabric["workers"]["1"]["candidates_per_s"]
+    )
 
     # Observability fields: cache hit rates and workspace reuse ride along.
     assert 0.0 <= sections["conv_training_step"]["workspace_reuse_rate"] <= 1.0
