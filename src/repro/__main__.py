@@ -27,6 +27,10 @@ Usage::
                                               # server; p50/p95/p99 + shed
     python -m repro serve-bench --requests 100000 --max-batch 16
                                               # full-depth load replay
+    python -m repro spec validate my.yaml     # schema + cross-reference +
+                                              # budget-feasibility check
+    python -m repro spec run fleet_mixed      # compile a scenario spec and
+                                              # run its experiments/fleets
 """
 
 from __future__ import annotations
@@ -410,6 +414,56 @@ def _run_serve_bench(args) -> int:
     return 0
 
 
+def _run_spec(args) -> int:
+    """The ``repro spec`` command: validate or run scenario spec files.
+
+    Exit codes match ``repro validate``: 0 valid/ran, 1 rejected (the spec
+    fails schema, cross-reference, or budget-feasibility validation), 2
+    usage error (no such file or builtin spec name).
+    """
+    from repro.errors import ConfigError
+    from repro.spec import (
+        builtin_spec_paths,
+        compile_scenario,
+        load_scenario,
+        resolve_spec_path,
+        run_scenario,
+    )
+
+    path = resolve_spec_path(args.spec)
+    if path is None:
+        builtin = [p.rsplit("/", 1)[-1] for p in builtin_spec_paths()]
+        print(
+            f"no such spec file or builtin spec: {args.spec!r} "
+            f"(builtin: {', '.join(builtin)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        spec = load_scenario(path)
+    except ConfigError as exc:
+        print(f"REJECTED {path}:", file=sys.stderr)
+        for line in str(exc).splitlines()[1:]:  # first line is the header
+            print(f"  {line}", file=sys.stderr)
+        return 1
+
+    plan = compile_scenario(spec)
+    if args.action == "validate":
+        print(f"spec {path}: OK")
+        print(plan.describe())
+        return 0
+
+    scale = resolve_scale(args.scale)
+    for result in run_scenario(plan, scale=scale, rng=args.seed):
+        print(format_table(result))
+        print()
+        if not args.no_save:
+            out = save_result(result)
+            print(f"saved -> {out}\n")
+    return 0
+
+
 def _run_resume(args) -> int:
     """Continue an interrupted ``repro search`` run from its checkpoint.
 
@@ -571,7 +625,27 @@ def main(argv: List[str] = None) -> int:
         help="also write the serving_latency section as JSON",
     )
 
+    spec_parser = subparsers.add_parser(
+        "spec", help="validate or run a scenario spec file (YAML/JSON)"
+    )
+    spec_parser.add_argument(
+        "action", choices=["validate", "run"],
+        help="validate: schema/cross-reference/budget check only; run: "
+        "compile and execute the scenario's experiments and fleets",
+    )
+    spec_parser.add_argument(
+        "spec", help="path to a spec file, or a builtin spec name "
+        "(e.g. table1_devices, fig7_kws_pareto, fleet_mixed)",
+    )
+    spec_parser.add_argument("--scale", default=None, choices=["ci", "paper"])
+    spec_parser.add_argument("--seed", type=int, default=0)
+    spec_parser.add_argument(
+        "--no-save", action="store_true", help="do not archive results"
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "spec":
+        return _run_spec(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
     if args.command == "validate":

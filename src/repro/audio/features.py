@@ -14,6 +14,18 @@ from repro.audio.mel import mel_filterbank
 LOG_FLOOR = 1e-6
 
 
+def mel_project(spectrum: np.ndarray, bank: np.ndarray) -> np.ndarray:
+    """Mel-filterbank projection with a batch-size-invariant reduction.
+
+    A BLAS ``spectrum @ bank`` rounds differently for a (1, n) row than for
+    a (49, n) batch, which would make the streaming front end (one frame at
+    a time) drift from the offline one by a few ULPs. ``einsum`` reduces
+    each output element in a fixed order regardless of how many frames ride
+    the call, so offline and streaming features stay bitwise identical.
+    """
+    return np.einsum("fs,sm->fm", spectrum, bank)
+
+
 @dataclass(frozen=True)
 class FeatureConfig:
     """Front-end configuration for one audio task."""
@@ -52,7 +64,7 @@ def log_mel_spectrogram(signal: np.ndarray, config: FeatureConfig) -> np.ndarray
     frames = frame_signal(signal, config.frame_length, config.hop_length)
     spectrum = power_spectrum(frames, config.n_fft)
     bank = mel_filterbank(config.num_mels, config.n_fft, config.sample_rate)
-    mel_energy = spectrum @ bank
+    mel_energy = mel_project(spectrum, bank)
     return np.log(np.maximum(mel_energy, LOG_FLOOR)).astype(np.float32)
 
 

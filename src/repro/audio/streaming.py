@@ -20,8 +20,8 @@ from typing import Deque, Optional
 import numpy as np
 import scipy.fft
 
-from repro.audio.features import LOG_FLOOR, FeatureConfig
-from repro.audio.dsp import hann_window, power_spectrum
+from repro.audio.features import LOG_FLOOR, FeatureConfig, mel_project
+from repro.audio.dsp import power_spectrum
 from repro.audio.mel import mel_filterbank
 from repro.errors import DatasetError
 
@@ -45,7 +45,8 @@ class StreamingFeatureExtractor:
         self.window_frames = window_frames
         self._residual = np.zeros(0, dtype=np.float32)
         self._frames: Deque[np.ndarray] = deque(maxlen=window_frames)
-        self._window = hann_window(config.frame_length)
+        # Windowing happens inside power_spectrum (the same Hann the offline
+        # path applies), so streaming and offline features stay identical.
         self._bank = mel_filterbank(config.num_mels, config.n_fft, config.sample_rate)
         self.total_frames = 0
 
@@ -53,6 +54,8 @@ class StreamingFeatureExtractor:
     def push(self, samples: np.ndarray) -> int:
         """Feed new audio; returns the number of new feature frames."""
         samples = np.asarray(samples, dtype=np.float32).reshape(-1)
+        if samples.size == 0:  # cheap no-op: nothing to buffer or featurize
+            return 0
         buffer = np.concatenate([self._residual, samples])
         frame_len = self.config.frame_length
         hop = self.config.hop_length
@@ -69,7 +72,7 @@ class StreamingFeatureExtractor:
 
     def _featurize(self, frame: np.ndarray) -> np.ndarray:
         spectrum = power_spectrum(frame[None, :], self.config.n_fft)
-        mel = np.log(np.maximum(spectrum @ self._bank, LOG_FLOOR))
+        mel = np.log(np.maximum(mel_project(spectrum, self._bank), LOG_FLOOR))
         if self.config.num_mfcc:
             cepstra = scipy.fft.dct(mel, type=2, axis=-1, norm="ortho")
             return cepstra[0, : self.config.num_mfcc].astype(np.float32)
@@ -84,8 +87,16 @@ class StreamingFeatureExtractor:
     def window(self) -> np.ndarray:
         """The (window_frames, features, 1) model input for *now*."""
         if not self.ready:
+            missing = self.window_frames - len(self._frames)
+            need_samples = (
+                self.config.frame_length
+                - len(self._residual)
+                + (missing - 1) * self.config.hop_length
+            )
             raise DatasetError(
-                f"only {len(self._frames)}/{self.window_frames} frames buffered"
+                f"only {len(self._frames)}/{self.window_frames} frames "
+                f"buffered; push() at least ~{need_samples} more samples "
+                f"({missing} more frames) before reading the window"
             )
         return np.stack(self._frames)[..., None].astype(np.float32)
 

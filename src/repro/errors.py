@@ -55,5 +55,14 @@ class DatasetError(ReproError):
     """Synthetic dataset generation was configured incorrectly."""
 
 
+class ConfigError(ReproError):
+    """A user-supplied configuration is invalid (traffic profile, serving
+    knobs, scenario spec).
+
+    Distinct from :class:`GraphError`: a misconfigured traffic trace or
+    spec file is an input problem, not a malformed runtime graph. Spec
+    validation errors are path-qualified (``devices[2].sram_kb: ...``)."""
+
+
 class CheckpointError(ReproError):
     """A checkpoint file is missing, corrupt, or from an incompatible run."""

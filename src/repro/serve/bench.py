@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import GraphError
+from repro.errors import ConfigError, GraphError
 from repro.runtime.graph import Graph, OpNode, TensorSpec
 from repro.runtime.interpreter import Interpreter
 from repro.serve.clock import FakeClock
@@ -234,7 +234,7 @@ def run_serving_latency_bench(
     micro-batching buys under overload.
     """
     if mode not in BENCH_PRESETS:
-        raise GraphError(f"unknown bench mode {mode!r} (known: {sorted(BENCH_PRESETS)})")
+        raise ConfigError(f"unknown bench mode {mode!r} (known: {sorted(BENCH_PRESETS)})")
     input_shape, width, blocks, repeats, default_requests = BENCH_PRESETS[mode]
     requests = int(requests or default_requests)
 

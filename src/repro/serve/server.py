@@ -45,7 +45,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro import obs
-from repro.errors import DeploymentError, GraphError
+from repro.errors import ConfigError, DeploymentError, GraphError
 from repro.hw.devices import MCUDevice
 from repro.runtime.graph import Graph
 from repro.serve.clock import Clock, MonotonicClock
@@ -100,13 +100,13 @@ class TenantConfig:
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
-            raise GraphError(f"max_batch must be >= 1, got {self.max_batch}")
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.queue_depth < 1:
-            raise GraphError(f"queue_depth must be >= 1, got {self.queue_depth}")
+            raise ConfigError(f"queue_depth must be >= 1, got {self.queue_depth}")
         if self.max_wait_s < 0 or self.default_deadline_s <= 0:
-            raise GraphError("max_wait_s must be >= 0 and default_deadline_s > 0")
+            raise ConfigError("max_wait_s must be >= 0 and default_deadline_s > 0")
         if self.max_retries < 0 or self.retry_backoff_s < 0:
-            raise GraphError("max_retries and retry_backoff_s must be >= 0")
+            raise ConfigError("max_retries and retry_backoff_s must be >= 0")
 
 
 @dataclass

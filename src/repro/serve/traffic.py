@@ -16,7 +16,7 @@ from typing import List
 
 import numpy as np
 
-from repro.errors import GraphError
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -45,17 +45,17 @@ class TrafficConfig:
 
     def __post_init__(self) -> None:
         if self.requests < 1:
-            raise GraphError(f"requests must be >= 1, got {self.requests}")
+            raise ConfigError(f"requests must be >= 1, got {self.requests}")
         if self.mean_rate_hz <= 0 or self.deadline_s <= 0:
-            raise GraphError("mean_rate_hz and deadline_s must be > 0")
+            raise ConfigError("mean_rate_hz and deadline_s must be > 0")
         if not 0.0 <= self.diurnal_amplitude < 1.0:
-            raise GraphError(
+            raise ConfigError(
                 f"diurnal_amplitude must be in [0, 1), got {self.diurnal_amplitude}"
             )
         if not 0.0 <= self.burst_prob <= 1.0:
-            raise GraphError(f"burst_prob must be in [0, 1], got {self.burst_prob}")
+            raise ConfigError(f"burst_prob must be in [0, 1], got {self.burst_prob}")
         if self.payload_pool < 1 or self.burst_size < 0:
-            raise GraphError("payload_pool must be >= 1 and burst_size >= 0")
+            raise ConfigError("payload_pool must be >= 1 and burst_size >= 0")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,296 @@
+"""Lower validated scenario specs into executable plans.
+
+A :class:`~repro.spec.loader.ScenarioSpec` is declarative — names and
+numbers. :func:`compile_scenario` resolves every reference into concrete
+objects (:class:`MCUDevice` instances, expanded model lists,
+:class:`TrafficConfig` values) and produces a :class:`ScenarioPlan` whose
+experiment plans run through the same code paths as the hand-wired
+``repro.experiments`` modules, so a spec-run of the shipped
+``table1-devices`` spec yields row-for-row the same table as
+``repro.experiments.table1_devices.run()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.experiments.base import ExperimentResult, attempt
+from repro.hw.devices import DEVICES, MEDIUM, MCUDevice
+from repro.hw.latency import LatencyModel
+from repro.serve.traffic import TrafficConfig
+from repro.spec import modelzoo
+from repro.spec.loader import ScenarioSpec
+from repro.utils.rng import RngLike, new_rng, spawn_rng
+from repro.utils.scale import Scale, resolve_scale
+
+#: Maps a task spec ``kind`` to its training entry point (lazily imported).
+_TASK_KINDS = ("kws", "vww", "ad")
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """One spec experiment, fully resolved and ready to run."""
+
+    name: str
+    kind: str  #: ``device_table`` | ``pareto``
+    devices: Tuple[MCUDevice, ...] = ()
+    models: Tuple[str, ...] = ()
+    bits: int = 8
+    latency_device: Optional[MCUDevice] = None
+    train: bool = False
+    task_kind: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FleetGroupPlan:
+    """One homogeneous slice of the simulated fleet."""
+
+    name: str
+    device: MCUDevice
+    model: str
+    bits: int
+    count: int
+    traffic: TrafficConfig
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    name: str
+    groups: Tuple[FleetGroupPlan, ...]
+    seed: int = 0
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(group.count for group in self.groups)
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """Everything a scenario asks to execute."""
+
+    name: str
+    experiments: Tuple[ExperimentPlan, ...] = ()
+    fleets: Tuple[FleetPlan, ...] = ()
+
+    def describe(self) -> str:
+        lines = [f"scenario {self.name!r}:"]
+        for plan in self.experiments:
+            detail = f"{len(plan.models)} model(s)" if plan.models else \
+                f"{len(plan.devices)} device(s)"
+            lines.append(f"  experiment {plan.name} [{plan.kind}]: {detail}")
+        for fleet in self.fleets:
+            lines.append(
+                f"  fleet {fleet.name}: {fleet.total_nodes} nodes in "
+                f"{len(fleet.groups)} group(s)"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def compile_scenario(spec: ScenarioSpec) -> ScenarioPlan:
+    """Resolve a validated spec into a :class:`ScenarioPlan`."""
+    experiments = []
+    for experiment in spec.experiments:
+        device_names = experiment.devices or tuple(DEVICES)
+        devices = tuple(spec.device(name) for name in device_names)
+        models = tuple(spec.resolve_models(experiment.models))
+        latency_device = (
+            spec.device(experiment.latency_device)
+            if experiment.latency_device is not None
+            else MEDIUM
+        )
+        train = False
+        task_kind: Optional[str] = None
+        if experiment.task is not None:
+            task = spec.task(experiment.task)
+            assert task is not None  # loader guarantees references resolve
+            train = task.train
+            task_kind = task.kind
+        experiments.append(
+            ExperimentPlan(
+                name=experiment.name,
+                kind=experiment.kind,
+                devices=devices,
+                models=models,
+                bits=experiment.bits,
+                latency_device=latency_device,
+                train=train,
+                task_kind=task_kind,
+            )
+        )
+
+    fleets = []
+    for fleet in spec.fleets:
+        groups = []
+        for group in fleet.groups:
+            target = spec.target(group.target)
+            assert target is not None
+            profile = spec.traffic_profile(group.traffic)
+            assert profile is not None
+            groups.append(
+                FleetGroupPlan(
+                    name=group.name,
+                    device=spec.device(target.device),
+                    model=target.model,
+                    bits=target.bits,
+                    count=group.count,
+                    traffic=profile.to_config(),
+                )
+            )
+        fleets.append(FleetPlan(name=fleet.name, groups=tuple(groups), seed=fleet.seed))
+
+    return ScenarioPlan(
+        name=spec.name, experiments=tuple(experiments), fleets=tuple(fleets)
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _fits_column_labels(devices: Tuple[MCUDevice, ...]) -> Dict[str, str]:
+    """Per-device ``fits_*`` column names; paper S/M/L labels when unique."""
+    size_names = {"S": "small", "M": "medium", "L": "large"}
+    labels = [size_names.get(device.size_class, device.name) for device in devices]
+    if len(set(labels)) != len(labels):  # same size class twice: use names
+        labels = [device.name for device in devices]
+    return {
+        device.name: f"fits_{label.lower().replace('-', '_')}"
+        for device, label in zip(devices, labels)
+    }
+
+
+def _run_device_table(plan: ExperimentPlan) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id=plan.name,
+        title=f"Device table ({plan.name})",
+        columns=["platform", "core", "clock_mhz", "sram_kb", "eflash_kb",
+                 "power_w", "price_usd"],
+    )
+    for device in plan.devices:
+        result.add_row(
+            platform=device.name,
+            core=device.core,
+            clock_mhz=device.clock_hz / 1e6,
+            sram_kb=device.sram_bytes / 1024,
+            eflash_kb=device.eflash_bytes / 1024,
+            power_w=device.active_power_w,
+            price_usd=device.price_usd,
+        )
+    result.note(f"compiled from scenario spec experiment {plan.name!r}")
+    return result
+
+
+def _task_runner(kind: str):
+    if kind == "kws":
+        from repro.tasks import kws
+        return kws.run
+    if kind == "vww":
+        from repro.tasks import vww
+        return vww.run
+    if kind == "ad":
+        from repro.tasks import ad
+        return ad.run
+    raise ConfigError(f"unknown task kind {kind!r}; known: {', '.join(_TASK_KINDS)}")
+
+
+def _run_pareto(plan: ExperimentPlan, scale: Scale, rng) -> ExperimentResult:
+    from repro.models.spec import arch_workload, export_graph
+    from repro.runtime import memory_report
+    from repro.runtime.deploy import deployment_report
+
+    fits_columns = _fits_column_labels(plan.devices)
+    result = ExperimentResult(
+        experiment_id=plan.name,
+        title=f"Footprint/accuracy Pareto ({plan.name})",
+        columns=["model", "accuracy_pct", "flash_kb", "sram_kb", "latency_m_s"]
+        + list(fits_columns.values()),
+    )
+    latency_model = LatencyModel(plan.latency_device or MEDIUM)
+    runner = _task_runner(plan.task_kind) if plan.train else None
+    for model_name in plan.models:
+        arch = modelzoo.build_arch(model_name)
+        arch_rng = spawn_rng(rng, arch.name)  # drawn unconditionally: row
+        # failures must not shift the RNG streams of the models after them.
+
+        def _compute_row(arch=arch, arch_rng=arch_rng):
+            if runner is not None:
+                task = runner(arch, scale=scale, rng=arch_rng)
+                accuracy_pct = 100.0 * task.metric
+                graph = task.graph
+            else:
+                accuracy_pct = None
+                graph = export_graph(arch, bits=plan.bits)
+            memory = memory_report(graph)
+            latency = latency_model.model_latency(arch_workload(arch))
+            row = dict(
+                model=arch.name,
+                accuracy_pct=accuracy_pct,
+                flash_kb=memory.model_flash_bytes / 1024,
+                sram_kb=memory.total_sram / 1024,
+                latency_m_s=latency,
+            )
+            for device in plan.devices:
+                report = deployment_report(graph, device)
+                row[fits_columns[device.name]] = report.deployable
+            return row
+
+        row = attempt(result, arch.name, _compute_row)
+        if row is not None:
+            result.add_row(**row)
+
+    _note_pareto(result)
+    result.note(f"compiled from scenario spec experiment {plan.name!r}")
+    return result
+
+
+def _note_pareto(result: ExperimentResult) -> None:
+    """Dominance note over the rows that carry accuracies."""
+    from repro.nas.pareto import dominated_pairs, points_from_rows
+
+    if not any(row.get("accuracy_pct") is not None for row in result.rows):
+        result.note("footprint-only run (no task training requested)")
+        return
+    infeasible: List[dict] = []
+    points = points_from_rows(
+        result.rows, "model", "accuracy_pct",
+        ["latency_m_s", "flash_kb", "sram_kb"], infeasible=infeasible,
+    )
+    if infeasible:
+        excluded = [str(row.get("model")) for row in infeasible]
+        result.note(f"excluded from Pareto comparison (missing/non-finite): {excluded}")
+    dominated = dominated_pairs(points)
+    if dominated:
+        result.note(f"dominated models: {dominated}")
+    else:
+        result.note("no model dominates another (Pareto front)")
+
+
+def run_plan(
+    plan: ExperimentPlan, scale: Optional[Scale] = None, rng: RngLike = 0
+) -> ExperimentResult:
+    """Execute one compiled experiment plan."""
+    scale = scale or resolve_scale()
+    rng = new_rng(rng)
+    if plan.kind == "device_table":
+        return _run_device_table(plan)
+    if plan.kind == "pareto":
+        return _run_pareto(plan, scale, rng)
+    raise ConfigError(
+        f"unknown experiment kind {plan.kind!r}; known: device_table, pareto"
+    )
+
+
+def run_scenario(
+    plan: ScenarioPlan, scale: Optional[Scale] = None, rng: RngLike = 0
+) -> List[ExperimentResult]:
+    """Execute every experiment and fleet simulation in a scenario."""
+    from repro.spec.fleet import run_fleet_plan
+
+    results = [run_plan(experiment, scale=scale, rng=rng)
+               for experiment in plan.experiments]
+    results.extend(run_fleet_plan(fleet) for fleet in plan.fleets)
+    return results

@@ -1,0 +1,63 @@
+"""Name registry of the buildable model zoo, for spec files.
+
+Spec files reference models by stable kebab-case slugs; this module maps
+each slug to its :class:`~repro.models.spec.ArchSpec` constructor. The
+imports are deferred so validating a spec that never touches models does
+not pull in the full layer/runtime stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+
+_BUILDERS: Dict[str, Callable] = {}
+
+
+def _builders() -> Dict[str, Callable]:
+    global _BUILDERS
+    if not _BUILDERS:
+        from repro.models import autoencoders, dscnn, micronets, mobilenetv2
+
+        _BUILDERS = {
+            "micronet-kws-s": micronets.micronet_kws_s,
+            "micronet-kws-m": micronets.micronet_kws_m,
+            "micronet-kws-l": micronets.micronet_kws_l,
+            "micronet-kws-s4": micronets.micronet_kws_s4,
+            "micronet-vww-s": micronets.micronet_vww_s,
+            "micronet-vww-m": micronets.micronet_vww_m,
+            "micronet-ad-s": micronets.micronet_ad_s,
+            "micronet-ad-m": micronets.micronet_ad_m,
+            "micronet-ad-l": micronets.micronet_ad_l,
+            "dscnn-s": dscnn.dscnn_s,
+            "dscnn-m": dscnn.dscnn_m,
+            "dscnn-l": dscnn.dscnn_l,
+            "mbnetv2-kws-s": mobilenetv2.mbnetv2_kws_s,
+            "mbnetv2-kws-m": mobilenetv2.mbnetv2_kws_m,
+            "mbnetv2-kws-l": mobilenetv2.mbnetv2_kws_l,
+            "mbnetv2-05-ad": mobilenetv2.mbnetv2_05_ad,
+            "fc-autoencoder-baseline": autoencoders.fc_autoencoder_baseline,
+            "fc-autoencoder-wide": autoencoders.fc_autoencoder_wide,
+        }
+    return _BUILDERS
+
+
+def model_names() -> List[str]:
+    """Every model slug a spec may reference, sorted."""
+    return sorted(_builders())
+
+
+def is_model(name: str) -> bool:
+    return name in _builders()
+
+
+def build_arch(name: str):
+    """Instantiate the :class:`ArchSpec` behind a model slug."""
+    try:
+        builder = _builders()[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown model {name!r}; known: {', '.join(model_names())}"
+        ) from None
+    return builder()

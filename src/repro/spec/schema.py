@@ -1,0 +1,152 @@
+"""Minimal JSON-Schema subset validator with path-qualified errors.
+
+The scenario schema ships as plain JSON-Schema files under
+``repro/spec/schemas/`` (package data) so external tooling can consume
+them, but the library validates with this dependency-free interpreter of
+the subset those schemas actually use: ``type``, ``enum``, ``required``,
+``properties``, ``additionalProperties``, ``items``, ``minItems``,
+``minimum`` / ``maximum`` / ``exclusiveMinimum`` / ``exclusiveMaximum``,
+``minLength``, and local ``$ref`` into ``definitions``.
+
+Every violation is reported as ``<json.path>: <message>`` (e.g.
+``devices[2].sram_kb: expected number, got str``), and validation collects
+*all* errors instead of stopping at the first, so a spec author fixes a
+file in one round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+from repro.errors import ConfigError
+
+#: Directory holding the shipped JSON-Schema files.
+SCHEMA_DIR = os.path.join(os.path.dirname(__file__), "schemas")
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+_TYPE_NAMES = {
+    dict: "object", list: "array", str: "str", bool: "bool",
+    int: "int", float: "float", type(None): "null",
+}
+
+
+def load_schema(name: str = "scenario.schema.json") -> Dict[str, Any]:
+    """Read one of the shipped JSON-Schema files by file name."""
+    path = os.path.join(SCHEMA_DIR, name)
+    if not os.path.exists(path):
+        raise ConfigError(f"no such schema {name!r} in {SCHEMA_DIR}")
+    with open(path, "r") as handle:
+        return json.load(handle)
+
+
+def _type_name(value: Any) -> str:
+    return _TYPE_NAMES.get(type(value), type(value).__name__)
+
+
+def _join(path: str, key: str) -> str:
+    return f"{path}.{key}" if path else key
+
+
+def _label(path: str) -> str:
+    return path or "(root)"
+
+
+def _resolve_ref(root: Dict[str, Any], ref: str) -> Dict[str, Any]:
+    if not ref.startswith("#/"):
+        raise ConfigError(f"unsupported $ref {ref!r} (only local #/ refs)")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise ConfigError(f"dangling $ref {ref!r} in schema")
+        node = node[part]
+    return node
+
+
+def _check(data: Any, schema: Dict[str, Any], root: Dict[str, Any],
+           path: str, errors: List[str]) -> None:
+    if "$ref" in schema:
+        schema = _resolve_ref(root, schema["$ref"])
+
+    declared = schema.get("type")
+    if declared is not None:
+        types = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPE_CHECKS[t](data) for t in types):
+            errors.append(
+                f"{_label(path)}: expected {'/'.join(types)}, got "
+                f"{_type_name(data)} ({data!r})"
+            )
+            return  # type is wrong; deeper keyword checks would just cascade
+
+    if "enum" in schema and data not in schema["enum"]:
+        errors.append(
+            f"{_label(path)}: {data!r} is not one of {schema['enum']}"
+        )
+
+    if isinstance(data, (int, float)) and not isinstance(data, bool):
+        if "minimum" in schema and data < schema["minimum"]:
+            errors.append(
+                f"{_label(path)}: {data!r} is below minimum {schema['minimum']}"
+            )
+        if "maximum" in schema and data > schema["maximum"]:
+            errors.append(
+                f"{_label(path)}: {data!r} is above maximum {schema['maximum']}"
+            )
+        if "exclusiveMinimum" in schema and data <= schema["exclusiveMinimum"]:
+            errors.append(
+                f"{_label(path)}: {data!r} must be > {schema['exclusiveMinimum']}"
+            )
+        if "exclusiveMaximum" in schema and data >= schema["exclusiveMaximum"]:
+            errors.append(
+                f"{_label(path)}: {data!r} must be < {schema['exclusiveMaximum']}"
+            )
+
+    if isinstance(data, str) and "minLength" in schema and len(data) < schema["minLength"]:
+        errors.append(
+            f"{_label(path)}: string shorter than minLength {schema['minLength']}"
+        )
+
+    if isinstance(data, list):
+        if "minItems" in schema and len(data) < schema["minItems"]:
+            errors.append(
+                f"{_label(path)}: {len(data)} item(s), need at least "
+                f"{schema['minItems']}"
+            )
+        items = schema.get("items")
+        if items is not None:
+            for index, entry in enumerate(data):
+                _check(entry, items, root, f"{path}[{index}]", errors)
+
+    if isinstance(data, dict):
+        for key in schema.get("required", []):
+            if key not in data:
+                errors.append(f"{_join(path, key)}: required key is missing")
+        properties = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for key in data:
+                if key not in properties:
+                    errors.append(
+                        f"{_join(path, str(key))}: unknown key (allowed: "
+                        f"{', '.join(sorted(properties))})"
+                    )
+        for key, subschema in properties.items():
+            if key in data:
+                _check(data[key], subschema, root, _join(path, str(key)), errors)
+
+
+def schema_errors(data: Any, schema: Dict[str, Any]) -> List[str]:
+    """All structural violations of ``data`` against ``schema``,
+    path-qualified and in document order; empty when valid."""
+    errors: List[str] = []
+    _check(data, schema, schema, "", errors)
+    return errors

@@ -1,0 +1,196 @@
+"""Streaming audio front end: parity with the offline path, frame
+accounting, window semantics, and the detector's hysteresis."""
+
+import numpy as np
+import pytest
+
+from repro.audio import KWS_FEATURE_CONFIG, mfcc
+from repro.audio.features import FeatureConfig, log_mel_spectrogram
+from repro.audio.streaming import StreamingDetector, StreamingFeatureExtractor
+from repro.errors import DatasetError
+
+pytestmark = pytest.mark.tier1
+
+
+def _speechy_signal(samples: int, seed: int = 0) -> np.ndarray:
+    """A deterministic multi-tone + noise signal with speech-band energy."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(samples) / KWS_FEATURE_CONFIG.sample_rate
+    signal = (
+        0.5 * np.sin(2 * np.pi * 440.0 * t)
+        + 0.3 * np.sin(2 * np.pi * 1200.0 * t)
+        + 0.05 * rng.standard_normal(samples)
+    )
+    return signal.astype(np.float32)
+
+
+class TestOfflineParity:
+    """Streaming features must be *bitwise* equal to the offline extractor —
+    the deployed always-on path and the training path share numerics."""
+
+    @pytest.mark.parametrize("chunk", [1, 160, 4000])
+    def test_mfcc_parity_bitwise(self, chunk):
+        signal = _speechy_signal(8000)
+        offline = mfcc(signal, KWS_FEATURE_CONFIG)  # (49, 10)
+
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=49)
+        for start in range(0, len(signal), chunk):
+            extractor.push(signal[start : start + chunk])
+        streamed = np.stack(extractor._frames)
+
+        assert streamed.shape == offline.shape
+        assert np.array_equal(streamed, offline)  # bitwise, not allclose
+
+    def test_log_mel_parity_bitwise(self):
+        config = FeatureConfig(
+            sample_rate=8000, frame_ms=40, hop_ms=20, num_mels=40, num_mfcc=0
+        )
+        signal = _speechy_signal(4800, seed=3)
+        offline = log_mel_spectrogram(signal, config)
+
+        extractor = StreamingFeatureExtractor(config, window_frames=offline.shape[0])
+        extractor.push(signal)
+        assert np.array_equal(np.stack(extractor._frames), offline)
+
+    def test_chunk_size_invariance(self):
+        """1-sample-at-a-time pushes == one big push, bitwise."""
+        signal = _speechy_signal(2400, seed=7)
+
+        one_shot = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=49)
+        one_shot.push(signal)
+        dribble = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=49)
+        for sample in signal:
+            dribble.push(np.array([sample]))
+
+        assert one_shot.total_frames == dribble.total_frames
+        assert np.array_equal(
+            np.stack(one_shot._frames), np.stack(dribble._frames)
+        )
+
+
+class TestFrameAccounting:
+    def test_counts_across_residual_boundaries(self):
+        """Frames appear exactly when enough samples cross the hop grid."""
+        config = KWS_FEATURE_CONFIG  # frame 320, hop 160
+        extractor = StreamingFeatureExtractor(config, window_frames=49)
+
+        assert extractor.push(_speechy_signal(319)) == 0  # one short of a frame
+        assert extractor.push(_speechy_signal(1)) == 1  # completes frame 0
+        # Residual holds 160 samples now; 159 more cannot finish frame 1.
+        assert extractor.push(_speechy_signal(159)) == 0
+        assert extractor.push(_speechy_signal(1)) == 1
+        assert extractor.total_frames == 2
+
+    def test_one_second_yields_49_frames(self):
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=49)
+        produced = extractor.push(_speechy_signal(8000))
+        assert produced == 49  # the paper's 49-frames-per-second arithmetic
+        assert extractor.total_frames == 49
+        assert extractor.ready
+
+    def test_empty_push_is_noop(self):
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=49)
+        extractor.push(_speechy_signal(500))
+        residual_before = extractor._residual.copy()
+        frames_before = extractor.total_frames
+
+        assert extractor.push(np.zeros(0, dtype=np.float32)) == 0
+        assert extractor.total_frames == frames_before
+        assert np.array_equal(extractor._residual, residual_before)
+
+    def test_window_slides_over_old_frames(self):
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=4)
+        signal = _speechy_signal(8000)
+        extractor.push(signal)
+        window = extractor.window()
+        assert window.shape == (4, KWS_FEATURE_CONFIG.num_mfcc, 1)
+        # The window holds the *latest* 4 frames.
+        offline = mfcc(signal, KWS_FEATURE_CONFIG)
+        assert np.array_equal(window[..., 0], offline[-4:])
+
+
+class TestWindowSemantics:
+    def test_not_ready_error_is_actionable(self):
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=49)
+        extractor.push(_speechy_signal(1600))  # 9 frames of 49
+        assert not extractor.ready
+        with pytest.raises(DatasetError, match=r"push\(\)"):
+            extractor.window()
+        with pytest.raises(DatasetError, match="more samples"):
+            extractor.window()
+
+    def test_remediation_estimate_is_sufficient(self):
+        """Pushing the number of samples the error names makes it ready."""
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=49)
+        extractor.push(_speechy_signal(1600))
+        with pytest.raises(DatasetError) as excinfo:
+            extractor.window()
+        import re
+
+        need = int(re.search(r"~(\d+) more samples", str(excinfo.value)).group(1))
+        extractor.push(_speechy_signal(need, seed=5))
+        assert extractor.ready
+        extractor.window()  # no raise
+
+    def test_reset_round_trips(self):
+        signal = _speechy_signal(8000)
+        extractor = StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=49)
+        extractor.push(signal)
+        first = extractor.window()
+
+        extractor.reset()
+        assert extractor.total_frames == 0
+        assert not extractor.ready
+        extractor.push(signal)
+        assert np.array_equal(extractor.window(), first)
+
+    def test_bad_window_frames_rejected(self):
+        with pytest.raises(DatasetError, match="positive"):
+            StreamingFeatureExtractor(KWS_FEATURE_CONFIG, window_frames=0)
+
+
+class TestStreamingDetector:
+    def _posterior(self, hot: int, value: float, classes: int = 4) -> np.ndarray:
+        vector = np.full(classes, (1.0 - value) / (classes - 1))
+        vector[hot] = value
+        return vector
+
+    def test_smoothing_delays_trigger(self):
+        detector = StreamingDetector(4, smoothing_windows=3, threshold=0.6)
+        # One confident window averaged with two flat ones stays sub-threshold.
+        assert detector.update(self._posterior(1, 0.25)) is None
+        assert detector.update(self._posterior(1, 0.25)) is None
+        assert detector.update(self._posterior(1, 0.9)) is None
+        # A second confident window pulls the smoothed posterior over the line.
+        assert detector.update(self._posterior(1, 0.9)) == 1
+
+    def test_refractory_suppresses_duplicates(self):
+        detector = StreamingDetector(
+            4, smoothing_windows=1, threshold=0.5, refractory_windows=2
+        )
+        assert detector.update(self._posterior(2, 0.9)) == 2
+        assert detector.update(self._posterior(2, 0.9)) is None  # cooling
+        assert detector.update(self._posterior(2, 0.9)) is None  # cooling
+        assert detector.update(self._posterior(2, 0.9)) == 2  # re-armed
+
+    def test_ignored_classes_never_fire(self):
+        detector = StreamingDetector(
+            4, smoothing_windows=1, threshold=0.5, ignore_classes={0}
+        )
+        assert detector.update(self._posterior(0, 0.99)) is None
+        assert detector.update(self._posterior(3, 0.99)) == 3
+
+    def test_wrong_size_posterior_rejected(self):
+        detector = StreamingDetector(4)
+        with pytest.raises(DatasetError, match="4 class posteriors"):
+            detector.update(np.ones(5) / 5)
+
+    def test_reset_clears_history_and_cooldown(self):
+        detector = StreamingDetector(
+            4, smoothing_windows=2, threshold=0.5, refractory_windows=5
+        )
+        assert detector.update(self._posterior(1, 0.9)) == 1  # fires, cooldown
+        assert detector.update(self._posterior(1, 0.9)) is None  # refractory
+        detector.reset()
+        # Post-reset behaves like a fresh detector: no cooldown, empty history.
+        assert detector.update(self._posterior(2, 0.9)) == 2
