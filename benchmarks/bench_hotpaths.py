@@ -25,6 +25,12 @@ A further section, ``resilience_overhead``, guards the checkpoint/fault
 hooks threaded through those loops: a disabled ``fault_point`` must stay a
 single-branch no-op and checkpoint-free runs must pay nothing.
 
+Finally, ``chaos_resilience`` replays the serving trace under a seeded
+hang schedule with the fault defenses off vs on (:mod:`repro.chaos`):
+the defended server must shed less, keep every survival invariant
+(conservation, bitwise survivors, seeded replay), and beat the
+undefended tail latency.
+
 Unlike the figure/table benches this module is **self-timed** (perf_counter,
 best-of-N) so it does not require pytest-benchmark; ``bench_hotpaths`` below
 is still collected by the bench harness, and ``tests/test_bench_hotpaths.py``
@@ -527,6 +533,13 @@ def run_hotpath_bench(scale: Optional[Scale] = None, smoke: bool = False) -> Dic
         }
     )
 
+    # Chaos resilience: the same seeded hang schedule replayed with the
+    # serve defenses off vs on; the headline is the tail-latency ratio and
+    # the survival flags (conservation, bitwise survivors, seeded replay).
+    from repro.chaos import run_chaos_bench
+
+    rows.append(run_chaos_bench(mode=mode))
+
     # Mirror the cache/workspace counters into obs gauges so a REPRO_OBS=1
     # bench run surfaces them in ``obs.report()`` alongside the timings.
     # This is THE counter snapshot: the conv row's workspace_reuse_rate is
@@ -567,6 +580,10 @@ def format_hotpath_table(result: Dict) -> str:
             # Simulated sweep makespan: 1 worker vs the widest fleet.
             baseline = row["workers"][str(FABRIC_WORKERS[0])]["makespan_s"]
             optimized = row["workers"][str(FABRIC_WORKERS[-1])]["makespan_s"]
+        elif row["section"] == "chaos_resilience":
+            # p99 under the same injected faults: defenses off vs on.
+            baseline = row["undefended_p99_ms"] / 1e3
+            optimized = row["defended_p99_ms"] / 1e3
         else:
             baseline = row.get("einsum_s", row.get("uncached_s"))
             optimized = row.get("gemm_s", row.get("memoized_s"))
@@ -601,6 +618,16 @@ def format_hotpath_table(result: Dict) -> str:
                 f"{unbatched['p50_ms']:.2f} -> {batched['p50_ms']:.2f} ms, "
                 f"shed {unbatched['shed_rate'] * 100:.0f}% -> "
                 f"{batched['shed_rate'] * 100:.0f}%"
+            )
+    for row in result["rows"]:
+        if row["section"] == "chaos_resilience":
+            lines.append(
+                f"chaos ({row['fault_rate'] * 100:.0f}% hangs over "
+                f"{row['requests']} reqs): shed "
+                f"{row['undefended_shed_rate'] * 100:.1f}% -> "
+                f"{row['defended_shed_rate'] * 100:.1f}% defended, "
+                f"{row['defended_timeouts']} timeouts hedged, recovery "
+                f"{row['recovery_s'] * 1e3:.2f} ms over fault-free"
             )
     if any(row["section"] == "resilience_overhead" for row in result["rows"]):
         res = next(r for r in result["rows"] if r["section"] == "resilience_overhead")
@@ -657,3 +684,12 @@ def bench_hotpaths(scale):
     fabric = by_section["search_fabric"]
     assert fabric["speedup"] >= 2.0
     assert fabric["eval_fraction"] <= 0.5
+    # Under the same injected hang schedule the defenses must hold every
+    # survival invariant, shed less than the undefended server, and beat
+    # its tail latency.
+    chaos = by_section["chaos_resilience"]
+    assert chaos["conservation_ok"]
+    assert chaos["survivors_bitwise_ok"]
+    assert chaos["replay_deterministic"]
+    assert chaos["defended_shed_rate"] <= chaos["undefended_shed_rate"]
+    assert chaos["speedup"] > 1.0

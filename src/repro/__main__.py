@@ -31,6 +31,12 @@ Usage::
                                               # budget-feasibility check
     python -m repro spec run fleet_mixed      # compile a scenario spec and
                                               # run its experiments/fleets
+    python -m repro chaos                     # replay the serve load trace
+                                              # and a fabric sweep under
+                                              # seeded fault schedules and
+                                              # check the survival
+                                              # invariants (exit 1 on any
+                                              # violation)
 """
 
 from __future__ import annotations
@@ -414,6 +420,45 @@ def _run_serve_bench(args) -> int:
     return 0
 
 
+def _run_chaos(args) -> int:
+    """The ``repro chaos`` command: fault schedules vs the defenses.
+
+    Replays the serving load trace under every shipped chaos schedule and
+    runs the fabric dead/hung-worker drill, checking the survival
+    invariants (conservation, bitwise survivors, bounded stalls, seeded
+    replay, unique journal). Exit 0 when every invariant holds, 1 on any
+    violation, 2 on a workload build failure.
+    """
+    import json
+    import tempfile
+
+    from repro.chaos import format_chaos_report, run_chaos_fabric, run_chaos_serve
+    from repro.errors import ReproError
+
+    try:
+        serve = run_chaos_serve(mode=args.mode, seed=args.seed)
+        fabric = None
+        if not args.no_fabric:
+            with tempfile.TemporaryDirectory() as tmp:
+                fabric = run_chaos_fabric(
+                    tmp, workers=args.workers, task_timeout_s=args.timeout
+                )
+    except ReproError as exc:
+        print(f"chaos harness failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    print(format_chaos_report(serve, fabric))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"serve": serve, "fabric": fabric}, handle, indent=2)
+            handle.write("\n")
+        print(f"chaos report -> {args.json}")
+    violations = list(serve["violations"]) + list(fabric["violations"] if fabric else [])
+    if violations:
+        print(f"{len(violations)} invariant violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_spec(args) -> int:
     """The ``repro spec`` command: validate or run scenario spec files.
 
@@ -643,7 +688,36 @@ def main(argv: List[str] = None) -> int:
         "--no-save", action="store_true", help="do not archive results"
     )
 
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="replay serve/fabric workloads under seeded fault schedules "
+        "and check the survival invariants",
+    )
+    chaos_parser.add_argument(
+        "--mode", default="smoke", choices=["smoke", "ci", "paper"],
+        help="serve replay trace length preset",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0, help="trace seed")
+    chaos_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="fork-pool width for the fabric drill",
+    )
+    chaos_parser.add_argument(
+        "--timeout", type=float, default=1.0, metavar="S",
+        help="fabric per-task deadline in seconds",
+    )
+    chaos_parser.add_argument(
+        "--no-fabric", action="store_true",
+        help="skip the fabric drill (serve schedules only; no fork pools)",
+    )
+    chaos_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full chaos report as JSON",
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "spec":
         return _run_spec(args)
     if args.command == "serve-bench":

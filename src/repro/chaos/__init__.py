@@ -1,0 +1,38 @@
+"""Chaos harness: prove the fault defenses under seeded misbehavior.
+
+The :mod:`repro.resilience.faults` chaos plane *injects* hangs, slowdowns,
+corruption and crashes; the serve and fabric layers carry the *defenses*
+(per-invoke timeouts, hedged retries, circuit breakers, dead-worker
+requeue). This package is the proof loop between them: replay real
+workloads under seeded fault schedules and check the survival invariants —
+request conservation at every drain, surviving responses bitwise equal to
+the fault-free run, zero double-evaluations in the fabric journal, no hang
+ever wedging ``drain()`` or ``run_sweep``, and same-seed chaos replaying
+to identical statistics.
+
+Entry points: ``python -m repro chaos`` and :mod:`tests/test_chaos.py`;
+the ``chaos_resilience`` section of ``BENCH_hotpaths.json`` comes from
+:func:`run_chaos_bench`.
+"""
+
+from repro.chaos.harness import (
+    CHAOS_PRESETS,
+    SERVE_SCHEDULES,
+    ServeChaosSchedule,
+    build_serve_workload,
+    format_chaos_report,
+    run_chaos_bench,
+    run_chaos_fabric,
+    run_chaos_serve,
+)
+
+__all__ = [
+    "CHAOS_PRESETS",
+    "SERVE_SCHEDULES",
+    "ServeChaosSchedule",
+    "build_serve_workload",
+    "format_chaos_report",
+    "run_chaos_bench",
+    "run_chaos_fabric",
+    "run_chaos_serve",
+]

@@ -30,6 +30,7 @@ import time
 from dataclasses import replace
 from typing import Callable, List, Optional
 
+from repro import obs
 from repro.errors import SearchError
 from repro.nas.blackbox import DSCNNSearchSpace, EvalOutcome, EvalRequest, run_eval_request
 from repro.nas.fabric.store import (
@@ -72,7 +73,11 @@ def _pool_worker_init() -> None:
 
 
 def _pool_run_task(args) -> EvalOutcome:
-    request, space, evaluate, broadcast = args
+    request, space, evaluate, broadcast, delay_s = args
+    if delay_s > 0:
+        # A chaos-injected stall, decided parent-side and shipped with the
+        # task so worker processes stay free of chaos-plan state.
+        time.sleep(delay_s)
     return execute_request(request, space, evaluate, broadcast)
 
 
@@ -133,19 +138,67 @@ class MultiprocessExecutor:
     :func:`repro.nas.fabric.run_sweep` does both. ``evaluate`` must be
     picklable — a module-level function or a dataclass oracle like
     :class:`repro.nas.fabric.MiniTaskOracle`.
+
+    Fault tolerance: with ``task_timeout_s`` set, every task result is
+    collected under a per-task deadline. A deadline miss means a dead or
+    hung worker; the lost :class:`EvalRequest` is requeued on a fresh
+    worker slot (dispatch-index seeding makes the retry bitwise identical
+    to a first attempt) up to ``max_requeues`` times, after which the
+    candidate is quarantined as *poison*: it degrades to a structured
+    eval failure instead of wedging the sweep. A pool that ever missed a
+    deadline still owns the hung worker, so :meth:`close` tears it down
+    with ``terminate()`` rather than waiting on a ``join()`` that would
+    never return.
+
+    Chaos: each dispatch consults the ``executor_task`` chaos site keyed
+    on the request's dispatch index (parent-side, so decisions are
+    placement-independent); ``hang`` actions ship the stall duration with
+    the task, ``raise`` actions fire in the parent.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        task_timeout_s: Optional[float] = None,
+        max_requeues: int = 2,
+    ) -> None:
         if workers < 1:
             raise SearchError("MultiprocessExecutor needs at least 1 worker")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise SearchError(
+                f"task_timeout_s must be > 0 or None, got {task_timeout_s}"
+            )
+        if max_requeues < 0:
+            raise SearchError(f"max_requeues must be >= 0, got {max_requeues}")
         self.workers = workers
+        self.task_timeout_s = task_timeout_s
+        self.max_requeues = max_requeues
         self._pool = None
+        self._dirty = False
+        #: Lost-task redispatches performed across the executor's lifetime.
+        self.requeues = 0
+        #: Candidates quarantined after exhausting the requeue budget.
+        self.poisoned = 0
 
     def _ensure_pool(self):
         if self._pool is None:
             context = multiprocessing.get_context("fork")
             self._pool = context.Pool(self.workers, initializer=_pool_worker_init)
         return self._pool
+
+    @staticmethod
+    def _task_delay(request: EvalRequest) -> float:
+        """Parent-side chaos decision for one dispatch of ``request``."""
+        action = faults.chaos_point("executor_task", key=request.index)
+        if action is not None and action.kind == "hang":
+            return action.duration_s
+        return 0.0
+
+    def _submit(self, pool, request, space, evaluate, broadcast):
+        delay_s = self._task_delay(request)
+        return pool.apply_async(
+            _pool_run_task, ((request, space, evaluate, broadcast, delay_s),)
+        )
 
     def run(
         self,
@@ -158,21 +211,75 @@ class MultiprocessExecutor:
             return []
         pool = self._ensure_pool()
         pending = [
-            pool.apply_async(_pool_run_task, ((request, space, evaluate, broadcast),))
+            self._submit(pool, request, space, evaluate, broadcast)
             for request in requests
         ]
         # Collect in submission order: whichever worker finishes first, the
         # merged result sequence is fixed by the request order.
-        return [task.get() for task in pending]
+        return [
+            self._collect(pool, request, task, space, evaluate, broadcast)
+            for request, task in zip(requests, pending)
+        ]
+
+    def _collect(self, pool, request, task, space, evaluate, broadcast) -> EvalOutcome:
+        if self.task_timeout_s is None:
+            return task.get()
+        requeued = 0
+        while True:
+            try:
+                return task.get(self.task_timeout_s)
+            except multiprocessing.TimeoutError:
+                # The worker is dead or hung; its result will never be
+                # consumed (if it does straggle in, nobody reads it, so the
+                # journal can never see a double evaluation). The pool now
+                # owns a wedged slot — close() must terminate, not join.
+                self._dirty = True
+                obs.incr("fabric.task_timeouts")
+                if requeued >= self.max_requeues:
+                    self.poisoned += 1
+                    obs.incr("fabric.poisoned")
+                    return EvalOutcome(
+                        fitness=None,
+                        error=(
+                            f"TimeoutError: candidate {request.index} exceeded "
+                            f"the {self.task_timeout_s}s task deadline on "
+                            f"{requeued + 1} dispatches (poison candidate "
+                            f"quarantined)"
+                        ),
+                        attempts=requeued + 1,
+                    )
+                requeued += 1
+                self.requeues += 1
+                obs.incr("fabric.requeues")
+                task = self._submit(pool, request, space, evaluate, broadcast)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        """Tear down the pool; idempotent, and safe with hung workers."""
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        if self._dirty:
+            pool.terminate()
+        else:
+            pool.close()
+        pool.join()
+
+    def terminate(self) -> None:
+        """Kill the pool without waiting for in-flight tasks; idempotent."""
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        pool.terminate()
+        pool.join()
 
     def __enter__(self) -> "MultiprocessExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # An exception unwinding through the block (an injected fault at a
+        # parent-side site, a keyboard interrupt) must not leak the fork
+        # pool or block on stuck tasks: terminate instead of close.
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()

@@ -28,12 +28,19 @@ from repro.resilience.checkpoint import (
     save_checkpoint,
 )
 from repro.resilience.faults import (
+    CHAOS_KINDS,
+    CORRUPT_MUTATORS,
     SITES,
+    ChaosAction,
+    ChaosPlan,
+    ChaosSpec,
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    chaos_point,
     fault_point,
     inject,
+    inject_chaos,
 )
 
 __all__ = [
@@ -43,10 +50,17 @@ __all__ = [
     "CheckpointConfig",
     "load_checkpoint",
     "save_checkpoint",
+    "CHAOS_KINDS",
+    "CORRUPT_MUTATORS",
     "SITES",
+    "ChaosAction",
+    "ChaosPlan",
+    "ChaosSpec",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "chaos_point",
     "fault_point",
     "inject",
+    "inject_chaos",
 ]

@@ -11,6 +11,16 @@ A plan counts hits per site and raises :class:`InjectedFault` (or a custom
 exception, to exercise retry paths) on configured hit numbers, so failures
 are exactly reproducible: the Nth candidate evaluation, the Mth train step.
 
+Beyond raise-only faults the module carries a *chaos behavior plane*:
+:class:`ChaosSpec`/:class:`ChaosPlan` describe ``raise | hang | slow |
+corrupt`` behaviors, and behavior-aware call sites query
+:func:`chaos_point` for a :class:`ChaosAction` to interpret (advance a
+virtual clock, stretch a service time, mutate a payload copy). Chaos
+firing decisions are pure blake2b functions of ``(plan seed, site,
+occurrence-or-key)`` — the same keying discipline as
+:func:`repro.nas.blackbox.candidate_rng` — so a chaos run is bitwise
+reproducible regardless of worker placement or retry interleaving.
+
 Instrumented sites
 ------------------
 ==================  ====================================================
@@ -25,22 +35,36 @@ Instrumented sites
                     (:mod:`repro.nas.fabric.sweep`)
 ``fabric_complete``  after a fabric generation's outcomes are merged and
                     journaled, before the checkpoint (:mod:`repro.nas.fabric.sweep`)
+``serve_invoke``    each interpreter invoke attempt inside
+                    :meth:`repro.serve.ModelServer` dispatch (behavior site:
+                    supports hang/slow/corrupt chaos, queried per attempt)
+``executor_task``   each fabric task dispatch in
+                    :class:`repro.nas.fabric.MultiprocessExecutor`, keyed on
+                    the request's dispatch index (placement-independent)
 ==================  ====================================================
 
 Usage::
 
     with faults.inject(FaultSpec("dnas_step", at=7)):
         search(...)          # raises InjectedFault on the 7th step
+
+    plan = ChaosPlan(ChaosSpec("serve_invoke", "hang", rate=0.1,
+                               duration_s=1.0), seed=42)
+    with faults.inject_chaos(plan):
+        replay_trace(server, ...)   # ~10% of invokes hang for 1s
 """
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple, Type
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type, Union
+
+import numpy as np
 
 from repro import obs
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 
 #: The sites wired into the library's stateful loops.
 SITES = (
@@ -53,7 +77,12 @@ SITES = (
     "checkpoint_write",
     "fabric_enqueue",
     "fabric_complete",
+    "serve_invoke",
+    "executor_task",
 )
+
+#: Chaos behavior kinds a :class:`ChaosSpec` may carry.
+CHAOS_KINDS = ("raise", "hang", "slow", "corrupt")
 
 
 class InjectedFault(ReproError):
@@ -103,7 +132,189 @@ class FaultPlan:
                 raise InjectedFault(site, count)
 
 
+# ---------------------------------------------------------------------------
+# Chaos behavior plane
+# ---------------------------------------------------------------------------
+
+
+def _fill_nan(payload: np.ndarray) -> np.ndarray:
+    out = np.array(payload, copy=True)
+    out[...] = np.nan
+    return out
+
+
+def _fill_inf(payload: np.ndarray) -> np.ndarray:
+    out = np.array(payload, copy=True)
+    out[...] = np.inf
+    return out
+
+
+#: Named payload mutators usable from YAML chaos schedules. Both produce
+#: corruption the server's non-finite output guard *detects*, so the retry
+#: defense can restore the pristine payload — silent wrong-value corruption
+#: is out of scope for the guard and deliberately not shipped here.
+CORRUPT_MUTATORS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "nan": _fill_nan,
+    "inf": _fill_inf,
+}
+
+
+def chaos_uniform(seed: int, site: str, occurrence: int) -> float:
+    """Pure uniform draw in [0, 1) keyed on ``(seed, site, occurrence)``.
+
+    blake2b-keyed like :func:`repro.utils.rng.spawn_rng`, so probabilistic
+    chaos decisions are order- and placement-independent: the Nth hit of a
+    site (or dispatch index N) fires identically on every replay.
+    """
+    digest = hashlib.blake2b(
+        f"{int(seed)}/{site}/{int(occurrence)}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") / 2.0**64
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """What a fired behavior spec asks the call site to do.
+
+    ``raise`` never reaches the caller (the plan raises directly); the
+    other kinds come back as an action the site interprets: ``hang``
+    consumes ``duration_s`` of (virtual) wall time, ``slow`` stretches the
+    service time by ``factor``, ``corrupt`` runs ``mutator`` over a *copy*
+    of the payload.
+    """
+
+    site: str
+    kind: str
+    hit: int  #: occurrence number (unkeyed) or per-key attempt number
+    duration_s: float = 0.0
+    factor: float = 1.0
+    mutator: Optional[Callable[[np.ndarray], np.ndarray]] = None
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One seeded misbehavior at a site.
+
+    Selection composes two filters:
+
+    * **which occurrence/key** — deterministic ``rate`` (a pure
+      :func:`chaos_uniform` draw per occurrence, or per key at keyed
+      sites), an explicit ``keys`` tuple, or the ``at``/``times`` hit
+      window (matching :class:`FaultSpec`);
+    * **what happens** — ``kind`` with its parameter (``duration_s`` for
+      hang, ``factor`` for slow, ``mutator`` for corrupt, ``exception``
+      for raise).
+
+    At keyed sites (``executor_task``) the ``at``/``times`` window counts
+    *per-key attempts*, so ``at=1, times=1`` means "the first dispatch of
+    each selected key misbehaves, the requeue recovers".
+    """
+
+    site: str
+    kind: str = "raise"
+    at: int = 1
+    times: int = 1
+    rate: Optional[float] = None
+    keys: Optional[Tuple[int, ...]] = None
+    duration_s: float = 0.0
+    factor: float = 1.0
+    mutator: Union[None, str, Callable[[np.ndarray], np.ndarray]] = None
+    exception: Optional[Type[BaseException]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ConfigError(
+                f"chaos kind must be one of {CHAOS_KINDS}, got {self.kind!r}"
+            )
+        if self.at < 1 or self.times < 1:
+            raise ConfigError(
+                f"chaos at/times must be >= 1, got at={self.at} times={self.times}"
+            )
+        if self.rate is not None and not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"chaos rate must be in [0, 1], got {self.rate}")
+        if self.duration_s < 0:
+            raise ConfigError(f"chaos duration_s must be >= 0, got {self.duration_s}")
+        if self.factor <= 0:
+            raise ConfigError(f"chaos factor must be > 0, got {self.factor}")
+        if isinstance(self.mutator, str) and self.mutator not in CORRUPT_MUTATORS:
+            raise ConfigError(
+                f"unknown corrupt mutator {self.mutator!r} "
+                f"(builtin: {', '.join(sorted(CORRUPT_MUTATORS))})"
+            )
+        if self.keys is not None:
+            object.__setattr__(self, "keys", tuple(int(k) for k in self.keys))
+
+    def resolved_mutator(self) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+        if isinstance(self.mutator, str):
+            return CORRUPT_MUTATORS[self.mutator]
+        return self.mutator
+
+    def should_fire(self, hit: int) -> bool:
+        return self.at <= hit < self.at + self.times
+
+
+class ChaosPlan:
+    """Seeded, schedulable misbehavior: counts hits and fires :class:`ChaosSpec`s.
+
+    Unkeyed sites count occurrences per site; keyed sites (a ``key=`` is
+    passed to :func:`chaos_point`) count attempts per ``(site, key)``, so
+    decisions follow the logical work item, not its placement. ``fired``
+    records ``(site, occurrence, kind)`` in firing order for assertions.
+    """
+
+    def __init__(self, *specs: ChaosSpec, seed: int = 0) -> None:
+        self.specs: List[ChaosSpec] = list(specs)
+        self.seed = int(seed)
+        self.hits: Dict[str, int] = {}
+        self.key_hits: Dict[Tuple[str, int], int] = {}
+        self.fired: List[Tuple[str, int, str]] = []
+
+    def action(self, site: str, key: Optional[int] = None) -> Optional[ChaosAction]:
+        if key is None:
+            occurrence = self.hits.get(site, 0) + 1
+            self.hits[site] = occurrence
+        else:
+            slot = (site, int(key))
+            occurrence = self.key_hits.get(slot, 0) + 1
+            self.key_hits[slot] = occurrence
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if spec.keys is not None:
+                if key is None or int(key) not in spec.keys:
+                    continue
+            if spec.rate is not None:
+                # Rate selects occurrences (unkeyed) or whole keys (keyed);
+                # at keyed sites at/times still gates the attempt number, so
+                # a rate-selected key can misbehave once and recover.
+                draw_id = occurrence if key is None else int(key)
+                if chaos_uniform(self.seed, site, draw_id) >= spec.rate:
+                    continue
+                if key is not None and not spec.should_fire(occurrence):
+                    continue
+            elif not spec.should_fire(occurrence):
+                continue
+            self.fired.append((site, occurrence, spec.kind))
+            obs.incr(f"chaos.fired.{site}.{spec.kind}")
+            if spec.kind == "raise":
+                if spec.exception is not None:
+                    raise spec.exception(
+                        f"injected fault at site {site!r} (hit #{occurrence})"
+                    )
+                raise InjectedFault(site, occurrence)
+            return ChaosAction(
+                site=site,
+                kind=spec.kind,
+                hit=occurrence,
+                duration_s=spec.duration_s,
+                factor=spec.factor,
+                mutator=spec.resolved_mutator(),
+            )
+        return None
+
+
 _ACTIVE: Optional[FaultPlan] = None
+_ACTIVE_CHAOS: Optional[ChaosPlan] = None
 
 
 def active_plan() -> Optional[FaultPlan]:
@@ -118,23 +329,67 @@ def install(plan: FaultPlan) -> FaultPlan:
     return plan
 
 
+def active_chaos() -> Optional[ChaosPlan]:
+    """The currently installed chaos plan, or None."""
+    return _ACTIVE_CHAOS
+
+
+def install_chaos(plan: ChaosPlan) -> ChaosPlan:
+    """Install a chaos plan process-wide (replacing any previous one)."""
+    global _ACTIVE_CHAOS
+    _ACTIVE_CHAOS = plan
+    return plan
+
+
+def clear_chaos() -> None:
+    """Remove the installed chaos plan; chaos points become no-ops again."""
+    global _ACTIVE_CHAOS
+    _ACTIVE_CHAOS = None
+
+
 def clear() -> None:
-    """Remove the installed plan; all fault points become no-ops again."""
-    global _ACTIVE
+    """Remove *both* installed plans; every instrumented site is a no-op again.
+
+    This is the full process-wide reset used by the test fixture and by
+    forked pool workers — chaos decisions are parent-side by design.
+    """
+    global _ACTIVE, _ACTIVE_CHAOS
     _ACTIVE = None
+    _ACTIVE_CHAOS = None
 
 
 @contextmanager
 def inject(*specs: FaultSpec) -> Iterator[FaultPlan]:
     """Install a plan for the duration of the block, then clear it."""
+    global _ACTIVE
     plan = install(FaultPlan(*specs))
     try:
         yield plan
     finally:
-        clear()
+        _ACTIVE = None
+
+
+@contextmanager
+def inject_chaos(plan: ChaosPlan) -> Iterator[ChaosPlan]:
+    """Install a chaos plan for the duration of the block, then clear it."""
+    global _ACTIVE_CHAOS
+    install_chaos(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE_CHAOS = None
 
 
 def fault_point(site: str) -> None:
     """Instrumented crash site: a single branch unless a plan is installed."""
     if _ACTIVE is not None:
         _ACTIVE.hit(site)
+
+
+def chaos_point(site: str, key: Optional[int] = None) -> Optional[ChaosAction]:
+    """Instrumented behavior site: a single branch unless a chaos plan is
+    installed. ``raise``-kind specs raise here; other kinds return a
+    :class:`ChaosAction` for the caller to interpret (None = behave)."""
+    if _ACTIVE_CHAOS is None:
+        return None
+    return _ACTIVE_CHAOS.action(site, key)

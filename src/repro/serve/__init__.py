@@ -30,15 +30,18 @@ from repro.serve.clock import Clock, FakeClock, MonotonicClock
 from repro.serve.pool import InterpreterPool
 from repro.serve.registry import ModelRegistry, RegisteredModel, model_digest
 from repro.serve.server import (
+    CircuitBreaker,
     ModelServer,
     Request,
     Response,
     ServerStats,
     ShedReason,
     TenantConfig,
+    SHED_CIRCUIT,
     SHED_DEADLINE,
     SHED_EXECUTION,
     SHED_QUEUE_FULL,
+    SHED_TIMEOUT,
 )
 from repro.serve.traffic import Arrival, TrafficConfig, make_payload_pool, synthetic_trace
 
@@ -50,15 +53,18 @@ __all__ = [
     "ModelRegistry",
     "RegisteredModel",
     "model_digest",
+    "CircuitBreaker",
     "ModelServer",
     "Request",
     "Response",
     "ServerStats",
     "ShedReason",
     "TenantConfig",
+    "SHED_CIRCUIT",
     "SHED_DEADLINE",
     "SHED_EXECUTION",
     "SHED_QUEUE_FULL",
+    "SHED_TIMEOUT",
     "Arrival",
     "TrafficConfig",
     "make_payload_pool",

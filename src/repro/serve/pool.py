@@ -17,6 +17,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import List
 
+import numpy as np
+
 from repro import obs
 from repro.errors import GraphError
 from repro.runtime.graph import Graph
@@ -38,6 +40,8 @@ class InterpreterPool:
         self._idle: List[Interpreter] = [self._build()]
         self._created = 1
         self._in_use = 0
+        #: Interpreters dropped by :meth:`quarantine` / :meth:`health_check`.
+        self.quarantined = 0
 
     def _build(self) -> Interpreter:
         obs.incr("serve.pool.interpreters_built")
@@ -70,6 +74,49 @@ class InterpreterPool:
             yield interp
         finally:
             self.release(interp)
+
+    # ------------------------------------------------------------------
+    # Health: quarantine-and-replenish
+    # ------------------------------------------------------------------
+    def quarantine(self, interp: Interpreter) -> None:
+        """Drop a checked-out interpreter from the pool instead of releasing.
+
+        The created-count goes down with it, so the next :meth:`acquire`
+        lazily replenishes a fresh interpreter over the same shared graph —
+        a misbehaving entry can never be handed out twice.
+        """
+        if interp.graph is not self.graph:
+            raise GraphError("quarantined interpreter does not belong to this pool")
+        self._in_use -= 1
+        self._created -= 1
+        self.quarantined += 1
+        obs.incr("serve.pool.quarantined")
+
+    def _probe_payload(self) -> np.ndarray:
+        spec = self.graph.tensors[self.graph.inputs[0]]
+        return np.zeros((1,) + tuple(spec.shape), dtype=np.float32)
+
+    def health_check(self) -> int:
+        """Probe every idle interpreter with a zero batch; quarantine any
+        that raises or produces non-finite output. Returns the number
+        dropped (the pool replenishes lazily on the next acquire)."""
+        probe = self._probe_payload()
+        healthy: List[Interpreter] = []
+        dropped = 0
+        for interp in self._idle:
+            try:
+                ok = bool(np.all(np.isfinite(interp.invoke(probe))))
+            except Exception:
+                ok = False
+            if ok:
+                healthy.append(interp)
+            else:
+                dropped += 1
+                self._created -= 1
+                self.quarantined += 1
+                obs.incr("serve.pool.quarantined")
+        self._idle = healthy
+        return dropped
 
     # ------------------------------------------------------------------
     @property

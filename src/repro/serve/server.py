@@ -39,14 +39,16 @@ device's SRAM.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.errors import ConfigError, DeploymentError, GraphError
 from repro.hw.devices import MCUDevice
+from repro.resilience import faults
 from repro.runtime.graph import Graph
 from repro.serve.clock import Clock, MonotonicClock
 from repro.serve.pool import InterpreterPool
@@ -56,6 +58,8 @@ from repro.serve.registry import ModelRegistry, RegisteredModel
 SHED_QUEUE_FULL = "queue_full"
 SHED_DEADLINE = "deadline_expired"
 SHED_EXECUTION = "execution_error"
+SHED_TIMEOUT = "timeout"
+SHED_CIRCUIT = "circuit_open"
 
 
 @dataclass(frozen=True)
@@ -88,6 +92,26 @@ class TenantConfig:
         through the server clock so tests see them deterministically.
     pool_size:
         Interpreters kept for this model (all share the one graph).
+    invoke_timeout_s:
+        Per-invoke deadline. An attempt that would exceed it (a hung
+        interpreter, or a service time stretched past the bound) is cut
+        off at the deadline on the server clock and *hedged*: retried
+        within the ``max_retries`` budget, then shed with the structured
+        ``timeout`` reason — a hang becomes a shed, never a stuck server.
+        ``None`` (the default) disables the deadline.
+    breaker_threshold / breaker_cooldown_s:
+        Per-tenant circuit breaker: after ``breaker_threshold``
+        consecutive failed dispatches (``execution_error`` or ``timeout``
+        sheds) the circuit opens and submissions shed at admission with
+        ``circuit_open`` until ``breaker_cooldown_s`` has elapsed; then a
+        half-open probe dispatch decides between closing and re-opening.
+        ``breaker_threshold=0`` (the default) disables the breaker.
+    quarantine_failed:
+        When true, an interpreter whose invoke raised (or produced
+        non-finite output) is quarantined out of the pool instead of
+        released — the pool replenishes a fresh interpreter on the next
+        checkout. Off by default: most invoke failures are payload- not
+        interpreter-shaped, and rebuilding costs an arena plan.
     """
 
     max_batch: int = 8
@@ -97,6 +121,10 @@ class TenantConfig:
     max_retries: int = 1
     retry_backoff_s: float = 0.0
     pool_size: int = 1
+    invoke_timeout_s: Optional[float] = None
+    breaker_threshold: int = 0
+    breaker_cooldown_s: float = 0.05
+    quarantine_failed: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -107,6 +135,14 @@ class TenantConfig:
             raise ConfigError("max_wait_s must be >= 0 and default_deadline_s > 0")
         if self.max_retries < 0 or self.retry_backoff_s < 0:
             raise ConfigError("max_retries and retry_backoff_s must be >= 0")
+        if self.invoke_timeout_s is not None and self.invoke_timeout_s <= 0:
+            raise ConfigError(
+                f"invoke_timeout_s must be > 0 or None, got {self.invoke_timeout_s}"
+            )
+        if self.breaker_threshold < 0 or self.breaker_cooldown_s <= 0:
+            raise ConfigError(
+                "breaker_threshold must be >= 0 and breaker_cooldown_s > 0"
+            )
 
 
 @dataclass
@@ -155,6 +191,8 @@ class ServerStats:
     completed: int = 0
     dispatches: int = 0
     retries: int = 0
+    timeouts: int = 0  #: invoke attempts cut off at the per-invoke deadline
+    breaker_opens: int = 0  #: closed/half-open -> open circuit transitions
     shed: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -163,7 +201,7 @@ class ServerStats:
 
     @property
     def shed_at_admission(self) -> int:
-        return self.shed.get(SHED_QUEUE_FULL, 0)
+        return self.shed.get(SHED_QUEUE_FULL, 0) + self.shed.get(SHED_CIRCUIT, 0)
 
     def verify_conservation(self, queued: int = 0, responses: int = 0) -> None:
         """Raise :class:`GraphError` on any conservation violation.
@@ -199,9 +237,61 @@ class ServerStats:
             "completed": self.completed,
             "dispatches": self.dispatches,
             "retries": self.retries,
+            "timeouts": self.timeouts,
+            "breaker_opens": self.breaker_opens,
             "shed": dict(sorted(self.shed.items())),
             "shed_total": self.shed_total,
         }
+
+
+class CircuitBreaker:
+    """Per-tenant circuit breaker over dispatch outcomes.
+
+    Closed until ``threshold`` *consecutive* failed dispatches
+    (execution-error or timeout sheds), then open: admissions shed with
+    ``circuit_open`` until ``cooldown_s`` has elapsed on the server clock.
+    The first admission after the cooldown half-opens the circuit; the next
+    dispatch outcome decides — success closes, failure re-opens (and
+    restarts the cooldown). All transitions are deterministic functions of
+    the dispatch outcome sequence and the clock.
+    """
+
+    def __init__(self, threshold: int, cooldown_s: float) -> None:
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.state = "closed"  #: ``closed`` | ``open`` | ``half_open``
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.opens = 0
+
+    def allow(self, now: float) -> bool:
+        """May a request be admitted right now? (May half-open the circuit.)"""
+        if self.state == "open":
+            if now - self.opened_at >= self.cooldown_s:
+                self.state = "half_open"
+                obs.incr("serve.breaker.half_open")
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state != "closed":
+            obs.incr("serve.breaker.closed")
+        self.state = "closed"
+
+    def record_failure(self, now: float) -> bool:
+        """Count a failed dispatch; returns True when this opens the circuit."""
+        self.consecutive_failures += 1
+        should_open = self.state == "half_open" or (
+            self.state == "closed" and self.consecutive_failures >= self.threshold
+        )
+        if should_open:
+            self.state = "open"
+            self.opened_at = now
+            self.opens += 1
+            return True
+        return False
 
 
 class ModelServer:
@@ -243,9 +333,13 @@ class ModelServer:
         self._tenants: Dict[str, TenantConfig] = {}
         self._pools: Dict[str, InterpreterPool] = {}
         self._queues: Dict[str, List[Request]] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._responses: List[Response] = []
         self._next_id = 0
         self._next_seq = 0
+        #: Cumulative responses handed out by drain() (conservation audit).
+        self._drained = 0
+        self._debug_checks = os.environ.get("REPRO_DEBUG_CHECKS", "0") not in ("", "0")
         #: Queue depth observed at each dispatch (for the load bench).
         self.queue_depth_samples: List[int] = []
 
@@ -275,6 +369,10 @@ class ModelServer:
         self._tenants[digest] = tenant
         self._pools[digest] = pool
         self._queues[digest] = []
+        if tenant.breaker_threshold > 0:
+            self._breakers[digest] = CircuitBreaker(
+                tenant.breaker_threshold, tenant.breaker_cooldown_s
+            )
         obs.incr("serve.models_registered")
         return digest
 
@@ -300,6 +398,11 @@ class ModelServer:
     def pool(self, digest: str) -> InterpreterPool:
         self._require(digest)
         return self._pools[digest]
+
+    def breaker(self, digest: str) -> Optional[CircuitBreaker]:
+        """The tenant's circuit breaker, or None when disabled."""
+        self._require(digest)
+        return self._breakers.get(digest)
 
     def _require(self, digest: str) -> None:
         if digest not in self._pools:
@@ -356,6 +459,19 @@ class ModelServer:
         self._next_seq += 1
         self.stats.submitted += 1
         obs.incr("serve.submitted")
+
+        breaker = self._breakers.get(digest)
+        if breaker is not None and not breaker.allow(now):
+            self._shed(
+                request,
+                ShedReason(
+                    SHED_CIRCUIT,
+                    f"circuit open for {digest} after "
+                    f"{breaker.consecutive_failures} consecutive failed "
+                    f"dispatches (cooldown {tenant.breaker_cooldown_s}s)",
+                ),
+            )
+            return request.id
 
         queue = self._queues[digest]
         if len(queue) >= tenant.queue_depth:
@@ -479,7 +595,7 @@ class ModelServer:
         if not batch:
             return expired  # only expired requests were drained
 
-        outputs = self._invoke_batch(digest, tenant, batch)
+        outputs, failure_code = self._invoke_batch(digest, tenant, batch)
         if self.service_time_fn is not None and hasattr(self.clock, "advance"):
             self.clock.advance(self.service_time_fn(digest, len(batch)))
         finish = self.clock.now()
@@ -487,15 +603,25 @@ class ModelServer:
         obs.incr("serve.dispatches")
         obs.observe("serve.batch_size", len(batch))
 
-        if outputs is None:  # retries exhausted — shed the whole batch
-            for request in batch:
-                self._shed(
-                    request,
-                    ShedReason(
-                        SHED_EXECUTION,
-                        f"invoke failed after {tenant.max_retries + 1} attempts",
-                    ),
+        breaker = self._breakers.get(digest)
+        if breaker is not None:
+            if outputs is None:
+                if breaker.record_failure(finish):
+                    self.stats.breaker_opens += 1
+                    obs.incr("serve.breaker.opened")
+            else:
+                breaker.record_success()
+
+        if outputs is None:  # retries/hedges exhausted — shed the whole batch
+            if failure_code == SHED_TIMEOUT:
+                detail = (
+                    f"invoke exceeded the {tenant.invoke_timeout_s}s deadline "
+                    f"on {tenant.max_retries + 1} attempts"
                 )
+            else:
+                detail = f"invoke failed after {tenant.max_retries + 1} attempts"
+            for request in batch:
+                self._shed(request, ShedReason(failure_code, detail))
             return expired + len(batch)
 
         for i, request in enumerate(batch):
@@ -521,26 +647,119 @@ class ModelServer:
 
     def _invoke_batch(
         self, digest: str, tenant: TenantConfig, batch: List[Request]
-    ) -> Optional[np.ndarray]:
-        """Vectorized dispatch with bounded-backoff retry; None when it
-        keeps failing (the caller sheds the batch)."""
-        stacked = np.stack([r.payload for r in batch])
+    ) -> Tuple[Optional[np.ndarray], str]:
+        """Vectorized dispatch with bounded-backoff hedged retry.
+
+        Returns ``(outputs, "")`` on success or ``(None, shed_code)`` after
+        the retry budget is exhausted — the caller sheds the batch with the
+        code (``execution_error`` or ``timeout``). Each attempt re-stacks
+        the pristine request payloads, so a corrupt-chaos attempt never
+        leaks a mutated payload into its retry, and queries the
+        ``serve_invoke`` chaos site (hang/slow/corrupt/raise behaviors).
+        A hung or over-deadline attempt is cut off at ``invoke_timeout_s``
+        on the server clock and hedged within the same retry budget.
+        """
         pool = self._pools[digest]
+        failure_code = SHED_EXECUTION
         for attempt in range(1, tenant.max_retries + 2):
+            stacked = np.stack([r.payload for r in batch])
+            slow_factor = 1.0
+            try:
+                action = faults.chaos_point("serve_invoke")
+            except Exception:
+                obs.incr("serve.invoke_errors")
+                failure_code = SHED_EXECUTION
+                if self._retry(tenant, attempt):
+                    continue
+                return None, failure_code
+            if action is not None:
+                if action.kind == "hang":
+                    if (
+                        tenant.invoke_timeout_s is not None
+                        and action.duration_s >= tenant.invoke_timeout_s
+                    ):
+                        # Cut the hang off at the deadline and hedge.
+                        self._advance(tenant.invoke_timeout_s)
+                        self.stats.timeouts += 1
+                        obs.incr("serve.invoke_timeouts")
+                        failure_code = SHED_TIMEOUT
+                        if self._retry(tenant, attempt):
+                            continue
+                        return None, failure_code
+                    # A stall shorter than the deadline (or with no deadline
+                    # configured) just costs its duration.
+                    self._advance(action.duration_s)
+                elif action.kind == "slow":
+                    slow_factor = action.factor
+                elif action.kind == "corrupt" and action.mutator is not None:
+                    stacked = np.asarray(
+                        action.mutator(stacked), dtype=stacked.dtype
+                    ).reshape(stacked.shape)
+            if tenant.invoke_timeout_s is not None and self.service_time_fn is not None:
+                estimated = self.service_time_fn(digest, len(batch)) * slow_factor
+                if estimated > tenant.invoke_timeout_s:
+                    self._advance(tenant.invoke_timeout_s)
+                    self.stats.timeouts += 1
+                    obs.incr("serve.invoke_timeouts")
+                    failure_code = SHED_TIMEOUT
+                    if self._retry(tenant, attempt):
+                        continue
+                    return None, failure_code
+            if slow_factor > 1.0 and self.service_time_fn is not None:
+                # The baseline service time is advanced once per dispatch by
+                # the caller; a slow attempt pays the stretch on top.
+                self._advance(
+                    self.service_time_fn(digest, len(batch)) * (slow_factor - 1.0)
+                )
+            interp = None
             try:
                 with obs.span("serve/dispatch", model=digest, batch=len(batch)):
-                    with pool.checkout() as interp:
-                        return interp.invoke(stacked)
+                    interp = pool.acquire()
+                    outputs = interp.invoke(stacked)
+                if not np.all(np.isfinite(outputs)):
+                    raise GraphError(
+                        f"non-finite values in model {digest} output "
+                        f"(corrupted dispatch)"
+                    )
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception:
+                if interp is not None:
+                    if tenant.quarantine_failed:
+                        pool.quarantine(interp)
+                    else:
+                        pool.release(interp)
                 obs.incr("serve.invoke_errors")
-                if attempt <= tenant.max_retries:
-                    self.stats.retries += 1
-                    obs.incr("serve.invoke_retries")
-                    if tenant.retry_backoff_s > 0:
-                        self.clock.sleep(tenant.retry_backoff_s * 2 ** (attempt - 1))
-        return None
+                failure_code = SHED_EXECUTION
+                if self._retry(tenant, attempt):
+                    continue
+                return None, failure_code
+            else:
+                pool.release(interp)
+                return outputs, ""
+        return None, failure_code
+
+    def _retry(self, tenant: TenantConfig, attempt: int) -> bool:
+        """Consume one unit of the retry budget; False when exhausted.
+
+        Retries are counted separately from dispatches (``serve.retries``
+        vs ``serve.dispatches``): a logical dispatch increments the
+        dispatch counter exactly once however many attempts it hedges, so
+        throughput metrics are never inflated by retries.
+        """
+        if attempt > tenant.max_retries:
+            return False
+        self.stats.retries += 1
+        obs.incr("serve.retries")
+        if tenant.retry_backoff_s > 0:
+            self.clock.sleep(tenant.retry_backoff_s * 2 ** (attempt - 1))
+        return True
+
+    def _advance(self, seconds: float) -> None:
+        """Move virtual time forward (no-op on real clocks, where elapsed
+        time flows by itself)."""
+        if seconds > 0 and hasattr(self.clock, "advance"):
+            self.clock.advance(seconds)
 
     # ------------------------------------------------------------------
     # Draining
@@ -571,8 +790,20 @@ class ModelServer:
         raise GraphError(f"run_until_idle exceeded {max_steps} steps")
 
     def drain(self) -> List[Response]:
-        """Take every terminal response produced so far (FIFO by finish)."""
+        """Take every terminal response produced so far (FIFO by finish).
+
+        Under ``REPRO_DEBUG_CHECKS=1`` every drain audits the conservation
+        ledger (:meth:`ServerStats.verify_conservation`) against the queued
+        requests and the cumulative response count, so a scheduler change
+        that drops or double-counts a request fails loudly at the next
+        drain point.
+        """
         responses, self._responses = self._responses, []
+        if self._debug_checks:
+            self._drained += len(responses)
+            self.stats.verify_conservation(
+                queued=self.queued(), responses=self._drained
+            )
         return responses
 
     @property

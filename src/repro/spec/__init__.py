@@ -21,6 +21,8 @@ from repro.spec.compiler import (
 from repro.spec.fleet import run_fleet_plan
 from repro.spec.loader import (
     BUILTIN_SPEC_DIR,
+    ChaosFaultSpec,
+    ChaosScheduleSpec,
     DeviceSpec,
     ExperimentSpec,
     FleetGroupSpec,
@@ -40,6 +42,8 @@ from repro.spec.schema import load_schema, schema_errors
 
 __all__ = [
     "BUILTIN_SPEC_DIR",
+    "ChaosFaultSpec",
+    "ChaosScheduleSpec",
     "DeviceSpec",
     "ExperimentPlan",
     "ExperimentSpec",

@@ -21,7 +21,7 @@ from repro.hw.devices import DEVICES, MEDIUM, MCUDevice
 from repro.hw.latency import LatencyModel
 from repro.serve.traffic import TrafficConfig
 from repro.spec import modelzoo
-from repro.spec.loader import ScenarioSpec
+from repro.spec.loader import ChaosScheduleSpec, ScenarioSpec
 from repro.utils.rng import RngLike, new_rng, spawn_rng
 from repro.utils.scale import Scale, resolve_scale
 
@@ -45,7 +45,12 @@ class ExperimentPlan:
 
 @dataclass(frozen=True)
 class FleetGroupPlan:
-    """One homogeneous slice of the simulated fleet."""
+    """One homogeneous slice of the simulated fleet.
+
+    ``chaos`` carries the group's resolved chaos schedule (or None): the
+    fleet simulator installs it around the group's trace replay so the
+    scenario runs in degraded mode with the serve-layer defenses engaged.
+    """
 
     name: str
     device: MCUDevice
@@ -53,6 +58,7 @@ class FleetGroupPlan:
     bits: int
     count: int
     traffic: TrafficConfig
+    chaos: Optional[ChaosScheduleSpec] = None
 
 
 @dataclass(frozen=True)
@@ -131,6 +137,11 @@ def compile_scenario(spec: ScenarioSpec) -> ScenarioPlan:
             assert target is not None
             profile = spec.traffic_profile(group.traffic)
             assert profile is not None
+            chaos = (
+                spec.chaos_schedule(group.chaos)
+                if group.chaos is not None
+                else None
+            )
             groups.append(
                 FleetGroupPlan(
                     name=group.name,
@@ -139,6 +150,7 @@ def compile_scenario(spec: ScenarioSpec) -> ScenarioPlan:
                     bits=target.bits,
                     count=group.count,
                     traffic=profile.to_config(),
+                    chaos=chaos,
                 )
             )
         fleets.append(FleetPlan(name=fleet.name, groups=tuple(groups), seed=fleet.seed))

@@ -18,6 +18,7 @@ jitter drawn from the group's seeded RNG.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.experiments.base import ExperimentResult, attempt
 from repro.hw.latency import LatencyModel
 from repro.models.spec import arch_workload, export_graph
 from repro.nas.fabric.schedule import simulate_schedule
+from repro.resilience import faults
 from repro.serve.bench import replay_trace
 from repro.serve.clock import FakeClock
 from repro.serve.server import ModelServer, TenantConfig
@@ -67,17 +69,38 @@ def _group_row(group: FleetGroupPlan, group_index: int, fleet_seed: int) -> dict
         service_time_fn=lambda digest, n, s=service_s: s * n,
     )
     traffic = group.traffic
-    tenant = TenantConfig(
-        max_batch=1,  # an MCU node serves one inference at a time
-        max_wait_s=0.0,
-        queue_depth=256,
-        default_deadline_s=traffic.deadline_s,
-    )
+    if group.chaos is not None:
+        # Degraded-mode simulation: the declared chaos schedule fires during
+        # the replay, with the serve-layer defenses engaged — hung invokes
+        # are cut off at the request deadline and hedged, repeated failures
+        # open the tenant's circuit breaker, corrupted dispatches retry with
+        # pristine payloads. The row's shed/latency profile shows the cost.
+        tenant = TenantConfig(
+            max_batch=1,  # an MCU node serves one inference at a time
+            max_wait_s=0.0,
+            queue_depth=256,
+            default_deadline_s=traffic.deadline_s,
+            max_retries=1,
+            invoke_timeout_s=traffic.deadline_s,
+            breaker_threshold=8,
+            breaker_cooldown_s=4 * traffic.deadline_s,
+            quarantine_failed=True,
+        )
+        chaos_guard = faults.inject_chaos(group.chaos.to_plan())
+    else:
+        tenant = TenantConfig(
+            max_batch=1,  # an MCU node serves one inference at a time
+            max_wait_s=0.0,
+            queue_depth=256,
+            default_deadline_s=traffic.deadline_s,
+        )
+        chaos_guard = nullcontext()
     digest = server.register(graph, tenant)
     trace = synthetic_trace(traffic)
     input_shape = tuple(graph.tensors[graph.inputs[0]].shape)
     payloads = make_payload_pool(input_shape, traffic.payload_pool, seed=traffic.seed)
-    replay = replay_trace(server, digest, trace, payloads)
+    with chaos_guard:
+        replay = replay_trace(server, digest, trace, payloads)
     stats = replay.as_dict()
 
     # Fleet drain: every node's request list as one task bag scheduled on

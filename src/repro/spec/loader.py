@@ -142,6 +142,7 @@ class FleetGroupSpec:
     target: str
     count: int
     traffic: str
+    chaos: Optional[str] = None  #: named chaos schedule for degraded-mode sim
 
 
 @dataclass(frozen=True)
@@ -149,6 +150,48 @@ class FleetSpec:
     name: str
     groups: Tuple[FleetGroupSpec, ...]
     seed: int = 0
+
+
+@dataclass(frozen=True)
+class ChaosFaultSpec:
+    """One declared misbehavior (spec units: durations in ms)."""
+
+    site: str
+    kind: str  #: ``raise`` | ``hang`` | ``slow`` | ``corrupt``
+    at: int = 1
+    times: int = 1
+    rate: Optional[float] = None
+    duration_ms: float = 0.0
+    factor: float = 1.0
+    mutator: Optional[str] = None
+
+    def to_spec(self):
+        from repro.resilience.faults import ChaosSpec
+
+        return ChaosSpec(
+            site=self.site,
+            kind=self.kind,
+            at=self.at,
+            times=self.times,
+            rate=self.rate,
+            duration_s=self.duration_ms / 1000.0,
+            factor=self.factor,
+            mutator=self.mutator,
+        )
+
+
+@dataclass(frozen=True)
+class ChaosScheduleSpec:
+    """A named, seeded fault schedule fleet groups can opt into."""
+
+    name: str
+    faults: Tuple[ChaosFaultSpec, ...]
+    seed: int = 0
+
+    def to_plan(self):
+        from repro.resilience.faults import ChaosPlan
+
+        return ChaosPlan(*(fault.to_spec() for fault in self.faults), seed=self.seed)
 
 
 @dataclass(frozen=True)
@@ -164,6 +207,7 @@ class ScenarioSpec:
     traffic: Tuple[TrafficSpec, ...] = ()
     experiments: Tuple[ExperimentSpec, ...] = ()
     fleets: Tuple[FleetSpec, ...] = ()
+    chaos: Tuple[ChaosScheduleSpec, ...] = ()
     source: Optional[str] = None
     _device_cache: Dict[str, MCUDevice] = field(
         default_factory=dict, compare=False, repr=False
@@ -232,6 +276,12 @@ class ScenarioSpec:
                 return profile
         return None
 
+    def chaos_schedule(self, name: str) -> Optional[ChaosScheduleSpec]:
+        for schedule in self.chaos:
+            if schedule.name == name:
+                return schedule
+        return None
+
 
 # ----------------------------------------------------------------------
 # Parsing
@@ -295,6 +345,14 @@ def _build_scenario(data: dict, source: Optional[str]) -> ScenarioSpec:
         ModelFamilySpec(name=entry["name"], members=tuple(entry["members"]))
         for entry in data.get("model_families") or ()
     )
+    chaos = tuple(
+        ChaosScheduleSpec(
+            name=entry["name"],
+            seed=entry.get("seed", 0),
+            faults=tuple(ChaosFaultSpec(**f) for f in entry["faults"]),
+        )
+        for entry in data.get("chaos") or ()
+    )
     return ScenarioSpec(
         name=data["name"],
         description=data.get("description", ""),
@@ -305,6 +363,7 @@ def _build_scenario(data: dict, source: Optional[str]) -> ScenarioSpec:
         traffic=rows("traffic", TrafficSpec),
         experiments=experiments,
         fleets=fleets,
+        chaos=chaos,
         source=source,
     )
 
@@ -322,6 +381,7 @@ def _duplicate_errors(spec: ScenarioSpec) -> List[str]:
         ("traffic", [t.name for t in spec.traffic]),
         ("experiments", [e.name for e in spec.experiments]),
         ("fleet", [f.name for f in spec.fleets]),
+        ("chaos", [c.name for c in spec.chaos]),
     ]
     for section, names in sections:
         seen: Dict[str, int] = {}
@@ -425,6 +485,21 @@ def cross_reference_errors(spec: ScenarioSpec) -> List[str]:
                     f"{prefix}.traffic: unknown traffic profile "
                     f"{group.traffic!r} (known: "
                     f"{', '.join(t.name for t in spec.traffic) or 'none'})"
+                )
+            if group.chaos is not None and spec.chaos_schedule(group.chaos) is None:
+                errors.append(
+                    f"{prefix}.chaos: unknown chaos schedule {group.chaos!r} "
+                    f"(known: {', '.join(c.name for c in spec.chaos) or 'none'})"
+                )
+
+    from repro.resilience.faults import SITES as FAULT_SITES
+
+    for index, schedule in enumerate(spec.chaos):
+        for j, fault in enumerate(schedule.faults):
+            if fault.site not in FAULT_SITES:
+                errors.append(
+                    f"chaos[{index}].faults[{j}].site: unknown fault site "
+                    f"{fault.site!r} (known: {', '.join(FAULT_SITES)})"
                 )
     return errors
 

@@ -27,6 +27,7 @@ def test_hotpath_bench_smoke(tmp_path):
         "serving_latency",
         "search_fabric",
         "resilience_overhead",
+        "chaos_resilience",
     }
     for row in sections.values():
         assert row["speedup"] > 0
@@ -101,6 +102,25 @@ def test_hotpath_bench_smoke(tmp_path):
         fabric["workers"]["4"]["candidates_per_s"]
         >= fabric["workers"]["1"]["candidates_per_s"]
     )
+
+    # Chaos resilience schema: the same seeded hang schedule with defenses
+    # off vs on. The survival invariants are hard requirements even at
+    # smoke scale; the latency ratio only needs to be positive here (the
+    # full bench enforces the > 1x bar).
+    chaos = sections["chaos_resilience"]
+    for key in (
+        "requests", "fault_rate", "hang_duration_s", "invoke_timeout_s",
+        "baseline_p99_ms", "undefended_p99_ms", "defended_p99_ms",
+        "undefended_shed_rate", "defended_shed_rate", "defended_timeouts",
+        "defended_retries", "breaker_opens", "recovery_s",
+    ):
+        assert key in chaos, f"chaos_resilience missing {key}"
+    assert chaos["conservation_ok"] is True
+    assert chaos["survivors_bitwise_ok"] is True
+    assert chaos["replay_deterministic"] is True
+    assert chaos["defended_shed_rate"] <= chaos["undefended_shed_rate"]
+    assert chaos["defended_timeouts"] > 0  # the hangs actually fired
+    assert chaos["invoke_timeout_s"] < chaos["hang_duration_s"]
 
     # Observability fields: cache hit rates and workspace reuse ride along.
     assert 0.0 <= sections["conv_training_step"]["workspace_reuse_rate"] <= 1.0

@@ -73,10 +73,12 @@ class TestClocks:
 
     def test_fake_clock_rejects_negative(self):
         clock = FakeClock()
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="negative duration"):
             clock.sleep(-1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="cannot advance time backwards"):
             clock.advance(-0.1)
+        # A rejected advance must not move the clock at all.
+        assert clock.now() == 0.0 and clock.sleeps == []
 
     def test_monotonic_clock_moves_forward(self):
         clock = MonotonicClock()
@@ -402,6 +404,57 @@ class TestOverloadShedding:
         (response,) = server.drain()
         assert response.ok
         assert server.stats.retries == 1
+
+    def test_retry_exhaustion_preserves_submission_order(self, monkeypatch):
+        # Exhausting retries on a batch must shed its members in strict
+        # submission order, with the attempt count in the detail and every
+        # backoff taken on the injectable clock *before* the shed lands.
+        clock = FakeClock()
+        server = ModelServer(clock=clock)
+        digest = server.register(
+            _compiled(0, bits=32),
+            TenantConfig(max_batch=3, max_wait_s=0.0, max_retries=1,
+                         retry_backoff_s=0.25),
+        )
+        pool = server.pool(digest)
+        monkeypatch.setattr(
+            pool._idle[0], "invoke",
+            lambda batch: (_ for _ in ()).throw(RuntimeError("kernel fault")),
+        )
+        x = np.zeros((10, 10, 1), dtype=np.float32)
+        ids = [server.submit(digest, x) for _ in range(3)]
+        server.run_until_idle()
+        responses = server.drain()
+        assert [r.request_id for r in responses] == ids
+        for response in responses:
+            assert response.shed.code == SHED_EXECUTION
+            assert "after 2 attempts" in response.shed.detail
+            # The shed is stamped after the full retry dance: one backoff
+            # sleep happened strictly before any response finished.
+            assert response.finish_s >= 0.25
+        assert clock.sleeps == [0.25]
+        assert server.stats.retries == 1
+        server.stats.verify_conservation(queued=0, responses=len(responses))
+
+    def test_deadline_on_window_close_tick_is_served(self):
+        # A deadline landing on the exact tick the coalescing window
+        # closes is *inclusive*: expiry is strict (deadline < now), so the
+        # race between "window closed" and "deadline passed" at the same
+        # virtual instant resolves in the request's favor.
+        clock = FakeClock()
+        server = ModelServer(clock=clock)
+        digest = server.register(
+            _compiled(0, bits=32), TenantConfig(max_batch=4, max_wait_s=2.0)
+        )
+        x = np.zeros((10, 10, 1), dtype=np.float32)
+        on_tick = server.submit(digest, x, deadline_s=2.0)
+        just_under = server.submit(digest, x, deadline_s=2.0 - 1e-9)
+        clock.advance(2.0)  # window close and on_tick's deadline coincide
+        server.run_until_idle()
+        responses = {r.request_id: r for r in server.drain()}
+        assert responses[on_tick].ok
+        assert responses[just_under].shed.code == SHED_DEADLINE
+        server.stats.verify_conservation(queued=0, responses=len(responses))
 
     def test_conservation_violation_detected(self):
         stats = ServerStats(submitted=5, admitted=4, completed=4)
